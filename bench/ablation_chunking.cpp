@@ -1,0 +1,75 @@
+// ABL-1 — Ablation over the chunk-count scheme of Section 3.4:
+//   * no pipelining        — staged paths as two sequential hops (k = 1),
+//   * exact sqrt (Eq 14/15) — optimal k, nonlinear in theta,
+//   * linear phi (Eq 19)   — the paper's runtime linearization.
+// Expected: pipelining is worth ~2x on staged-heavy configurations; the
+// phi linearization tracks the exact rule closely (it exists to keep theta
+// closed-form, not to change the split materially).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace mb = mpath::bench;
+namespace bc = mpath::benchcore;
+namespace mm = mpath::model;
+namespace mt = mpath::topo;
+namespace mu = mpath::util;
+
+int main(int argc, char** argv) {
+  const bool quick = mb::quick_mode(argc, argv);
+  std::printf("ABL-1: chunking-scheme ablation (Beluga, 3_GPUs, BW)\n\n");
+
+  mb::CalibratedSystem cal(mt::make_beluga());
+  const auto policy = mt::PathPolicy::three_gpus();
+
+  struct Variant {
+    const char* name;
+    mm::ConfiguratorOptions options;
+  };
+  std::vector<Variant> variants;
+  {
+    mm::ConfiguratorOptions no_pipe;
+    no_pipe.pipelining = false;
+    variants.push_back({"no-pipelining", no_pipe});
+    mm::ConfiguratorOptions exact;
+    exact.chunk_mode = mm::ChunkMode::ExactSqrt;
+    variants.push_back({"exact-sqrt", exact});
+    mm::ConfiguratorOptions linear;
+    linear.chunk_mode = mm::ChunkMode::LinearPhi;
+    variants.push_back({"linear-phi", linear});
+    mm::ConfiguratorOptions global_phi;
+    global_phi.phi_per_message = false;
+    variants.push_back({"global-phi", global_phi});
+  }
+
+  std::vector<std::unique_ptr<mm::PathConfigurator>> configurators;
+  for (const auto& v : variants) {
+    configurators.push_back(
+        std::make_unique<mm::PathConfigurator>(cal.registry, v.options));
+  }
+
+  mu::CsvWriter csv(mb::results_dir() + "/ablation_chunking.csv");
+  csv.header({"variant", "bytes", "gbps"});
+  std::vector<std::string> headers{"size"};
+  for (const auto& v : variants) headers.emplace_back(v.name);
+  mu::Table table(headers);
+
+  for (std::size_t bytes : mb::message_sizes(quick)) {
+    std::vector<std::string> row{mu::format_bytes(bytes)};
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+      auto stack =
+          bc::SimStack::model_driven(cal.system, *configurators[i], policy);
+      bc::P2POptions p2p;
+      p2p.iterations = 4;
+      const double bw = bc::measure_bw(stack.world(), bytes, p2p);
+      row.push_back(mb::gb(bw));
+      csv.row({variants[i].name, std::to_string(bytes),
+               mu::CsvWriter::num(bw)});
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  std::printf("\nCSV written to %s/ablation_chunking.csv\n",
+              mb::results_dir().c_str());
+  return 0;
+}

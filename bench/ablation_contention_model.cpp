@@ -1,0 +1,85 @@
+// ABL-4 (extension) — Contention-aware calibration, the direction the
+// paper names as future work ("utilizing other performance models ...
+// such as MaxRate when considering contention on shared links").
+//
+// The baseline model composes each staged path from two independently
+// measured hops; when both hops share a resource (the host memory channel),
+// the composition overestimates the path (paper Observation 3). The
+// extension measures each staged path end to end with its hops pipelined
+// and overrides the path's effective inverse bandwidth.
+//
+// This bench compares prediction error AND achieved dynamic bandwidth with
+// and without the extension on the host-staged configuration of both
+// systems. Expected: large error reductions on Narval (whose NUMA layout
+// makes the host path memory-channel-bound), smaller on Beluga (where PCIe
+// is the bottleneck and the composition was already right).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace mb = mpath::bench;
+namespace bc = mpath::benchcore;
+namespace mm = mpath::model;
+namespace mt = mpath::topo;
+namespace mu = mpath::util;
+namespace tu = mpath::tuning;
+
+int main(int argc, char** argv) {
+  const bool quick = mb::quick_mode(argc, argv);
+  std::printf(
+      "ABL-4: contention-aware path calibration (extension; "
+      "3_GPUs_w_host, BW)\n\n");
+  mu::CsvWriter csv(mb::results_dir() + "/ablation_contention_model.csv");
+  csv.header({"system", "bytes", "variant", "predicted_gbps",
+              "dynamic_gbps", "error"});
+
+  const auto policy = mt::PathPolicy::three_gpus_with_host();
+  for (const char* system_name : {"beluga", "narval"}) {
+    const auto system = mt::make_system(system_name);
+    tu::CalibrationOptions base_opt;
+    tu::CalibrationOptions aware_opt;
+    aware_opt.contention_aware = true;
+    const auto reg_base = tu::calibrate(system, base_opt);
+    const auto reg_aware = tu::calibrate(system, aware_opt);
+    mm::PathConfigurator cfg_base(reg_base);
+    mm::PathConfigurator cfg_aware(reg_aware);
+    const auto gpus = system.topology.gpus();
+
+    mu::Table table({"size", "pred (paper)", "meas (paper)", "err",
+                     "pred (aware)", "meas (aware)", "err "});
+    mu::RunningStats err_base, err_aware;
+    for (std::size_t bytes : mb::message_sizes(quick)) {
+      bc::P2POptions p2p;
+      p2p.window = 4;
+      p2p.iterations = 3;
+      auto run = [&](mm::PathConfigurator& cfg) {
+        auto stack = bc::SimStack::model_driven(system, cfg, policy);
+        const double measured = bc::measure_bw(stack.world(), bytes, p2p);
+        const double predicted = bc::predicted_bandwidth(
+            cfg, system.topology, gpus[0], gpus[1], bytes, policy);
+        return std::pair{predicted, measured};
+      };
+      const auto [pb, mb_] = run(cfg_base);
+      const auto [pa, ma] = run(cfg_aware);
+      const double eb = mu::relative_error(pb, mb_);
+      const double ea = mu::relative_error(pa, ma);
+      err_base.add(eb);
+      err_aware.add(ea);
+      table.add_row({mu::format_bytes(bytes), mb::gb(pb), mb::gb(mb_),
+                     mb::pct(eb), mb::gb(pa), mb::gb(ma), mb::pct(ea)});
+      csv.row({system_name, std::to_string(bytes), "paper",
+               mu::CsvWriter::num(pb), mu::CsvWriter::num(mb_),
+               mu::CsvWriter::num(eb)});
+      csv.row({system_name, std::to_string(bytes), "contention-aware",
+               mu::CsvWriter::num(pa), mu::CsvWriter::num(ma),
+               mu::CsvWriter::num(ea)});
+    }
+    std::printf("-- %s --\n", system_name);
+    table.print();
+    std::printf("mean error: paper model %.1f%%  ->  contention-aware %.1f%%\n\n",
+                100.0 * err_base.mean(), 100.0 * err_aware.mean());
+  }
+  std::printf("CSV written to %s/ablation_contention_model.csv\n",
+              mb::results_dir().c_str());
+  return 0;
+}

@@ -1,0 +1,105 @@
+// ABL-2 — Ablation over the share-assignment policy:
+//   * equal-time (Eq. 24)       — the paper's closed form,
+//   * equal-split               — theta_i = 1/p regardless of path quality,
+//   * bandwidth-proportional    — theta_i ~ 1/Omega_i (ignores Delta),
+//   * direct-only               — single-path baseline.
+// Expected: equal-time wins or ties everywhere; bandwidth-proportional is
+// close at very large sizes (Delta amortizes, Eq. 8's intuition) but loses
+// at small sizes where latency terms matter; equal-split overloads the
+// host path whenever it is present.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace mb = mpath::bench;
+namespace bc = mpath::benchcore;
+namespace mm = mpath::model;
+namespace mt = mpath::topo;
+namespace mu = mpath::util;
+
+namespace {
+
+/// Static plan for a fixed assignment rule at one message size.
+mpath::pipeline::StaticPlan make_plan(
+    const mb::CalibratedSystem& cal, const std::vector<mt::PathPlan>& paths,
+    const mm::TransferConfig& reference, const std::string& rule) {
+  mpath::pipeline::StaticPlan plan;
+  plan.paths = paths;
+  plan.fractions.assign(paths.size(), 0.0);
+  plan.chunks.assign(paths.size(), 1);
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    plan.chunks[i] = std::max(1, reference.paths[i].chunks);
+  }
+  if (rule == "equal-split") {
+    for (auto& f : plan.fractions) {
+      f = 1.0 / static_cast<double>(paths.size());
+    }
+  } else if (rule == "bw-proportional") {
+    double sum = 0.0;
+    std::vector<double> w(paths.size());
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      w[i] = 1.0 / reference.paths[i].terms.omega;
+      sum += w[i];
+    }
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      plan.fractions[i] = w[i] / sum;
+    }
+  } else {  // equal-time: copy the model's split
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      plan.fractions[i] = reference.paths[i].theta;
+    }
+    // Guard against rounding dust.
+    double total = 0.0;
+    for (double f : plan.fractions) total += f;
+    for (double& f : plan.fractions) f /= total;
+  }
+  (void)cal;
+  return plan;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = mb::quick_mode(argc, argv);
+  std::printf(
+      "ABL-2: share-policy ablation (Beluga, 3_GPUs_w_host, BW)\n\n");
+
+  mb::CalibratedSystem cal(mt::make_beluga());
+  const auto gpus = cal.system.topology.gpus();
+  const auto policy = mt::PathPolicy::three_gpus_with_host();
+  const auto paths =
+      mt::enumerate_paths(cal.system.topology, gpus[0], gpus[1], policy);
+
+  mu::CsvWriter csv(mb::results_dir() + "/ablation_theta_policy.csv");
+  csv.header({"rule", "bytes", "gbps"});
+  const std::vector<std::string> rules{"equal-time", "bw-proportional",
+                                       "equal-split", "direct-only"};
+  mu::Table table({"size", "equal-time", "bw-prop", "equal-split",
+                   "direct-only"});
+
+  for (std::size_t bytes : mb::message_sizes(quick)) {
+    const auto& reference =
+        cal.configurator->configure(gpus[0], gpus[1], bytes, paths);
+    std::vector<std::string> row{mu::format_bytes(bytes)};
+    for (const auto& rule : rules) {
+      double bw = 0.0;
+      bc::P2POptions p2p;
+      p2p.iterations = 4;
+      if (rule == "direct-only") {
+        auto stack = bc::SimStack::direct(cal.system);
+        bw = bc::measure_bw(stack.world(), bytes, p2p);
+      } else {
+        auto plan = make_plan(cal, paths, reference, rule);
+        auto stack = bc::SimStack::static_plan(cal.system, plan);
+        bw = bc::measure_bw(stack.world(), bytes, p2p);
+      }
+      row.push_back(mb::gb(bw));
+      csv.row({rule, std::to_string(bytes), mu::CsvWriter::num(bw)});
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  std::printf("\nCSV written to %s/ablation_theta_policy.csv\n",
+              mb::results_dir().c_str());
+  return 0;
+}

@@ -1,0 +1,58 @@
+// FIG-4 — Reproduces paper Figure 4: the distribution of the message
+// fractions (theta) across paths for unidirectional transfers on Beluga,
+// as chosen by the model, per message size and path policy:
+//   (a) 2_GPUs  — direct + 1 GPU-staged path
+//   (b) 3_GPUs  — direct + 2 GPU-staged paths
+//   (c) 3_GPUs_w_host — + 1 host-staged path
+//
+// Expected shape: the direct path dominates small messages (staged paths
+// are excluded below their break-even size); staged paths converge towards
+// near-equal shares for very large messages; the host path contributes only
+// a thin slice (its PCIe lane is ~4x slower than an NVLink lane).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace mb = mpath::bench;
+namespace mt = mpath::topo;
+namespace mu = mpath::util;
+
+int main(int argc, char** argv) {
+  const bool quick = mb::quick_mode(argc, argv);
+  std::printf(
+      "FIG-4: model theta distribution across paths (Beluga, BW)\n\n");
+
+  mb::CalibratedSystem beluga(mt::make_beluga());
+  const auto gpus = beluga.system.topology.gpus();
+  mu::CsvWriter csv(mb::results_dir() + "/fig4_theta.csv");
+  csv.header({"policy", "bytes", "path", "theta", "chunks"});
+
+  for (const auto& policy : mb::figure_policies()) {
+    const auto paths = mt::enumerate_paths(beluga.system.topology, gpus[0],
+                                           gpus[1], policy);
+    std::vector<std::string> headers{"size"};
+    for (const auto& p : paths) {
+      headers.push_back(mt::describe(p, beluga.system.topology));
+    }
+    mu::Table table(headers);
+    for (std::size_t bytes : mb::message_sizes(quick)) {
+      const auto& config = beluga.configurator->configure(gpus[0], gpus[1],
+                                                          bytes, paths);
+      std::vector<std::string> row{mu::format_bytes(bytes)};
+      for (const auto& share : config.paths) {
+        row.push_back(mb::pct(share.theta));
+        csv.row({policy.label(), std::to_string(bytes),
+                 mt::describe(share.plan, beluga.system.topology),
+                 mu::CsvWriter::num(share.theta),
+                 std::to_string(share.chunks)});
+      }
+      table.add_row(std::move(row));
+    }
+    std::printf("-- Figure 4 panel: %s --\n", policy.label().c_str());
+    table.print();
+    std::printf("\n");
+  }
+  std::printf("CSV written to %s/fig4_theta.csv\n",
+              mb::results_dir().c_str());
+  return 0;
+}

@@ -1,0 +1,21 @@
+// FIG-5 — Reproduces paper Figure 5: OMB unidirectional bandwidth on
+// Beluga and Narval for 2_GPUs / 3_GPUs / 3_GPUs_w_host path sets and
+// window sizes 1 and 16, comparing the direct baseline, the statically
+// tuned plan, the dynamic model-driven plan, and the model's prediction.
+//
+// Expected shape (paper): multi-path beats direct by up to ~2.9x at large
+// sizes; dynamic matches or beats static; prediction error is small above
+// 4-8 MB (<~6%) and larger for small messages (Observation 4) and for
+// host-staged configurations on Narval (Observation 3).
+#include <cstdio>
+
+#include "figure_sweep.hpp"
+
+int main(int argc, char** argv) {
+  const bool quick = mpath::bench::quick_mode(argc, argv);
+  std::printf("FIG-5: unidirectional MPI bandwidth (paper Figure 5)\n\n");
+  mpath::bench::run_bandwidth_figure("fig5",
+                                     mpath::tuning::TuneMetric::Unidirectional,
+                                     quick);
+  return 0;
+}

@@ -1,0 +1,20 @@
+// FIG-6 — Reproduces paper Figure 6: OMB bidirectional bandwidth, same
+// panel grid as Figure 5.
+//
+// Expected shape (paper): BIBW roughly doubles BW on duplex NVLink lanes;
+// the host-staged configuration DEGRADES under bidirectional load because
+// four concurrent staging streams share the host memory channel, which the
+// model does not capture (Observation 5) — so prediction error is clearly
+// higher than in Figure 5, especially with host staging enabled.
+#include <cstdio>
+
+#include "figure_sweep.hpp"
+
+int main(int argc, char** argv) {
+  const bool quick = mpath::bench::quick_mode(argc, argv);
+  std::printf("FIG-6: bidirectional MPI bandwidth (paper Figure 6)\n\n");
+  mpath::bench::run_bandwidth_figure("fig6",
+                                     mpath::tuning::TuneMetric::Bidirectional,
+                                     quick);
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Shared driver for Figures 5 and 6: the {Beluga, Narval} x
+// {2_GPUs, 3_GPUs, 3_GPUs_w_host} x {window 1, 16} bandwidth panels, with
+// the paper's four series per panel:
+//   Direct Path           — single-path UCX baseline,
+//   Static Path Dist.     — offline exhaustive-search plan,
+//   Dynamic Path Dist.    — runtime model-driven configuration,
+//   Model-Driven Pred.    — the model's predicted bandwidth (not measured).
+// Prediction error is reported against the observed optimum, as in the
+// paper ("percentage deviation from the observed optimal performance").
+#pragma once
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace mpath::bench {
+
+struct PanelErrors {
+  util::RunningStats all;
+  util::RunningStats above_4mb;
+};
+
+inline void run_bandwidth_figure(const std::string& figure_id,
+                                 tuning::TuneMetric metric, bool quick) {
+  const bool bidirectional = metric == tuning::TuneMetric::Bidirectional;
+  util::CsvWriter csv(results_dir() + "/" + figure_id + "_bandwidth.csv");
+  csv.header({"system", "policy", "window", "bytes", "direct_gbps",
+              "static_gbps", "dynamic_gbps", "predicted_gbps",
+              "error_vs_best"});
+
+  PanelErrors errors_no_host, errors_host;
+
+  for (const char* system_name : {"beluga", "narval"}) {
+    CalibratedSystem cal(topo::make_system(system_name));
+    const auto gpus = cal.system.topology.gpus();
+    for (const auto& policy : figure_policies()) {
+      tuning::StaticTuner tuner(cal.system, policy,
+                                tuner_options(metric, quick));
+      for (int window : {1, 16}) {
+        util::Table table({"size", "direct GB/s", "static GB/s",
+                           "dynamic GB/s", "predicted GB/s", "err vs best"});
+        for (std::size_t bytes : message_sizes(quick)) {
+          benchcore::P2POptions p2p;
+          p2p.window = window;
+          p2p.iterations = window == 1 ? 4 : 2;
+          p2p.warmup = 1;
+          auto measure = [&](benchcore::SimStack& stack) {
+            return bidirectional
+                       ? benchcore::measure_bibw(stack.world(), bytes, p2p)
+                       : benchcore::measure_bw(stack.world(), bytes, p2p);
+          };
+
+          auto direct_stack = benchcore::SimStack::direct(cal.system);
+          const double bw_direct = measure(direct_stack);
+
+          const auto tuned = tuner.tune(tuning_anchor(bytes));
+          auto static_stack =
+              benchcore::SimStack::static_plan(cal.system, tuned.plan);
+          const double bw_static = measure(static_stack);
+
+          auto dynamic_stack = benchcore::SimStack::model_driven(
+              cal.system, *cal.configurator, policy);
+          const double bw_dynamic = measure(dynamic_stack);
+
+          // The model predicts one transfer's aggregate bandwidth; for the
+          // bidirectional test it predicts each direction independently
+          // (it does not model cross-direction contention — the gap the
+          // paper's Observation 5 discusses).
+          const double predicted =
+              (bidirectional ? 2.0 : 1.0) *
+              benchcore::predicted_bandwidth(*cal.configurator,
+                                             cal.system.topology, gpus[0],
+                                             gpus[1], bytes, policy);
+
+          const double best =
+              std::max({bw_direct, bw_static, bw_dynamic});
+          const double err = util::relative_error(predicted, best);
+          auto& errs = policy.include_host ? errors_host : errors_no_host;
+          errs.all.add(err);
+          if (bytes > 4_MiB) errs.above_4mb.add(err);
+
+          table.add_row({util::format_bytes(bytes), gb(bw_direct),
+                         gb(bw_static), gb(bw_dynamic), gb(predicted),
+                         pct(err)});
+          csv.row({system_name, policy.label(), std::to_string(window),
+                   std::to_string(bytes), util::CsvWriter::num(bw_direct),
+                   util::CsvWriter::num(bw_static),
+                   util::CsvWriter::num(bw_dynamic),
+                   util::CsvWriter::num(predicted),
+                   util::CsvWriter::num(err)});
+        }
+        std::printf("-- %s panel: %s on %s, %s, window=%d --\n",
+                    figure_id.c_str(),
+                    bidirectional ? "BIBW" : "BW", system_name,
+                    policy.label().c_str(), window);
+        table.print();
+        std::printf("\n");
+      }
+    }
+  }
+
+  std::printf("== %s prediction-error summary ==\n", figure_id.c_str());
+  std::printf("  without host staging: mean %.1f%% (all sizes), "
+              "%.1f%% (>4MB)\n",
+              100.0 * errors_no_host.all.mean(),
+              100.0 * errors_no_host.above_4mb.mean());
+  std::printf("  with host staging:    mean %.1f%% (all sizes), "
+              "%.1f%% (>4MB)\n",
+              100.0 * errors_host.all.mean(),
+              100.0 * errors_host.above_4mb.mean());
+  std::printf("CSV written to %s/%s_bandwidth.csv\n\n",
+              results_dir().c_str(), figure_id.c_str());
+}
+
+}  // namespace mpath::bench

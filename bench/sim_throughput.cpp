@@ -1,0 +1,64 @@
+// Infrastructure microbenchmark: event throughput of the discrete-event
+// engine and the cost of fluid-network rate recomputation. Not a paper
+// figure — it documents that the substrate is fast enough for the
+// exhaustive static-tuning baseline to be practical.
+#include <benchmark/benchmark.h>
+
+#include "mpath/sim/fluid.hpp"
+#include "mpath/sim/sync.hpp"
+
+namespace ms = mpath::sim;
+
+static void BM_EngineEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    ms::Engine engine;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      engine.schedule_callback(1e-6 * i, [] {});
+    }
+    benchmark::DoNotOptimize(engine.run());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineEventThroughput)->Arg(1000)->Arg(100000);
+
+static void BM_CoroutineSpawnJoin(benchmark::State& state) {
+  for (auto _ : state) {
+    ms::Engine engine;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      engine.spawn([](ms::Engine& e) -> ms::Task<void> {
+        co_await e.delay(1e-6);
+      }(engine));
+    }
+    benchmark::DoNotOptimize(engine.run());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CoroutineSpawnJoin)->Arg(1000)->Arg(10000);
+
+static void BM_FluidConcurrentFlows(benchmark::State& state) {
+  for (auto _ : state) {
+    ms::Engine engine;
+    ms::FluidNetwork net(engine);
+    const int nlinks = 8;
+    std::vector<ms::LinkId> links;
+    for (int l = 0; l < nlinks; ++l) {
+      links.push_back(net.add_link({"l", 1e9, 1e-6}));
+    }
+    const int flows = static_cast<int>(state.range(0));
+    for (int f = 0; f < flows; ++f) {
+      std::vector<ms::LinkId> route{links[f % nlinks],
+                                    links[(f + 1) % nlinks]};
+      engine.spawn([](ms::FluidNetwork& n, std::vector<ms::LinkId> r,
+                      double bytes) -> ms::Task<void> {
+        co_await n.transfer(std::move(r), bytes);
+      }(net, route, 1e6 * (1 + f % 7)));
+    }
+    benchmark::DoNotOptimize(engine.run());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FluidConcurrentFlows)->Arg(16)->Arg(256);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,28 @@
+// Prediction-accuracy metrics used by the figure benchmarks (paper
+// Section 5.2 reports "prediction error as a percentage deviation from the
+// observed optimal performance").
+#pragma once
+
+#include <span>
+#include <utility>
+
+#include "mpath/model/configurator.hpp"
+#include "mpath/topo/paths.hpp"
+
+namespace mpath::benchcore {
+
+/// Model-predicted aggregate bandwidth (B/s) for one transfer, without
+/// running the simulation — the paper's "Model-Driven Prediction" series.
+[[nodiscard]] double predicted_bandwidth(model::PathConfigurator& configurator,
+                                         const topo::Topology& topo,
+                                         topo::DeviceId src,
+                                         topo::DeviceId dst,
+                                         std::size_t bytes,
+                                         const topo::PathPolicy& policy);
+
+/// Mean of |predicted - observed| / observed over (predicted, observed)
+/// pairs. Returns 0 for empty input.
+[[nodiscard]] double mean_relative_error(
+    std::span<const std::pair<double, double>> predicted_vs_observed);
+
+}  // namespace mpath::benchcore

@@ -1,0 +1,44 @@
+// OSU Micro-Benchmark style drivers (paper Section 5: OMB BW/BIBW tests
+// and collective latency), executed inside the simulation. Timing comes
+// from the virtual clock; a whole 512 MB sweep costs milliseconds of wall
+// time and is exactly reproducible.
+#pragma once
+
+#include <functional>
+
+#include "mpath/mpisim/collectives.hpp"
+#include "mpath/mpisim/world.hpp"
+
+namespace mpath::benchcore {
+
+struct P2POptions {
+  int window = 1;      ///< messages in flight per iteration (OMB window)
+  int iterations = 8;  ///< timed iterations
+  int warmup = 2;      ///< untimed iterations (fills IPC and config caches)
+  int src_rank = 0;
+  int dst_rank = 1;
+};
+
+/// OMB osu_bw: src posts `window` isends of `bytes`, dst mirrors with
+/// irecvs and acks each iteration. Returns unidirectional bandwidth, B/s.
+[[nodiscard]] double measure_bw(mpisim::World& world, std::size_t bytes,
+                                const P2POptions& options = {});
+
+/// OMB osu_bibw: both ranks send and receive a window per iteration.
+/// Returns the aggregate bidirectional bandwidth, B/s.
+[[nodiscard]] double measure_bibw(mpisim::World& world, std::size_t bytes,
+                                  const P2POptions& options = {});
+
+struct CollectiveOptions {
+  int iterations = 5;
+  int warmup = 1;
+};
+
+/// Average latency (seconds) of `op` executed by every rank per iteration,
+/// with a barrier separating iterations (OMB collective-latency protocol).
+[[nodiscard]] double measure_collective_latency(
+    mpisim::World& world,
+    const std::function<sim::Task<void>(mpisim::Communicator&)>& op,
+    const CollectiveOptions& options = {});
+
+}  // namespace mpath::benchcore

@@ -1,0 +1,64 @@
+// SimStack: one self-contained simulated system — engine, fluid network,
+// GPU runtime, pipeline engine, data channel, MPI world — used as the unit
+// of measurement. Every benchmark point runs on a fresh stack so that
+// stream queues, caches and clocks never leak between measurements.
+#pragma once
+
+#include <memory>
+
+#include "mpath/mpisim/world.hpp"
+#include "mpath/pipeline/channels.hpp"
+
+namespace mpath::benchcore {
+
+struct StackOptions {
+  std::uint64_t seed = 7;
+  std::size_t staging_buffers_per_device = 16;
+  pipeline::ModelDrivenOptions model;
+  mpisim::WorldOptions world;
+  int nranks = 0;  ///< 0 = one rank per GPU
+};
+
+class SimStack {
+ public:
+  /// Baseline: all traffic on the direct path (UCX default).
+  [[nodiscard]] static SimStack direct(topo::System system,
+                                       StackOptions options = {});
+  /// The paper's dynamic configuration: model invoked per transfer.
+  /// `configurator` must outlive the stack.
+  [[nodiscard]] static SimStack model_driven(topo::System system,
+                                             model::PathConfigurator& configurator,
+                                             topo::PathPolicy policy,
+                                             StackOptions options = {});
+  /// The paper's statically-tuned baseline: a fixed offline plan.
+  [[nodiscard]] static SimStack static_plan(topo::System system,
+                                            pipeline::StaticPlan plan,
+                                            StackOptions options = {});
+
+  SimStack(SimStack&&) noexcept = default;
+  SimStack& operator=(SimStack&&) noexcept = default;
+
+  [[nodiscard]] mpisim::World& world() { return *world_; }
+  [[nodiscard]] sim::Engine& engine() { return *engine_; }
+  [[nodiscard]] gpusim::GpuRuntime& runtime() { return *runtime_; }
+  [[nodiscard]] pipeline::PipelineEngine& pipeline_engine() {
+    return *pipeline_;
+  }
+  [[nodiscard]] gpusim::DataChannel& channel() { return *channel_; }
+  [[nodiscard]] const topo::System& system() const { return *system_; }
+
+ private:
+  SimStack(topo::System system, StackOptions options);
+  void finish(std::unique_ptr<gpusim::DataChannel> channel,
+              const StackOptions& options);
+
+  std::unique_ptr<topo::System> system_;
+  std::unique_ptr<sim::Engine> engine_;
+  std::unique_ptr<sim::FluidNetwork> network_;
+  std::unique_ptr<gpusim::GpuRuntime> runtime_;
+  std::unique_ptr<pipeline::PipelineEngine> pipeline_;
+  std::unique_ptr<gpusim::DataChannel> channel_;
+  std::unique_ptr<mpisim::World> world_;
+};
+
+}  // namespace mpath::benchcore

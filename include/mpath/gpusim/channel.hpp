@@ -1,0 +1,32 @@
+// Abstract bulk-data channel: the seam between the transport layer (which
+// decides *when* to move bytes) and the path engines (which decide *how*).
+// The UCX cuda_ipc module of the paper corresponds to a DataChannel
+// implementation; the model-driven multi-path engine is another.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "mpath/gpusim/buffer.hpp"
+#include "mpath/sim/task.hpp"
+
+namespace mpath::gpusim {
+
+class DataChannel {
+ public:
+  virtual ~DataChannel() = default;
+
+  /// Move `bytes` from src[src_offset..] to dst[dst_offset..]. Completes
+  /// when the data is fully visible at the destination. Implementations
+  /// must be safe under concurrent transfers (windowed sends, collectives).
+  [[nodiscard]] virtual sim::Task<void> transfer(DeviceBuffer& dst,
+                                                 std::size_t dst_offset,
+                                                 const DeviceBuffer& src,
+                                                 std::size_t src_offset,
+                                                 std::size_t bytes) = 0;
+
+  /// Short human-readable name for benchmark tables.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace mpath::gpusim

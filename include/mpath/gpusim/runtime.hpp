@@ -1,0 +1,144 @@
+// CUDA-like asynchronous runtime over the discrete-event simulator.
+//
+// Semantics mirror the subset of CUDA the UCX cuda_ipc path relies on:
+//   * streams execute enqueued operations in order,
+//   * events capture a point in a stream; other streams can wait on them,
+//   * async copies move bytes between device buffers along the topology
+//     route, sharing links with all concurrent traffic (fluid model),
+//   * opening a peer buffer for IPC pays a one-time cost per
+//     (opener device, buffer) pair, amortized by a handle cache —
+//     UCX's cuda_ipc registration cache.
+//
+// Enqueue calls are non-blocking (they return immediately at the current
+// simulated instant); host-side issue overhead is modeled by the callers
+// (pipeline engine) so that sequential path initiation shows up exactly
+// where the paper's Algorithm 1 accounts for it (line 18).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "mpath/gpusim/buffer.hpp"
+#include "mpath/sim/engine.hpp"
+#include "mpath/sim/fluid.hpp"
+#include "mpath/sim/trace.hpp"
+#include "mpath/topo/binding.hpp"
+#include "mpath/topo/system.hpp"
+#include "mpath/util/rng.hpp"
+
+namespace mpath::gpusim {
+
+using StreamId = std::uint32_t;
+using EventId = std::uint32_t;
+
+class GpuRuntime {
+ public:
+  /// The runtime builds its own fluid network binding over `system`'s
+  /// topology. `system` and `engine` must outlive the runtime.
+  GpuRuntime(const topo::System& system, sim::Engine& engine,
+             sim::FluidNetwork& network, std::uint64_t seed = 1);
+  GpuRuntime(const GpuRuntime&) = delete;
+  GpuRuntime& operator=(const GpuRuntime&) = delete;
+
+  // -- object creation ------------------------------------------------------
+  [[nodiscard]] StreamId create_stream(topo::DeviceId device);
+  [[nodiscard]] EventId create_event();
+
+  // -- stream operations (enqueue, non-blocking) ----------------------------
+  /// Copy `len` bytes between buffer regions along the topology route from
+  /// src.device() to dst.device(). Payload bytes are copied at completion
+  /// time. Both buffers must outlive the operation.
+  void memcpy_async(DeviceBuffer& dst, std::size_t dst_offset,
+                    const DeviceBuffer& src, std::size_t src_offset,
+                    std::size_t len, StreamId stream);
+  /// Record `event` at the current tail of `stream` (CUDA semantics: a
+  /// later wait_event observes this record).
+  void record_event(EventId event, StreamId stream);
+  /// Make `stream` wait for the most recent record of `event`. Waiting on
+  /// a never-recorded event is a no-op (as in CUDA).
+  void wait_event(StreamId stream, EventId event);
+  /// Enqueue a fixed on-stream delay (models per-chunk staging work that is
+  /// not a data movement, e.g. host-side synchronization in host staging).
+  void stream_delay(StreamId stream, double seconds);
+
+  // -- synchronization (awaitable) ------------------------------------------
+  /// Complete when every operation currently enqueued on `stream` is done.
+  [[nodiscard]] sim::Task<void> synchronize(StreamId stream);
+  /// Complete when the most recent record of `event` has fired.
+  [[nodiscard]] sim::Task<void> synchronize_event(EventId event);
+  /// Complete when all streams are drained.
+  [[nodiscard]] sim::Task<void> device_synchronize();
+
+  // -- CUDA IPC handle cache --------------------------------------------------
+  /// Open `buffer` for access from `opener`. First open per (opener,
+  /// buffer) pays the system's ipc_open cost; later opens are free.
+  [[nodiscard]] sim::Task<void> ipc_open(topo::DeviceId opener,
+                                         const DeviceBuffer& buffer);
+  [[nodiscard]] bool ipc_cached(topo::DeviceId opener,
+                                const DeviceBuffer& buffer) const;
+  /// Drop all cached handles (tests / cache-behaviour benchmarks).
+  void ipc_cache_clear();
+  [[nodiscard]] std::size_t ipc_cache_size() const { return ipc_cache_.size(); }
+
+  // -- accessors --------------------------------------------------------------
+  [[nodiscard]] sim::Engine& engine() { return *engine_; }
+  [[nodiscard]] const topo::System& system() const { return *system_; }
+  [[nodiscard]] const topo::Topology& topology() const {
+    return system_->topology;
+  }
+  [[nodiscard]] const topo::SoftwareCosts& costs() const {
+    return system_->costs;
+  }
+  [[nodiscard]] const topo::NetworkBinding& binding() const {
+    return binding_;
+  }
+  [[nodiscard]] util::Rng& rng() { return rng_; }
+
+  /// Total simulated bytes copied through memcpy_async so far.
+  [[nodiscard]] std::uint64_t bytes_copied() const { return bytes_copied_; }
+  [[nodiscard]] std::uint64_t ops_issued() const { return ops_issued_; }
+
+  /// Attach an activity tracer (nullptr detaches). While attached, every
+  /// stream operation emits a span on the track "streamN (device)".
+  void set_tracer(sim::Tracer* tracer) { tracer_ = tracer; }
+  [[nodiscard]] sim::Tracer* tracer() const { return tracer_; }
+
+ private:
+  struct Stream {
+    topo::DeviceId device;
+    // Completion latch of the last enqueued op; ops chain on it.
+    std::shared_ptr<sim::Latch> tail;
+  };
+  struct Event {
+    // Latch of the most recent record; starts pre-fired (CUDA semantics).
+    std::shared_ptr<sim::Latch> latch;
+  };
+
+  /// Chain `op` after the current tail of `stream`; returns the new tail.
+  template <typename MakeOp>
+  void enqueue(StreamId stream, MakeOp&& make_op);
+
+  [[nodiscard]] sim::Task<void> run_copy(
+      std::shared_ptr<sim::Latch> prev, std::shared_ptr<sim::Latch> done,
+      DeviceBuffer& dst, std::size_t dst_offset, const DeviceBuffer& src,
+      std::size_t src_offset, std::size_t len, StreamId stream);
+
+  [[nodiscard]] std::string stream_track(StreamId stream) const;
+
+  const topo::System* system_;
+  sim::Engine* engine_;
+  sim::FluidNetwork* network_;
+  topo::NetworkBinding binding_;
+  util::Rng rng_;
+  std::vector<Stream> streams_;
+  std::vector<Event> events_;
+  std::set<std::pair<topo::DeviceId, BufferId>> ipc_cache_;
+  std::uint64_t bytes_copied_ = 0;
+  std::uint64_t ops_issued_ = 0;
+  sim::Tracer* tracer_ = nullptr;
+};
+
+}  // namespace mpath::gpusim

@@ -1,0 +1,57 @@
+// Chunk-count optimization for pipelined staged transfers (Section 3.4).
+//
+// The closed-form optimum (Eqs. 14/15) is a square root:
+//   Case 1 (beta < beta'):  k* = sqrt(theta*n / (alpha * beta'))
+//   Case 2 (beta >= beta'): k* = sqrt(theta*n / (beta * (eps + alpha')))
+//
+// Because sqrt makes the per-path time nonlinear in theta (Eqs. 17/18), the
+// paper approximates k with a linear form (Eq. 19) using topology-specific
+// constants phi, restoring a closed-form theta. PhiFitter computes those
+// constants per path by least squares over the system's operating range —
+// the "details omitted for brevity" step of the paper, made concrete.
+#pragma once
+
+#include "mpath/model/params.hpp"
+
+namespace mpath::model {
+
+enum class ChunkMode {
+  ExactSqrt,  ///< Eqs. 14/15 (nonlinear; theta solved with linear terms)
+  LinearPhi,  ///< Eq. 19 (paper's runtime scheme)
+};
+
+class ChunkOptimizer {
+ public:
+  /// Optimal real-valued chunk count per Eqs. 14/15. Returns 1 for direct
+  /// paths or degenerate parameters.
+  [[nodiscard]] static double exact_chunks(const PathParams& p, double theta,
+                                           double n_bytes);
+
+  /// Linearized chunk count per Eq. 19: k = phi * X with X the argument of
+  /// the exact square root.
+  [[nodiscard]] static double linear_chunks(const PathParams& p,
+                                            const PhiConstants& phi,
+                                            double theta, double n_bytes);
+
+  /// Round to an integer chunk count in [1, max_chunks].
+  [[nodiscard]] static int clamp_chunks(double k, int max_chunks);
+};
+
+class PhiFitter {
+ public:
+  /// Least-squares constant phi minimizing the L2 error of phi*x ~ sqrt(x)
+  /// over x in [x_min, x_max]:
+  ///   phi = integral(x^1.5) / integral(x^2)
+  ///       = (3/2.5) * (b^2.5 - a^2.5) / (b^3 - a^3).
+  /// Degenerate ranges fall back to the tangent constant 1/sqrt(x_mid).
+  [[nodiscard]] static double fit_over_range(double x_min, double x_max);
+
+  /// Fit (phi1, phi2) for one staged path over message sizes
+  /// [n_min, n_max], assuming the path receives about `theta_hint` of the
+  /// message. Direct paths get {1, 1}.
+  [[nodiscard]] static PhiConstants fit_for_path(const PathParams& p,
+                                                 double n_min, double n_max,
+                                                 double theta_hint);
+};
+
+}  // namespace mpath::model

@@ -1,0 +1,105 @@
+// Algorithm 1 of the paper: populate_path_config.
+//
+// Given (src, dst, message size, candidate paths), compute the optimal
+// multi-path configuration — per-path byte shares and chunk counts — from
+// the fitted model parameters, with a configuration cache in front.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "mpath/model/chunking.hpp"
+#include "mpath/model/registry.hpp"
+#include "mpath/model/theta.hpp"
+
+namespace mpath::model {
+
+struct ConfiguratorOptions {
+  /// Model pipelined staged transfers (Section 3.4). When false, staged
+  /// paths are modeled as two sequential transfers (Section 3.3) and always
+  /// use one chunk.
+  bool pipelining = true;
+  /// How chunk counts are derived for staged paths.
+  ChunkMode chunk_mode = ChunkMode::LinearPhi;
+  int max_chunks = 64;
+  /// Accumulate host-side issue latency of earlier paths into Delta of
+  /// later paths (Algorithm 1, line 18).
+  bool sequential_initiation = true;
+  /// The paper's topology constants have the form c*f(n). When true
+  /// (default), phi is refit at each request's message size — the tangent
+  /// construction phi(n) = 1/sqrt(X(theta_hint, n)), which keeps Eq. 19
+  /// exact at the operating point while remaining linear in theta. When
+  /// false, one global phi is least-squares fit over
+  /// [phi_fit_n_min, phi_fit_n_max] (ablation: substantially less accurate).
+  bool phi_per_message = true;
+  /// Operating range used to fit global phi constants (Eq. 19) when
+  /// phi_per_message is false.
+  double phi_fit_n_min = 2.0 * (1 << 20);
+  double phi_fit_n_max = 512.0 * (1 << 20);
+  /// Contention factors are measured in the large-message regime; below
+  /// this size the per-hop composition is more faithful, so factors are
+  /// ignored.
+  std::uint64_t omega_override_min_bytes = 16u << 20;
+  bool cache_enabled = true;
+};
+
+/// One path's slice of the transfer.
+struct PathShare {
+  topo::PathPlan plan;
+  double theta = 0.0;          ///< fraction of the message
+  std::uint64_t bytes = 0;     ///< rounded byte share
+  int chunks = 1;              ///< pipeline chunk count k_i
+  double predicted_time = 0.0; ///< model time for this share
+  PathTerms terms;             ///< (Omega, Delta) used for this path
+};
+
+struct TransferConfig {
+  std::vector<PathShare> paths;  ///< same order as the input candidates
+  std::uint64_t total_bytes = 0;
+  double predicted_time = 0.0;   ///< max over active paths
+  /// Predicted aggregate bandwidth n / T, bytes per second.
+  [[nodiscard]] double predicted_bandwidth() const {
+    return predicted_time > 0.0
+               ? static_cast<double>(total_bytes) / predicted_time
+               : 0.0;
+  }
+};
+
+class PathConfigurator {
+ public:
+  /// `registry` must hold parameters for every hop of every candidate path
+  /// passed to configure(); both references must outlive the configurator.
+  PathConfigurator(const ModelRegistry& registry,
+                   ConfiguratorOptions options = {});
+
+  /// Algorithm 1: returns the cached or freshly computed optimal
+  /// configuration. `paths` must be non-empty with the direct path first.
+  [[nodiscard]] const TransferConfig& configure(
+      topo::DeviceId src, topo::DeviceId dst, std::uint64_t bytes,
+      std::span<const topo::PathPlan> paths);
+
+  [[nodiscard]] std::uint64_t cache_hits() const { return cache_hits_; }
+  [[nodiscard]] std::uint64_t cache_misses() const { return cache_misses_; }
+  void clear_cache() { cache_.clear(); }
+
+  [[nodiscard]] const ConfiguratorOptions& options() const { return options_; }
+
+ private:
+  [[nodiscard]] TransferConfig compute(
+      topo::DeviceId src, topo::DeviceId dst, std::uint64_t bytes,
+      std::span<const topo::PathPlan> paths) const;
+
+  [[nodiscard]] static std::uint64_t cache_key(
+      topo::DeviceId src, topo::DeviceId dst, std::uint64_t bytes,
+      std::span<const topo::PathPlan> paths);
+
+  const ModelRegistry* registry_;
+  ConfiguratorOptions options_;
+  std::unordered_map<std::uint64_t, TransferConfig> cache_;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+};
+
+}  // namespace mpath::model

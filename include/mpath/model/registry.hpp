@@ -1,0 +1,107 @@
+// Per-system store of fitted model parameters (paper Fig. 2a, Steps 1-2):
+// Hockney (alpha, beta) for every measured route, per-path-kind staging
+// epsilon, and the host-side issue overhead used for sequential-initiation
+// accounting (Algorithm 1, line 18). Persisted as CSV so extraction happens
+// "once per system topology".
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <tuple>
+
+#include "mpath/model/params.hpp"
+#include "mpath/topo/paths.hpp"
+#include "mpath/topo/topology.hpp"
+
+namespace mpath::model {
+
+class ModelRegistry {
+ public:
+  ModelRegistry() = default;
+  explicit ModelRegistry(std::string system_name)
+      : system_name_(std::move(system_name)) {}
+
+  [[nodiscard]] const std::string& system_name() const {
+    return system_name_;
+  }
+
+  // -- route (hop) parameters ------------------------------------------------
+  void set_route_params(topo::DeviceId from, topo::DeviceId to,
+                        LinkParams params);
+  [[nodiscard]] bool has_route_params(topo::DeviceId from,
+                                      topo::DeviceId to) const;
+  /// Throws std::out_of_range if the route was never measured.
+  [[nodiscard]] const LinkParams& route_params(topo::DeviceId from,
+                                               topo::DeviceId to) const;
+  [[nodiscard]] std::size_t route_count() const { return routes_.size(); }
+
+  // -- staging overheads -------------------------------------------------------
+  void set_epsilon(topo::PathKind kind, double epsilon_s);
+  [[nodiscard]] double epsilon(topo::PathKind kind) const;
+
+  /// Host-side cost of initiating one path's transfers, accumulated into
+  /// Delta of later-scheduled paths.
+  void set_issue_alpha(double seconds) { issue_alpha_ = seconds; }
+  [[nodiscard]] double issue_alpha() const { return issue_alpha_; }
+
+  /// Per-message protocol prefix (rendezvous handshake, completion ack)
+  /// paid once per transfer before any path moves data; added to every
+  /// path's Delta (shifts T without changing the optimal split).
+  void set_protocol_alpha(double seconds) { protocol_alpha_ = seconds; }
+  [[nodiscard]] double protocol_alpha() const { return protocol_alpha_; }
+
+  // -- contention-aware path factors (extension; paper future work) ----------
+  /// Scale factor (>= 1) applied to the effective inverse bandwidth of one
+  /// candidate path. Set by contention-aware calibration: the ratio of the
+  /// path's measured end-to-end pipelined slope to the slope composed from
+  /// its independently measured hops. A factor near 1 means the hops are
+  /// independent; > 1 means they share a resource (e.g. a host memory
+  /// channel traversed by both hops) that the Section 3.3/3.4 composition
+  /// cannot see.
+  void set_contention_factor(topo::DeviceId src, topo::DeviceId dst,
+                             const topo::PathPlan& plan, double factor);
+  [[nodiscard]] std::optional<double> contention_factor(
+      topo::DeviceId src, topo::DeviceId dst,
+      const topo::PathPlan& plan) const;
+  [[nodiscard]] std::size_t contention_factor_count() const {
+    return contention_factors_.size();
+  }
+
+  // -- assembly ---------------------------------------------------------------
+  /// Assemble the model parameters of one candidate path from the stored
+  /// route measurements (the get_link calls of Algorithm 1, lines 7-15).
+  [[nodiscard]] PathParams path_params(topo::DeviceId src, topo::DeviceId dst,
+                                       const topo::PathPlan& plan) const;
+
+  // -- persistence --------------------------------------------------------------
+  void save_csv(const std::string& path) const;
+  [[nodiscard]] static ModelRegistry load_csv(const std::string& path);
+
+ private:
+  std::string system_name_;
+  std::map<std::pair<topo::DeviceId, topo::DeviceId>, LinkParams> routes_;
+  std::map<topo::PathKind, double> epsilons_;
+  using OverrideKey = std::tuple<topo::DeviceId, topo::DeviceId, int,
+                                 topo::DeviceId>;
+  std::map<OverrideKey, double> contention_factors_;
+  double issue_alpha_ = 0.0;
+  double protocol_alpha_ = 0.0;
+};
+
+/// Least-squares Hockney fit from (message size, measured time) samples —
+/// the per-link parameter extraction of Fig. 2a Step 1.
+class HockneyFitter {
+ public:
+  void add_sample(double n_bytes, double seconds);
+  [[nodiscard]] std::size_t sample_count() const { return ns_.size(); }
+  /// Fits T = alpha + n/beta; alpha clamped to >= 0. Throws
+  /// std::invalid_argument with fewer than two samples.
+  [[nodiscard]] LinkParams fit() const;
+
+ private:
+  std::vector<double> ns_;
+  std::vector<double> ts_;
+};
+
+}  // namespace mpath::model

@@ -1,0 +1,53 @@
+// Optimal message-fraction solver (paper Section 3.2-3.4).
+//
+// Theorem 1: the split minimizing T = max_i T_i equalizes per-path times.
+// With linear terms T_i = theta_i * n * Omega_i + Delta_i, the closed form
+// is Eq. 24 (which subsumes Eq. 8 and Eq. 11):
+//
+//   theta_i = 1/(Omega_i * S) * (1 - Delta_i/n * S + D/n),
+//     where S = sum_j 1/Omega_j and D = sum_j Delta_j/Omega_j.
+//
+// For small n, high-Delta paths get negative fractions: such paths cannot
+// help and are excluded (Algorithm 1 allows every path except the direct
+// one to be dropped), then the solve repeats on the active set.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "mpath/model/params.hpp"
+
+namespace mpath::model {
+
+struct ThetaSolution {
+  /// Message fractions per input path; excluded paths have theta == 0.
+  std::vector<double> theta;
+  /// Predicted transfer time (equalized time of the active paths).
+  double predicted_time = 0.0;
+  /// Indices of paths that received a positive share.
+  std::vector<std::size_t> active;
+};
+
+class ThetaSolver {
+ public:
+  /// Solve for fractions over `paths` for a message of n_bytes. Index 0 is
+  /// treated as the direct path and is never excluded. Requires at least
+  /// one path and n_bytes > 0.
+  [[nodiscard]] static ThetaSolution solve(std::span<const PathTerms> paths,
+                                           double n_bytes);
+
+  /// Theorem 1 helper: max_i |T_i - T_j| over active paths, for tests and
+  /// the theorem-validation benchmark.
+  [[nodiscard]] static double time_spread(std::span<const PathTerms> paths,
+                                          std::span<const double> theta,
+                                          double n_bytes);
+
+  /// Evaluate T = max_i T_i for an arbitrary (not necessarily optimal)
+  /// fraction vector; used by grid-search baselines.
+  [[nodiscard]] static double evaluate(std::span<const PathTerms> paths,
+                                       std::span<const double> theta,
+                                       double n_bytes);
+};
+
+}  // namespace mpath::model

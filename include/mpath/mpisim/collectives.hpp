@@ -1,0 +1,54 @@
+// Collective operations built from the same non-blocking P2P steps the
+// MPI+UCC+UCX stack decomposes them into (paper Section 5.3):
+//   * Allreduce — recursive-halving scatter-reduce + recursive-doubling
+//     allgather (the K-nomial scheme UCP picks for large messages, K=2),
+//     plus a ring variant for non-power-of-two worlds and ablations.
+//   * Alltoall  — Bruck's algorithm (UCP's choice), plus a pairwise
+//     exchange variant used as the correctness reference.
+//   * Allgather (ring) and Broadcast (binomial) as supporting operations.
+//
+// All collectives operate on float32 payloads for reductions and raw bytes
+// otherwise, and verify their preconditions eagerly.
+#pragma once
+
+#include "mpath/gpusim/buffer.hpp"
+#include "mpath/mpisim/world.hpp"
+
+namespace mpath::mpisim {
+
+enum class AllreduceAlgo {
+  RecursiveHalvingDoubling,  ///< requires power-of-two world size
+  Ring,                      ///< any world size
+};
+
+enum class AlltoallAlgo {
+  Bruck,     ///< log(p) rounds with pack/unpack (UCP's large-message pick)
+  Pairwise,  ///< p-1 pairwise exchanges (reference implementation)
+};
+
+/// In-place float32 sum-allreduce over `data` (all ranks pass equally sized
+/// buffers). Element count must divide evenly by the world size.
+[[nodiscard]] sim::Task<void> allreduce_sum(
+    Communicator& comm, gpusim::DeviceBuffer& data,
+    AllreduceAlgo algo = AllreduceAlgo::RecursiveHalvingDoubling);
+
+/// Alltoall: block j of `send` goes to rank j; block i of `recv` comes from
+/// rank i. Both buffers must hold world_size * block_bytes.
+[[nodiscard]] sim::Task<void> alltoall(Communicator& comm,
+                                       const gpusim::DeviceBuffer& send,
+                                       gpusim::DeviceBuffer& recv,
+                                       std::size_t block_bytes,
+                                       AlltoallAlgo algo = AlltoallAlgo::Bruck);
+
+/// Ring allgather: on entry rank r's block lives at [r * block_bytes, ...);
+/// on exit every rank holds all blocks.
+[[nodiscard]] sim::Task<void> allgather(Communicator& comm,
+                                        gpusim::DeviceBuffer& data,
+                                        std::size_t block_bytes);
+
+/// Binomial-tree broadcast of `bytes` from `root`.
+[[nodiscard]] sim::Task<void> broadcast(Communicator& comm,
+                                        gpusim::DeviceBuffer& data,
+                                        std::size_t bytes, int root);
+
+}  // namespace mpath::mpisim

@@ -1,0 +1,100 @@
+// DataChannel implementations over the pipeline engine:
+//   * SinglePathChannel — the UCX default: everything on the direct path
+//     (the paper's baseline),
+//   * ModelDrivenChannel — Fig. 2a Steps 3-5: invoke the performance model
+//     per transfer, execute the optimal configuration (the paper's
+//     "Dynamic Path Distribution"),
+//   * StaticPlanChannel — a fixed fraction/chunk assignment found offline
+//     by exhaustive search (the paper's "Static Path Distribution", [35]).
+#pragma once
+
+#include <optional>
+
+#include "mpath/gpusim/channel.hpp"
+#include "mpath/model/configurator.hpp"
+#include "mpath/pipeline/engine.hpp"
+
+namespace mpath::pipeline {
+
+class SinglePathChannel final : public gpusim::DataChannel {
+ public:
+  explicit SinglePathChannel(PipelineEngine& engine) : engine_(&engine) {}
+
+  [[nodiscard]] sim::Task<void> transfer(gpusim::DeviceBuffer& dst,
+                                         std::size_t dst_offset,
+                                         const gpusim::DeviceBuffer& src,
+                                         std::size_t src_offset,
+                                         std::size_t bytes) override;
+  [[nodiscard]] std::string name() const override { return "direct"; }
+
+ private:
+  PipelineEngine* engine_;
+};
+
+struct ModelDrivenOptions {
+  /// Transfers below this size skip the model and go direct (matching the
+  /// runtime integration, which leaves small messages on the default path).
+  std::size_t min_multipath_bytes = 256 * 1024;
+};
+
+class ModelDrivenChannel final : public gpusim::DataChannel {
+ public:
+  ModelDrivenChannel(PipelineEngine& engine,
+                     model::PathConfigurator& configurator,
+                     topo::PathPolicy policy, ModelDrivenOptions options = {});
+
+  [[nodiscard]] sim::Task<void> transfer(gpusim::DeviceBuffer& dst,
+                                         std::size_t dst_offset,
+                                         const gpusim::DeviceBuffer& src,
+                                         std::size_t src_offset,
+                                         std::size_t bytes) override;
+  [[nodiscard]] std::string name() const override { return "model-driven"; }
+
+  /// The configuration chosen for the most recent transfer (theta
+  /// reporting, Fig. 4). Empty until the first multi-path transfer.
+  [[nodiscard]] const std::optional<model::TransferConfig>& last_config()
+      const {
+    return last_config_;
+  }
+  [[nodiscard]] const topo::PathPolicy& policy() const { return policy_; }
+
+ private:
+  PipelineEngine* engine_;
+  model::PathConfigurator* configurator_;
+  topo::PathPolicy policy_;
+  ModelDrivenOptions options_;
+  std::optional<model::TransferConfig> last_config_;
+  // Candidate path cache per (src, dst).
+  std::map<std::pair<topo::DeviceId, topo::DeviceId>,
+           std::vector<topo::PathPlan>>
+      path_cache_;
+};
+
+/// Offline-tuned fixed distribution: fraction[i] of every message rides
+/// plan paths[i] with chunks[i] pipeline depth. Fractions must sum to ~1.
+struct StaticPlan {
+  std::vector<topo::PathPlan> paths;
+  std::vector<double> fractions;
+  std::vector<int> chunks;
+};
+
+class StaticPlanChannel final : public gpusim::DataChannel {
+ public:
+  StaticPlanChannel(PipelineEngine& engine, StaticPlan plan,
+                    std::size_t min_multipath_bytes = 256 * 1024);
+
+  [[nodiscard]] sim::Task<void> transfer(gpusim::DeviceBuffer& dst,
+                                         std::size_t dst_offset,
+                                         const gpusim::DeviceBuffer& src,
+                                         std::size_t src_offset,
+                                         std::size_t bytes) override;
+  [[nodiscard]] std::string name() const override { return "static"; }
+  [[nodiscard]] const StaticPlan& plan() const { return plan_; }
+
+ private:
+  PipelineEngine* engine_;
+  StaticPlan plan_;
+  std::size_t min_multipath_bytes_;
+};
+
+}  // namespace mpath::pipeline

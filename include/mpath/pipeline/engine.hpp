@@ -1,0 +1,96 @@
+// Multi-path pipeline engine — the execution machinery of Sojoodi et al.
+// (ExHET'24, ref [35] of the paper) that the performance model drives
+// (Fig. 2a Step 5).
+//
+// An ExecPlan assigns a contiguous slice of the message to each path. The
+// engine issues the per-chunk operation graph for all paths from a single
+// host loop (interleaved round-robin over paths, one chunk per round):
+//
+//   stream A (first hop):   [wait slot free] copy(src -> stage)  record F_c
+//   stream B (second hop):  wait F_c  [host-sync delay]  copy(stage -> dst)
+//                           record B_c
+//
+// Staging buffers are double-buffered (chunk c reuses the slot of c-2 and
+// therefore waits on B_{c-2}), matching the three-step staging protocol of
+// Section 3.4. Each issued operation costs host time, which is what makes
+// path initiation sequential — the effect Algorithm 1 line 18 models.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "mpath/gpusim/runtime.hpp"
+#include "mpath/pipeline/staging.hpp"
+#include "mpath/topo/paths.hpp"
+
+namespace mpath::pipeline {
+
+/// One path's assignment inside a transfer.
+struct ExecPath {
+  topo::PathPlan plan;
+  std::uint64_t bytes = 0;  ///< contiguous slice length (0 = skip)
+  int chunks = 1;           ///< pipeline depth k_i (staged paths)
+};
+
+using ExecPlan = std::vector<ExecPath>;
+
+class PipelineEngine {
+ public:
+  explicit PipelineEngine(
+      gpusim::GpuRuntime& runtime, std::size_t staging_buffers_per_device = 4,
+      gpusim::Payload staging_payload = gpusim::Payload::Materialized);
+  PipelineEngine(const PipelineEngine&) = delete;
+  PipelineEngine& operator=(const PipelineEngine&) = delete;
+
+  /// Execute `plan` moving sum(plan.bytes) from src[src_offset..] to
+  /// dst[dst_offset..]. Paths own consecutive slices in plan order.
+  /// Throws std::invalid_argument on malformed plans (bounds, chunks < 1).
+  [[nodiscard]] sim::Task<void> execute(gpusim::DeviceBuffer& dst,
+                                        std::size_t dst_offset,
+                                        const gpusim::DeviceBuffer& src,
+                                        std::size_t src_offset,
+                                        ExecPlan plan);
+
+  [[nodiscard]] gpusim::GpuRuntime& runtime() { return *runtime_; }
+  [[nodiscard]] std::uint64_t transfers_executed() const {
+    return transfers_;
+  }
+  /// Cumulative bytes executed per path kind (reporting aid).
+  [[nodiscard]] std::uint64_t bytes_on(topo::PathKind kind) const;
+
+ private:
+  struct StreamKey {
+    topo::DeviceId src;
+    topo::DeviceId dst;
+    std::size_t path_index;
+    int role;  // 0 = first hop / direct, 1 = second hop
+    auto operator<=>(const StreamKey&) const = default;
+  };
+
+  /// Per-path issue state prepared before the interleaved issue loop.
+  struct PathIssue {
+    ExecPath spec;
+    std::size_t offset = 0;  // within the transfer
+    gpusim::StreamId first_stream = 0;
+    gpusim::StreamId second_stream = 0;
+    StagingPool::Lease lease;
+    std::vector<gpusim::EventId> fwd_events;
+    std::vector<gpusim::EventId> bwd_events;
+    std::vector<std::size_t> chunk_offsets;
+    std::vector<std::size_t> chunk_sizes;
+    bool staged = false;
+    double extra_sync_s = 0.0;  // host-staging per-chunk penalty
+  };
+
+  gpusim::StreamId stream_for(const StreamKey& key, topo::DeviceId device);
+  [[nodiscard]] sim::Engine::DelayAwaiter issue_cost();
+
+  gpusim::GpuRuntime* runtime_;
+  StagingPool staging_;
+  std::map<StreamKey, gpusim::StreamId> streams_;
+  std::uint64_t transfers_ = 0;
+  std::map<topo::PathKind, std::uint64_t> bytes_by_kind_;
+};
+
+}  // namespace mpath::pipeline

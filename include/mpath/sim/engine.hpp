@@ -1,0 +1,175 @@
+// Discrete-event simulation engine with a virtual clock.
+//
+// All simulated activity (GPU streams, link transfers, MPI ranks) runs as
+// coroutines over one Engine. Time only advances between events, so a whole
+// OSU-style bandwidth sweep executes deterministically in milliseconds of
+// wall time.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "mpath/sim/task.hpp"
+
+namespace mpath::sim {
+
+using Time = double;  ///< simulated seconds
+
+class Engine;
+
+/// One-shot broadcast event. fire() releases every current and future
+/// waiter; waiting on an already-fired latch does not suspend.
+class Latch {
+ public:
+  explicit Latch(Engine& engine) : engine_(&engine) {}
+  Latch(const Latch&) = delete;
+  Latch& operator=(const Latch&) = delete;
+
+  void fire();
+  [[nodiscard]] bool fired() const { return fired_; }
+
+  struct Awaiter {
+    Latch* latch;
+    bool await_ready() const noexcept { return latch->fired_; }
+    void await_suspend(std::coroutine_handle<> h) {
+      latch->waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+  Awaiter wait() { return Awaiter{this}; }
+
+ private:
+  Engine* engine_;
+  bool fired_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+namespace detail {
+struct ProcState {
+  explicit ProcState(Engine& engine) : done(engine) {}
+  Latch done;
+  std::exception_ptr exception;
+  bool observed = false;  ///< true once join() delivered the exception
+};
+}  // namespace detail
+
+/// Handle to a detached coroutine started with Engine::spawn. Join is
+/// optional; unjoined failures surface at the end of Engine::run().
+class Process {
+ public:
+  Process() = default;
+  explicit Process(std::shared_ptr<detail::ProcState> state)
+      : state_(std::move(state)) {}
+
+  [[nodiscard]] bool valid() const { return bool(state_); }
+  [[nodiscard]] bool done() const { return state_ && state_->done.fired(); }
+
+  struct Joiner {
+    std::shared_ptr<detail::ProcState> state;
+    bool await_ready() const noexcept { return state->done.fired(); }
+    void await_suspend(std::coroutine_handle<> h) {
+      state->done.wait().await_suspend(h);
+    }
+    void await_resume() const {
+      state->observed = true;
+      if (state->exception) std::rethrow_exception(state->exception);
+    }
+  };
+  /// Await completion; rethrows the process's exception, if any.
+  [[nodiscard]] Joiner join() const { return Joiner{state_}; }
+
+ private:
+  std::shared_ptr<detail::ProcState> state_;
+};
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Resume `h` at absolute simulated time `t` (>= now).
+  void schedule_handle(Time t, std::coroutine_handle<> h);
+  /// Invoke `fn` at absolute simulated time `t` (>= now).
+  void schedule_callback(Time t, std::function<void()> fn);
+
+  struct DelayAwaiter {
+    Engine* engine;
+    Time wake_at;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      engine->schedule_handle(wake_at, h);
+    }
+    void await_resume() const noexcept {}
+  };
+  /// Suspend the calling coroutine for `dt` simulated seconds (>= 0).
+  [[nodiscard]] DelayAwaiter delay(Time dt) {
+    return DelayAwaiter{this, now_ + (dt > 0 ? dt : 0)};
+  }
+
+  /// Start a detached coroutine. The engine owns its frame until it
+  /// completes. `name` is used in error reports only.
+  Process spawn(Task<void> task, std::string name = {});
+
+  /// Run until the event queue drains. Returns the number of events
+  /// processed. Throws SimError if live processes remain blocked (deadlock)
+  /// or if a spawned process failed and was never joined.
+  std::uint64_t run();
+
+  /// Run until the event queue drains or `t_limit` is reached; the clock
+  /// stops at min(t_limit, last event time). Returns events processed.
+  std::uint64_t run_until(Time t_limit);
+
+  [[nodiscard]] std::size_t live_process_count() const { return live_roots_; }
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;     // one of handle/callback is set
+    std::function<void()> callback;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+  struct Root {
+    Task<void> task;
+    std::shared_ptr<detail::ProcState> state;
+    std::string name;
+  };
+
+  std::uint64_t run_impl(Time t_limit, bool bounded);
+  void sweep_completed_roots();
+  void check_quiescence() const;
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::vector<Root> roots_;
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_roots_ = 0;
+  std::size_t sweep_watermark_ = 1024;
+};
+
+/// Error thrown by Engine::run on deadlock or unobserved process failure.
+class SimError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Spawn all tasks concurrently and await their completion. The first
+/// exception (by completion order) is rethrown after all tasks finish.
+Task<void> when_all(Engine& engine, std::vector<Task<void>> tasks);
+
+}  // namespace mpath::sim

@@ -1,0 +1,81 @@
+// Fluid-flow network model with max-min fair bandwidth sharing.
+//
+// Each transfer ("flow") occupies a set of directed links simultaneously
+// (cut-through). Active flows share every link max-min fairly: whenever a
+// flow starts or finishes, allocations are re-solved by water-filling and
+// the next completion event is (re)scheduled. This reproduces the
+// contention phenomena behind the paper's evaluation — saturated NVLink,
+// shared PCIe/UPI on host-staged paths, and bidirectional interference —
+// without packet-level simulation.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mpath/sim/engine.hpp"
+#include "mpath/sim/task.hpp"
+
+namespace mpath::sim {
+
+using LinkId = std::uint32_t;
+
+struct LinkSpec {
+  std::string name;
+  double capacity_bps = 0.0;  ///< bytes per second, > 0
+  double latency_s = 0.0;     ///< per-traversal startup latency, >= 0
+};
+
+class FluidNetwork {
+ public:
+  explicit FluidNetwork(Engine& engine) : engine_(&engine) {}
+  FluidNetwork(const FluidNetwork&) = delete;
+  FluidNetwork& operator=(const FluidNetwork&) = delete;
+
+  /// Register a directed link. Throws std::invalid_argument on
+  /// non-positive capacity or negative latency.
+  LinkId add_link(LinkSpec spec);
+
+  [[nodiscard]] const LinkSpec& link(LinkId id) const;
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+
+  /// Move `bytes` across `route`. Pays the sum of the route's latencies
+  /// once, then streams at the flow's max-min fair rate until done. A
+  /// route may traverse the same link more than once (each traversal
+  /// consumes a share). An empty route completes after zero time.
+  [[nodiscard]] Task<void> transfer(std::vector<LinkId> route, double bytes);
+
+  /// Instantaneous aggregate rate allocated on a link (bytes/s).
+  [[nodiscard]] double link_allocated_rate(LinkId id) const;
+  /// Cumulative bytes moved across a link since construction.
+  [[nodiscard]] double link_bytes_transferred(LinkId id) const;
+  [[nodiscard]] std::size_t active_flow_count() const { return flows_.size(); }
+
+ private:
+  struct Flow {
+    std::vector<LinkId> route;
+    double remaining = 0.0;
+    double rate = 0.0;
+    std::unique_ptr<Latch> done;
+  };
+  struct LinkState {
+    LinkSpec spec;
+    double bytes_transferred = 0.0;
+  };
+
+  void progress_to_now();
+  void recompute_rates();
+  void schedule_next_completion();
+  void on_completion_timer(std::uint64_t generation);
+  void begin_flow(std::vector<LinkId> route, double bytes, Latch* done);
+
+  Engine* engine_;
+  std::vector<LinkState> links_;
+  std::list<Flow> flows_;
+  Time last_progress_ = 0.0;
+  std::uint64_t timer_generation_ = 0;
+};
+
+}  // namespace mpath::sim

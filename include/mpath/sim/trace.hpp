@@ -1,0 +1,47 @@
+// Activity tracing for the simulator: modules emit named spans onto named
+// tracks; the collected timeline exports as Chrome trace-event JSON
+// (chrome://tracing, Perfetto) so a multi-path transfer's chunk schedule
+// can be inspected visually — which streams overlap, where staging stalls,
+// how the issue loop serializes path starts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mpath::sim {
+
+class Tracer {
+ public:
+  /// Record a completed span [t0, t1] (simulated seconds) on `track`.
+  void add_span(std::string track, std::string name, double t0, double t1);
+  /// Record a zero-duration marker.
+  void add_instant(std::string track, std::string name, double t);
+
+  [[nodiscard]] std::size_t span_count() const { return spans_.size(); }
+  [[nodiscard]] std::size_t instant_count() const { return instants_.size(); }
+  void clear();
+
+  /// Write Chrome trace-event format ("traceEvents" JSON array, phases
+  /// X/i). Timestamps are exported in microseconds, tracks as thread ids.
+  void write_chrome_trace(const std::string& path) const;
+  /// Same content as a string (tests, embedding).
+  [[nodiscard]] std::string chrome_trace_json() const;
+
+ private:
+  struct Span {
+    std::string track;
+    std::string name;
+    double t0;
+    double t1;
+  };
+  struct Instant {
+    std::string track;
+    std::string name;
+    double t;
+  };
+  std::vector<Span> spans_;
+  std::vector<Instant> instants_;
+};
+
+}  // namespace mpath::sim

@@ -1,0 +1,36 @@
+// Lowers a Topology onto a sim::FluidNetwork: one fluid link per directed
+// edge (including memory channels). Routes resolved by the topology are
+// translated into fluid link sequences for simulated DMA.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "mpath/sim/fluid.hpp"
+#include "mpath/topo/topology.hpp"
+
+namespace mpath::topo {
+
+class NetworkBinding {
+ public:
+  /// Creates one fluid link per topology edge. The topology must outlive
+  /// the binding and must not gain edges afterwards.
+  NetworkBinding(const Topology& topo, sim::FluidNetwork& net);
+
+  [[nodiscard]] const Topology& topology() const { return *topo_; }
+  [[nodiscard]] sim::FluidNetwork& network() const { return *net_; }
+
+  [[nodiscard]] sim::LinkId link_for_edge(EdgeId edge) const;
+  [[nodiscard]] std::vector<sim::LinkId> links_for_route(
+      std::span<const EdgeId> route) const;
+  /// Fluid links for a DMA from `from`'s memory to `to`'s memory.
+  [[nodiscard]] std::vector<sim::LinkId> route_links(DeviceId from,
+                                                     DeviceId to) const;
+
+ private:
+  const Topology* topo_;
+  sim::FluidNetwork* net_;
+  std::vector<sim::LinkId> edge_to_link_;
+};
+
+}  // namespace mpath::topo

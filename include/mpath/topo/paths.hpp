@@ -1,0 +1,58 @@
+// Multi-path candidate enumeration (paper Section 3.1): the transfer from
+// src to dst may be split over
+//   (1) the Direct GPU-to-GPU path,
+//   (2) GPU-Staged paths through an intermediate GPU,
+//   (3) a Host-Staged path through host memory.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mpath/topo/topology.hpp"
+
+namespace mpath::topo {
+
+enum class PathKind { Direct, GpuStaged, HostStaged };
+
+[[nodiscard]] std::string_view to_string(PathKind kind);
+
+struct PathPlan {
+  PathKind kind = PathKind::Direct;
+  DeviceId stage = kInvalidDevice;  ///< staging device for staged paths
+
+  friend bool operator==(const PathPlan&, const PathPlan&) = default;
+};
+
+/// Render e.g. "direct", "via gpu2", "via host0".
+[[nodiscard]] std::string describe(const PathPlan& plan, const Topology& topo);
+
+/// Which candidate paths to consider. The paper's evaluation labels map to:
+///   2_GPUs          -> {max_gpu_staged = 1, include_host = false}
+///   3_GPUs          -> {max_gpu_staged = 2, include_host = false}
+///   3_GPUs_w_host   -> {max_gpu_staged = 2, include_host = true}
+struct PathPolicy {
+  int max_gpu_staged = 2;
+  bool include_host = false;
+
+  [[nodiscard]] static PathPolicy two_gpus() { return {1, false}; }
+  [[nodiscard]] static PathPolicy three_gpus() { return {2, false}; }
+  [[nodiscard]] static PathPolicy three_gpus_with_host() { return {2, true}; }
+  [[nodiscard]] static PathPolicy direct_only() { return {0, false}; }
+
+  [[nodiscard]] std::string label() const;
+};
+
+/// Enumerate candidate paths from src to dst under `policy`. The direct
+/// path is always first. GPU stages are ordered by descending bottleneck
+/// capacity (ties by id); the host stage, if enabled, is the host nearest
+/// to src. Requires src != dst and both to be GPUs.
+[[nodiscard]] std::vector<PathPlan> enumerate_paths(const Topology& topo,
+                                                    DeviceId src, DeviceId dst,
+                                                    const PathPolicy& policy);
+
+/// The two hop routes of a path: {src->stage, stage->dst}, or a single
+/// {src->dst} route for the direct path.
+[[nodiscard]] std::vector<std::vector<EdgeId>> path_hop_routes(
+    const Topology& topo, DeviceId src, DeviceId dst, const PathPlan& plan);
+
+}  // namespace mpath::topo

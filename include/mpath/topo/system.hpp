@@ -1,0 +1,59 @@
+// System presets: topology + per-system software cost constants.
+//
+// The two evaluation systems of the paper are modeled from public hardware
+// figures (see DESIGN.md, "Substitutions"):
+//   * Beluga — 4x V100, two NVLink2 bricks per GPU pair (~46 GB/s/dir
+//     effective), PCIe3 x16 to a single NUMA domain.
+//   * Narval — 4x A100, four NVLink3 bricks per GPU pair (~92 GB/s/dir
+//     effective), PCIe4 x16, one NUMA domain (with its own DRAM channel)
+//     per GPU, inter-socket UPI-equivalent fabric.
+// Additional presets exercise generality: an NVSwitch system, a PCIe-only
+// box, and an AMD-style xGMI ring.
+#pragma once
+
+#include "mpath/topo/topology.hpp"
+
+namespace mpath::topo {
+
+/// Software-stack overheads (UCX/CUDA-level costs, not wire latencies).
+/// These feed the GPU runtime shim; the performance model never reads them
+/// directly — it fits its alpha/beta/epsilon from measurements, exactly as
+/// the paper extracts parameters per system (Fig. 2a Step 1).
+struct SoftwareCosts {
+  double op_launch_s = 1.2e-6;       ///< per async-copy launch (host code)
+  double event_record_s = 0.3e-6;    ///< cudaEventRecord
+  double event_wait_s = 0.8e-6;      ///< cudaStreamWaitEvent resolution
+  double stage_sync_s = 1.5e-6;      ///< extra per-chunk sync at a GPU stage
+  double host_stage_sync_s = 4.0e-6; ///< extra per-chunk sync at a host stage
+  double ipc_open_s = 120e-6;        ///< first CUDA-IPC handle open per pair
+  double rendezvous_s = 3.0e-6;      ///< RTS/CTS handshake per message
+  double local_copy_bps = 600e9;     ///< same-device HBM copy bandwidth
+  double jitter_rel = 0.01;          ///< relative measurement noise (sigma)
+};
+
+struct System {
+  Topology topology;
+  SoftwareCosts costs;
+};
+
+/// Beluga-like node: 4x V100, NVLink2 full mesh, PCIe3, single NUMA host.
+[[nodiscard]] System make_beluga();
+
+/// Narval-like node: 4x A100, NVLink3 full mesh, PCIe4, one NUMA domain per
+/// GPU, inter-socket fabric between domains.
+[[nodiscard]] System make_narval();
+
+/// DGX-like node: 8 GPUs through a central NVSwitch (future-work preset).
+[[nodiscard]] System make_dgx_nvswitch();
+
+/// PCIe-only box: 4 GPUs, no NVLink; GPU P2P routes through root complexes.
+[[nodiscard]] System make_pcie_only();
+
+/// AMD-style ring: 4 GPUs connected in an xGMI ring (no full mesh).
+[[nodiscard]] System make_amd_ring();
+
+/// Look up a preset by name ("beluga", "narval", "dgx", "pcie", "amd").
+/// Throws std::invalid_argument for unknown names.
+[[nodiscard]] System make_system(std::string_view name);
+
+}  // namespace mpath::topo

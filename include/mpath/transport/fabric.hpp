@@ -1,0 +1,129 @@
+// UCX-like intra-node transport: workers with tag matching, an eager
+// protocol for small messages and a rendezvous protocol (RTS/CTS + CUDA-IPC
+// mapping) for large ones. Bulk data moves through a pluggable DataChannel —
+// the seam where the paper integrates its model-driven multi-path engine
+// into the cuda_ipc code path (Fig. 2a Step 3).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "mpath/gpusim/channel.hpp"
+#include "mpath/gpusim/runtime.hpp"
+#include "mpath/sim/engine.hpp"
+
+namespace mpath::transport {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+struct TransportOptions {
+  /// Messages at or below this size use the eager protocol (no rendezvous
+  /// handshake, no IPC mapping).
+  std::size_t eager_threshold = 64 * 1024;
+  /// Host-side overhead of an eager message.
+  double eager_overhead_s = 1.0e-6;
+};
+
+class Worker;
+
+class Fabric {
+ public:
+  Fabric(gpusim::GpuRuntime& runtime, gpusim::DataChannel& channel,
+         TransportOptions options = {});
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+  ~Fabric();
+
+  /// Create the worker for `rank` (ranks must be created densely from 0).
+  Worker& add_worker(int rank, topo::DeviceId device);
+  [[nodiscard]] Worker& worker(int rank);
+  [[nodiscard]] int worker_count() const {
+    return static_cast<int>(workers_.size());
+  }
+
+  [[nodiscard]] gpusim::GpuRuntime& runtime() { return *runtime_; }
+  [[nodiscard]] gpusim::DataChannel& channel() { return *channel_; }
+  [[nodiscard]] const TransportOptions& options() const { return options_; }
+
+  // -- statistics -----------------------------------------------------------
+  [[nodiscard]] std::uint64_t messages_sent() const { return messages_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_; }
+  [[nodiscard]] std::uint64_t rendezvous_count() const { return rendezvous_; }
+  [[nodiscard]] std::uint64_t eager_count() const { return eager_; }
+
+ private:
+  friend class Worker;
+  gpusim::GpuRuntime* runtime_;
+  gpusim::DataChannel* channel_;
+  TransportOptions options_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::uint64_t messages_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t rendezvous_ = 0;
+  std::uint64_t eager_ = 0;
+};
+
+class Worker {
+ public:
+  Worker(Fabric& fabric, int rank, topo::DeviceId device)
+      : fabric_(&fabric), rank_(rank), device_(device) {}
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] topo::DeviceId device() const { return device_; }
+
+  /// Tagged send to `dst_rank`. Completes when the data is delivered into
+  /// the matched receive buffer (synchronous-send semantics; buffered
+  /// sends are modeled by spawning this task).
+  [[nodiscard]] sim::Task<void> send(int dst_rank, const gpusim::DeviceBuffer& buf,
+                                     std::size_t offset, std::size_t bytes,
+                                     int tag);
+
+  /// Tagged receive. `src_rank` may be kAnySource and `tag` kAnyTag.
+  /// The receive buffer region must be at least `bytes` long; the matched
+  /// send must not be longer (MPI truncation is an error).
+  [[nodiscard]] sim::Task<void> recv(int src_rank, gpusim::DeviceBuffer& buf,
+                                     std::size_t offset, std::size_t bytes,
+                                     int tag);
+
+  [[nodiscard]] std::size_t unexpected_count() const {
+    return unexpected_.size();
+  }
+  [[nodiscard]] std::size_t posted_count() const { return posted_.size(); }
+
+ private:
+  struct SendEntry {
+    int src_rank;
+    int tag;
+    std::size_t bytes;
+    const gpusim::DeviceBuffer* buf;
+    std::size_t offset;
+    topo::DeviceId src_device;
+    sim::Latch* done;
+  };
+  struct RecvEntry {
+    int src_rank;  // kAnySource allowed
+    int tag;       // kAnyTag allowed
+    std::size_t bytes;
+    gpusim::DeviceBuffer* buf;
+    std::size_t offset;
+    sim::Latch* done;
+  };
+
+  /// Move the payload for a matched (send, recv) pair; runs on whichever
+  /// side arrived second.
+  [[nodiscard]] sim::Task<void> do_transfer(const SendEntry& send,
+                                            const RecvEntry& recv);
+
+  Fabric* fabric_;
+  int rank_;
+  topo::DeviceId device_;
+  std::deque<SendEntry> unexpected_;  // sends awaiting a matching recv
+  std::deque<RecvEntry> posted_;      // recvs awaiting a matching send
+};
+
+}  // namespace mpath::transport

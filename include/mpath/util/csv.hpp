@@ -1,0 +1,41 @@
+// Minimal CSV writer for benchmark result files (one file per figure).
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpath::util {
+
+/// Writes rows of comma-separated values with RFC-4180-style quoting.
+/// Opens lazily on the first row so constructing a writer for an unused
+/// output costs nothing.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::string path);
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void header(std::initializer_list<std::string_view> columns);
+  void row(std::initializer_list<std::string_view> cells);
+  void row(const std::vector<std::string>& cells);
+  /// True once the file has been opened (i.e. at least one row written).
+  [[nodiscard]] bool opened() const { return out_.is_open(); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Format a double with enough digits for downstream plotting.
+  static std::string num(double v);
+
+ private:
+  void ensure_open();
+  void write_cells(std::span<const std::string_view> cells);
+  static std::string escape(std::string_view cell);
+
+  std::string path_;
+  std::ofstream out_;
+};
+
+}  // namespace mpath::util

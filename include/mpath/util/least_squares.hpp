@@ -1,0 +1,26 @@
+// Ordinary least-squares line fit, used to extract Hockney model parameters
+// (alpha, 1/beta) from measured (message size, transfer time) pairs — the
+// "extract once per system topology" step of the paper (Fig. 2a, Step 1).
+#pragma once
+
+#include <span>
+
+namespace mpath::util {
+
+struct LineFit {
+  double intercept = 0.0;  ///< a in y = a + b*x  (Hockney alpha)
+  double slope = 0.0;      ///< b in y = a + b*x  (Hockney 1/beta)
+  double r_squared = 0.0;  ///< coefficient of determination
+};
+
+/// Fit y = a + b*x by ordinary least squares. Requires xs.size() ==
+/// ys.size() and at least two distinct x values; throws std::invalid_argument
+/// otherwise.
+[[nodiscard]] LineFit fit_line(std::span<const double> xs,
+                               std::span<const double> ys);
+
+/// Fit y = b*x (no intercept), for bandwidth-only estimation.
+[[nodiscard]] double fit_proportional(std::span<const double> xs,
+                                      std::span<const double> ys);
+
+}  // namespace mpath::util

@@ -1,0 +1,50 @@
+// Leveled logging. Default level is Warn so library internals stay quiet in
+// benchmarks; set MPATH_LOG=debug|info|warn|error or call set_level().
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace mpath::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+/// Parse "debug"/"info"/"warn"/"error"/"off"; unknown strings keep current.
+void set_log_level(std::string_view name);
+
+namespace detail {
+void emit(LogLevel level, std::string_view msg);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { emit(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace mpath::util
+
+#define MPATH_LOG(level)                                      \
+  if (static_cast<int>(level) <                               \
+      static_cast<int>(::mpath::util::log_level())) {         \
+  } else                                                      \
+    ::mpath::util::detail::LogLine(level)
+
+#define MPATH_DEBUG MPATH_LOG(::mpath::util::LogLevel::Debug)
+#define MPATH_INFO MPATH_LOG(::mpath::util::LogLevel::Info)
+#define MPATH_WARN MPATH_LOG(::mpath::util::LogLevel::Warn)
+#define MPATH_ERROR MPATH_LOG(::mpath::util::LogLevel::Error)

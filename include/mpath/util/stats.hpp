@@ -1,0 +1,42 @@
+// Small statistics helpers for benchmark measurement and model fitting.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mpath::util {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  /// Sample variance; 0 when fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  void reset();
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+[[nodiscard]] double mean(std::span<const double> xs);
+[[nodiscard]] double stddev(std::span<const double> xs);
+/// Median; copies and partially sorts. Zero for empty input.
+[[nodiscard]] double median(std::vector<double> xs);
+/// Linear-interpolated percentile in [0, 100]. Zero for empty input.
+[[nodiscard]] double percentile(std::vector<double> xs, double p);
+
+/// Relative error |observed - reference| / |reference|, guarded against a
+/// zero reference (returns absolute difference in that case).
+[[nodiscard]] double relative_error(double observed, double reference);
+
+}  // namespace mpath::util

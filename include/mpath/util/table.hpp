@@ -1,0 +1,29 @@
+// Console table printer used by the benchmark harness to print the same
+// rows/series the paper's figures report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mpath::util {
+
+/// Column-aligned ASCII table. Collects rows, then renders with widths sized
+/// to the content. Right-aligns numeric-looking cells.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  [[nodiscard]] std::string render() const;
+  void print() const;
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Fixed-point formatting helpers for table cells.
+  static std::string fixed(double v, int decimals = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mpath::util

@@ -1,0 +1,53 @@
+// Units and conversion helpers used across the library.
+//
+// Conventions (uniform across mpath):
+//   * time is `double` seconds,
+//   * sizes are `std::size_t` bytes,
+//   * bandwidth is `double` bytes per second.
+//
+// Helpers below exist so that call sites read in the units the paper uses
+// (MB message sizes, GB/s link bandwidths, microsecond latencies) while the
+// internal representation stays uniform.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace mpath::util {
+
+inline constexpr std::size_t kKiB = std::size_t{1} << 10;
+inline constexpr std::size_t kMiB = std::size_t{1} << 20;
+inline constexpr std::size_t kGiB = std::size_t{1} << 30;
+
+/// Gigabytes-per-second (decimal, as interconnect specs are quoted) to B/s.
+constexpr double gbps(double gigabytes_per_second) {
+  return gigabytes_per_second * 1e9;
+}
+
+/// Microseconds to seconds.
+constexpr double usec(double microseconds) { return microseconds * 1e-6; }
+
+/// Milliseconds to seconds.
+constexpr double msec(double milliseconds) { return milliseconds * 1e-3; }
+
+/// Seconds to microseconds (for reporting).
+constexpr double to_usec(double seconds) { return seconds * 1e6; }
+
+/// Bytes/second to GB/s (for reporting).
+constexpr double to_gbps(double bytes_per_second) {
+  return bytes_per_second / 1e9;
+}
+
+/// Human-readable byte count, e.g. "64MB", "512KB", used for table rows.
+std::string format_bytes(std::size_t bytes);
+
+/// Human-readable time, e.g. "12.3us", "4.56ms".
+std::string format_time(double seconds);
+
+namespace literals {
+constexpr std::size_t operator""_KiB(unsigned long long v) { return v * kKiB; }
+constexpr std::size_t operator""_MiB(unsigned long long v) { return v * kMiB; }
+constexpr std::size_t operator""_GiB(unsigned long long v) { return v * kGiB; }
+}  // namespace literals
+
+}  // namespace mpath::util

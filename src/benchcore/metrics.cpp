@@ -1,0 +1,25 @@
+#include "mpath/benchcore/metrics.hpp"
+
+#include "mpath/util/stats.hpp"
+
+namespace mpath::benchcore {
+
+double predicted_bandwidth(model::PathConfigurator& configurator,
+                           const topo::Topology& topo, topo::DeviceId src,
+                           topo::DeviceId dst, std::size_t bytes,
+                           const topo::PathPolicy& policy) {
+  const auto paths = topo::enumerate_paths(topo, src, dst, policy);
+  return configurator.configure(src, dst, bytes, paths).predicted_bandwidth();
+}
+
+double mean_relative_error(
+    std::span<const std::pair<double, double>> predicted_vs_observed) {
+  if (predicted_vs_observed.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& [predicted, observed] : predicted_vs_observed) {
+    sum += util::relative_error(predicted, observed);
+  }
+  return sum / static_cast<double>(predicted_vs_observed.size());
+}
+
+}  // namespace mpath::benchcore

@@ -1,0 +1,118 @@
+#include "mpath/benchcore/omb.hpp"
+
+#include <stdexcept>
+
+namespace mpath::benchcore {
+
+namespace {
+constexpr int kAckTag = 9999;
+constexpr std::size_t kAckBytes = 4;
+}  // namespace
+
+double measure_bw(mpisim::World& world, std::size_t bytes,
+                  const P2POptions& opt) {
+  if (opt.src_rank == opt.dst_rank || opt.window < 1 || opt.iterations < 1) {
+    throw std::invalid_argument("measure_bw: bad options");
+  }
+  double elapsed = 0.0;
+  world.run([&](mpisim::Communicator& comm) -> sim::Task<void> {
+    if (comm.rank() == opt.src_rank) {
+      gpusim::DeviceBuffer buf(comm.device(), bytes,
+                               gpusim::Payload::Simulated);
+      gpusim::DeviceBuffer ack(comm.device(), kAckBytes);
+      double start = 0.0;
+      for (int iter = 0; iter < opt.warmup + opt.iterations; ++iter) {
+        if (iter == opt.warmup) start = comm.world().engine().now();
+        std::vector<sim::Process> reqs;
+        for (int w = 0; w < opt.window; ++w) {
+          reqs.push_back(comm.isend(buf, 0, bytes, opt.dst_rank, w));
+        }
+        co_await comm.wait_all(std::move(reqs));
+        co_await comm.recv(ack, 0, kAckBytes, opt.dst_rank, kAckTag);
+      }
+      elapsed = comm.world().engine().now() - start;
+    } else if (comm.rank() == opt.dst_rank) {
+      gpusim::DeviceBuffer buf(comm.device(), bytes,
+                               gpusim::Payload::Simulated);
+      gpusim::DeviceBuffer ack(comm.device(), kAckBytes);
+      for (int iter = 0; iter < opt.warmup + opt.iterations; ++iter) {
+        std::vector<sim::Process> reqs;
+        for (int w = 0; w < opt.window; ++w) {
+          reqs.push_back(comm.irecv(buf, 0, bytes, opt.src_rank, w));
+        }
+        co_await comm.wait_all(std::move(reqs));
+        co_await comm.send(ack, 0, kAckBytes, opt.src_rank, kAckTag);
+      }
+    }
+    co_return;
+  });
+  const double total_bytes = static_cast<double>(bytes) * opt.window *
+                             opt.iterations;
+  return total_bytes / elapsed;
+}
+
+double measure_bibw(mpisim::World& world, std::size_t bytes,
+                    const P2POptions& opt) {
+  if (opt.src_rank == opt.dst_rank || opt.window < 1 || opt.iterations < 1) {
+    throw std::invalid_argument("measure_bibw: bad options");
+  }
+  double elapsed = 0.0;
+  world.run([&](mpisim::Communicator& comm) -> sim::Task<void> {
+    const bool is_a = comm.rank() == opt.src_rank;
+    const bool is_b = comm.rank() == opt.dst_rank;
+    if (!is_a && !is_b) co_return;
+    const int peer = is_a ? opt.dst_rank : opt.src_rank;
+    gpusim::DeviceBuffer sendbuf(comm.device(), bytes,
+                                 gpusim::Payload::Simulated);
+    gpusim::DeviceBuffer recvbuf(comm.device(), bytes,
+                                 gpusim::Payload::Simulated);
+    gpusim::DeviceBuffer ack(comm.device(), kAckBytes);
+    double start = 0.0;
+    for (int iter = 0; iter < opt.warmup + opt.iterations; ++iter) {
+      if (iter == opt.warmup) start = comm.world().engine().now();
+      std::vector<sim::Process> reqs;
+      for (int w = 0; w < opt.window; ++w) {
+        reqs.push_back(comm.irecv(recvbuf, 0, bytes, peer, opt.window + w));
+      }
+      for (int w = 0; w < opt.window; ++w) {
+        reqs.push_back(comm.isend(sendbuf, 0, bytes, peer, opt.window + w));
+      }
+      co_await comm.wait_all(std::move(reqs));
+      // Mutual ack closes the iteration on both sides.
+      std::vector<sim::Process> handshake;
+      handshake.push_back(comm.isend(ack, 0, kAckBytes, peer, kAckTag));
+      handshake.push_back(comm.irecv(ack, 0, kAckBytes, peer, kAckTag));
+      co_await comm.wait_all(std::move(handshake));
+    }
+    if (is_a) elapsed = comm.world().engine().now() - start;
+    co_return;
+  });
+  const double total_bytes = 2.0 * static_cast<double>(bytes) * opt.window *
+                             opt.iterations;
+  return total_bytes / elapsed;
+}
+
+double measure_collective_latency(
+    mpisim::World& world,
+    const std::function<sim::Task<void>(mpisim::Communicator&)>& op,
+    const CollectiveOptions& opt) {
+  if (opt.iterations < 1) {
+    throw std::invalid_argument("measure_collective_latency: bad options");
+  }
+  double elapsed = 0.0;
+  world.run([&](mpisim::Communicator& comm) -> sim::Task<void> {
+    double start = 0.0;
+    for (int iter = 0; iter < opt.warmup + opt.iterations; ++iter) {
+      co_await comm.barrier();
+      if (iter == opt.warmup) start = comm.world().engine().now();
+      co_await op(comm);
+    }
+    co_await comm.barrier();
+    if (comm.rank() == 0) {
+      elapsed = comm.world().engine().now() - start;
+    }
+  });
+  return elapsed / opt.iterations;
+}
+
+}  // namespace mpath::benchcore

@@ -1,0 +1,77 @@
+#include "mpath/model/chunking.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mpath::model {
+
+namespace {
+
+/// The argument X of the square root in Eqs. 14/15, chosen by the
+/// bottleneck case, such that k* = sqrt(X).
+double sqrt_argument(const PathParams& p, double theta, double n_bytes) {
+  if (!p.staged()) return 1.0;
+  const double share = theta * n_bytes;
+  if (share <= 0.0) return 1.0;
+  if (p.first.beta < p.second->beta) {
+    // Case 1: first link is the bottleneck (Eq. 14).
+    const double denom = p.first.alpha * p.second->beta;
+    return denom > 0.0 ? share / denom : 1.0;
+  }
+  // Case 2: second link is the bottleneck (Eq. 15).
+  const double denom = p.first.beta * (p.epsilon + p.second->alpha);
+  return denom > 0.0 ? share / denom : 1.0;
+}
+
+}  // namespace
+
+double ChunkOptimizer::exact_chunks(const PathParams& p, double theta,
+                                    double n_bytes) {
+  if (!p.staged()) return 1.0;
+  return std::max(1.0, std::sqrt(sqrt_argument(p, theta, n_bytes)));
+}
+
+double ChunkOptimizer::linear_chunks(const PathParams& p,
+                                     const PhiConstants& phi, double theta,
+                                     double n_bytes) {
+  if (!p.staged()) return 1.0;
+  const double x = sqrt_argument(p, theta, n_bytes);
+  const double f = p.first.beta < p.second->beta ? phi.phi1 : phi.phi2;
+  return std::max(1.0, f * x);
+}
+
+int ChunkOptimizer::clamp_chunks(double k, int max_chunks) {
+  const int rounded = static_cast<int>(std::lround(k));
+  return std::clamp(rounded, 1, std::max(1, max_chunks));
+}
+
+double PhiFitter::fit_over_range(double x_min, double x_max) {
+  x_min = std::max(x_min, 1e-12);
+  x_max = std::max(x_max, x_min);
+  if (x_max - x_min < 1e-9 * x_max) {
+    return 1.0 / std::sqrt(0.5 * (x_min + x_max));
+  }
+  // phi = ∫ x^{3/2} dx / ∫ x^2 dx over [a, b].
+  const double num =
+      (std::pow(x_max, 2.5) - std::pow(x_min, 2.5)) / 2.5;
+  const double den = (std::pow(x_max, 3.0) - std::pow(x_min, 3.0)) / 3.0;
+  return num / den;
+}
+
+PhiConstants PhiFitter::fit_for_path(const PathParams& p, double n_min,
+                                     double n_max, double theta_hint) {
+  PhiConstants phi;
+  if (!p.staged()) return phi;
+  theta_hint = std::clamp(theta_hint, 1e-3, 1.0);
+  const double x_lo = sqrt_argument(p, theta_hint, std::min(n_min, n_max));
+  const double x_hi = sqrt_argument(p, theta_hint, std::max(n_min, n_max));
+  const double fitted = fit_over_range(x_lo, x_hi);
+  if (p.first.beta < p.second->beta) {
+    phi.phi1 = fitted;
+  } else {
+    phi.phi2 = fitted;
+  }
+  return phi;
+}
+
+}  // namespace mpath::model

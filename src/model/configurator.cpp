@@ -1,0 +1,153 @@
+#include "mpath/model/configurator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mpath::model {
+
+PathConfigurator::PathConfigurator(const ModelRegistry& registry,
+                                   ConfiguratorOptions options)
+    : registry_(&registry), options_(options) {}
+
+std::uint64_t PathConfigurator::cache_key(
+    topo::DeviceId src, topo::DeviceId dst, std::uint64_t bytes,
+    std::span<const topo::PathPlan> paths) {
+  // FNV-1a over the request tuple; collisions only waste a recompute risk,
+  // never correctness, because the cache stores full configs keyed by hash
+  // of an identical request tuple (same src/dst/bytes/path set).
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(src);
+  mix(dst);
+  mix(bytes);
+  for (const auto& p : paths) {
+    mix(static_cast<std::uint64_t>(p.kind) + 1);
+    mix(p.stage);
+  }
+  return h;
+}
+
+const TransferConfig& PathConfigurator::configure(
+    topo::DeviceId src, topo::DeviceId dst, std::uint64_t bytes,
+    std::span<const topo::PathPlan> paths) {
+  if (paths.empty()) {
+    throw std::invalid_argument("PathConfigurator: no candidate paths");
+  }
+  if (paths.front().kind != topo::PathKind::Direct) {
+    throw std::invalid_argument(
+        "PathConfigurator: the direct path must be the first candidate");
+  }
+  if (bytes == 0) {
+    throw std::invalid_argument("PathConfigurator: zero-byte transfer");
+  }
+  const std::uint64_t key = cache_key(src, dst, bytes, paths);
+  if (options_.cache_enabled) {
+    if (auto it = cache_.find(key); it != cache_.end()) {
+      ++cache_hits_;
+      return it->second;
+    }
+  }
+  ++cache_misses_;
+  auto [it, inserted] = cache_.insert_or_assign(
+      key, compute(src, dst, bytes, paths));
+  (void)inserted;
+  return it->second;
+}
+
+TransferConfig PathConfigurator::compute(
+    topo::DeviceId src, topo::DeviceId dst, std::uint64_t bytes,
+    std::span<const topo::PathPlan> paths) const {
+  const double n = static_cast<double>(bytes);
+  const std::size_t p = paths.size();
+
+  // Lines 7-15: resolve link parameters for every candidate path.
+  std::vector<PathParams> params;
+  params.reserve(p);
+  for (const auto& plan : paths) {
+    params.push_back(registry_->path_params(src, dst, plan));
+  }
+
+  // Line 19: topology constants; lines 16-21: per-path (Omega, Delta).
+  std::vector<PhiConstants> phis(p);
+  std::vector<PathTerms> terms(p);
+  const double theta_hint = 1.0 / static_cast<double>(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    if (options_.pipelining) {
+      const double fit_lo = options_.phi_per_message ? n : options_.phi_fit_n_min;
+      const double fit_hi = options_.phi_per_message ? n : options_.phi_fit_n_max;
+      phis[i] = PhiFitter::fit_for_path(params[i], fit_lo, fit_hi, theta_hint);
+      terms[i] = terms_pipelined(params[i], phis[i]);
+    } else {
+      terms[i] = terms_unpipelined(params[i]);
+    }
+    // Contention-aware extension: derate this path's effective bandwidth
+    // by the measured intra-path contention factor (>= 1). Applied only in
+    // the large-message regime where the factor was measured.
+    if (bytes >= options_.omega_override_min_bytes) {
+      if (const auto f = registry_->contention_factor(src, dst, paths[i])) {
+        terms[i].omega *= *f;
+      }
+    }
+    // Per-message protocol prefix (rendezvous, ack): paid before any path
+    // moves data, so it shifts every path's Delta equally.
+    terms[i].delta += registry_->protocol_alpha();
+    // Line 18: paths are initiated sequentially by the host; later paths
+    // inherit the accumulated issue latency of earlier ones.
+    if (options_.sequential_initiation) {
+      terms[i].delta +=
+          static_cast<double>(i) * registry_->issue_alpha();
+    }
+  }
+
+  // Lines 22-26: closed-form theta over the (possibly reduced) active set.
+  const ThetaSolution sol = ThetaSolver::solve(terms, n);
+
+  TransferConfig config;
+  config.total_bytes = bytes;
+  config.paths.resize(p);
+
+  // Lines 25 + 27-29: integer byte shares; any rounding remainder goes to
+  // the direct path.
+  std::uint64_t assigned = 0;
+  for (std::size_t i = 0; i < p; ++i) {
+    PathShare& share = config.paths[i];
+    share.plan = paths[i];
+    share.terms = terms[i];
+    share.theta = sol.theta[i];
+    if (i != 0) {
+      share.bytes = static_cast<std::uint64_t>(
+          std::floor(sol.theta[i] * n));
+      assigned += share.bytes;
+    }
+  }
+  config.paths[0].bytes = bytes - assigned;
+  // Refresh theta of the direct path after remainder assignment.
+  config.paths[0].theta =
+      static_cast<double>(config.paths[0].bytes) / n;
+
+  // Chunk counts (line 20) for the final shares.
+  for (std::size_t i = 0; i < p; ++i) {
+    PathShare& share = config.paths[i];
+    if (share.bytes == 0 || !params[i].staged() || !options_.pipelining) {
+      share.chunks = 1;
+    } else {
+      const double k =
+          options_.chunk_mode == ChunkMode::ExactSqrt
+              ? ChunkOptimizer::exact_chunks(params[i], share.theta, n)
+              : ChunkOptimizer::linear_chunks(params[i], phis[i],
+                                              share.theta, n);
+      share.chunks = ChunkOptimizer::clamp_chunks(k, options_.max_chunks);
+    }
+    share.predicted_time =
+        share.bytes > 0 ? terms[i].time(share.theta, n) : 0.0;
+    config.predicted_time =
+        std::max(config.predicted_time, share.predicted_time);
+  }
+  return config;
+}
+
+}  // namespace mpath::model

@@ -1,0 +1,57 @@
+#include "mpath/model/params.hpp"
+
+#include <cmath>
+
+namespace mpath::model {
+
+PathTerms terms_unpipelined(const PathParams& p) {
+  PathTerms t;
+  t.omega = 1.0 / p.first.beta;
+  t.delta = p.first.alpha;
+  if (p.staged()) {
+    t.omega += 1.0 / p.second->beta;
+    t.delta += p.second->alpha + p.epsilon;
+  }
+  return t;
+}
+
+PathTerms terms_pipelined(const PathParams& p, const PhiConstants& phi) {
+  if (!p.staged()) return terms_unpipelined(p);
+  if (phi.phi1 <= 0.0 || phi.phi2 <= 0.0) {
+    throw std::invalid_argument("terms_pipelined: phi must be positive");
+  }
+  const double beta = p.first.beta;
+  const double beta2 = p.second->beta;
+  PathTerms t;
+  if (beta < beta2) {
+    // Case 1 (Eq. 22 top): the first link is the bottleneck.
+    t.omega = 1.0 / beta + phi.phi1 / beta2;
+    t.delta = p.epsilon + p.second->alpha + p.first.alpha / phi.phi1;
+  } else {
+    // Case 2 (Eq. 22 bottom): the second link is the bottleneck.
+    t.omega = phi.phi2 / beta + 1.0 / beta2;
+    t.delta = p.first.alpha + (p.epsilon + p.second->alpha) / phi.phi2;
+  }
+  return t;
+}
+
+double exact_pipelined_time(const PathParams& p, double theta,
+                            double n_bytes) {
+  const double share = theta * n_bytes;
+  if (!p.staged()) {
+    return p.first.alpha + share / p.first.beta;
+  }
+  const double a = p.first.alpha;
+  const double b = p.first.beta;
+  const double a2 = p.second->alpha;
+  const double b2 = p.second->beta;
+  const double eps = p.epsilon;
+  if (b < b2) {
+    // Eq. 17: T = 2*sqrt(theta*n*alpha/beta') + theta*n/beta + eps + alpha'
+    return 2.0 * std::sqrt(share * a / b2) + share / b + eps + a2;
+  }
+  // Eq. 18: T = 2*sqrt(theta*n*(eps+alpha')/beta) + theta*n/beta' + alpha
+  return 2.0 * std::sqrt(share * (eps + a2) / b) + share / b2 + a;
+}
+
+}  // namespace mpath::model

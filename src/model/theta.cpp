@@ -1,0 +1,112 @@
+#include "mpath/model/theta.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mpath::model {
+
+ThetaSolution ThetaSolver::solve(std::span<const PathTerms> paths,
+                                 double n_bytes) {
+  if (paths.empty()) {
+    throw std::invalid_argument("ThetaSolver: no paths");
+  }
+  if (n_bytes <= 0.0) {
+    throw std::invalid_argument("ThetaSolver: message size must be positive");
+  }
+  for (const PathTerms& p : paths) {
+    if (p.omega <= 0.0) {
+      throw std::invalid_argument("ThetaSolver: Omega must be positive");
+    }
+  }
+
+  std::vector<std::size_t> active(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) active[i] = i;
+
+  ThetaSolution sol;
+  sol.theta.assign(paths.size(), 0.0);
+
+  while (true) {
+    // Closed form Eq. 24 on the active set.
+    double inv_sum = 0.0;   // S = sum 1/Omega
+    double delta_sum = 0.0; // D = sum Delta/Omega
+    for (std::size_t i : active) {
+      inv_sum += 1.0 / paths[i].omega;
+      delta_sum += paths[i].delta / paths[i].omega;
+    }
+    double most_negative = 0.0;
+    std::size_t drop_pos = active.size();
+    for (std::size_t pos = 0; pos < active.size(); ++pos) {
+      const std::size_t i = active[pos];
+      const double theta_i =
+          (1.0 - paths[i].delta / n_bytes * inv_sum + delta_sum / n_bytes) /
+          (paths[i].omega * inv_sum);
+      sol.theta[i] = theta_i;
+      // The direct path (index 0) is never excluded (Algorithm 1).
+      if (i != 0 && theta_i < most_negative) {
+        most_negative = theta_i;
+        drop_pos = pos;
+      }
+    }
+    if (drop_pos == active.size()) break;
+    sol.theta[active[drop_pos]] = 0.0;
+    active.erase(active.begin() + static_cast<std::ptrdiff_t>(drop_pos));
+    if (active.size() == 1) {
+      // Only the direct path remains.
+      std::fill(sol.theta.begin(), sol.theta.end(), 0.0);
+      sol.theta[active[0]] = 1.0;
+      break;
+    }
+  }
+
+  // Numerical cleanup: clamp dust and renormalize exactly to 1.
+  double total = 0.0;
+  for (double& t : sol.theta) {
+    if (t < 0.0) t = 0.0;
+    total += t;
+  }
+  if (total <= 0.0) {
+    sol.theta[0] = 1.0;
+  } else {
+    for (double& t : sol.theta) t /= total;
+  }
+
+  sol.active.clear();
+  for (std::size_t i = 0; i < sol.theta.size(); ++i) {
+    if (sol.theta[i] > 0.0) sol.active.push_back(i);
+  }
+  sol.predicted_time = evaluate(paths, sol.theta, n_bytes);
+  return sol;
+}
+
+double ThetaSolver::evaluate(std::span<const PathTerms> paths,
+                             std::span<const double> theta, double n_bytes) {
+  if (paths.size() != theta.size()) {
+    throw std::invalid_argument("ThetaSolver::evaluate: size mismatch");
+  }
+  double worst = 0.0;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    if (theta[i] <= 0.0) continue;  // unused path costs nothing
+    worst = std::max(worst, paths[i].time(theta[i], n_bytes));
+  }
+  return worst;
+}
+
+double ThetaSolver::time_spread(std::span<const PathTerms> paths,
+                                std::span<const double> theta,
+                                double n_bytes) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = 0.0;
+  bool any = false;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    if (theta[i] <= 0.0) continue;
+    const double t = paths[i].time(theta[i], n_bytes);
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+    any = true;
+  }
+  return any ? hi - lo : 0.0;
+}
+
+}  // namespace mpath::model

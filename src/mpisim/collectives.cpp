@@ -1,0 +1,276 @@
+#include "mpath/mpisim/collectives.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace mpath::mpisim {
+
+namespace {
+
+bool is_pow2(int x) { return x > 0 && (x & (x - 1)) == 0; }
+
+/// data[dst_off..] += tmp[0..floats) elementwise, charging reduce time.
+sim::Task<void> reduce_into(Communicator& comm, gpusim::DeviceBuffer& data,
+                            std::size_t float_off,
+                            const gpusim::DeviceBuffer& tmp,
+                            std::size_t floats) {
+  if (data.materialized() && tmp.materialized()) {
+    auto d = data.as<float>();
+    auto t = tmp.as<const float>();
+    for (std::size_t i = 0; i < floats; ++i) {
+      d[float_off + i] += t[i];
+    }
+  }
+  co_await comm.reduce_compute(floats * sizeof(float));
+}
+
+/// Scratch buffers mirror the payload mode of the user's buffer so that
+/// timing-only collectives never materialize bytes.
+gpusim::Payload payload_of(const gpusim::DeviceBuffer& buf) {
+  return buf.materialized() ? gpusim::Payload::Materialized
+                            : gpusim::Payload::Simulated;
+}
+
+sim::Task<void> allreduce_rhd(Communicator& comm, gpusim::DeviceBuffer& data) {
+  const int p = comm.size();
+  const int rank = comm.rank();
+  const std::size_t count = data.size() / sizeof(float);
+  const int tag = comm.next_collective_tag();
+  gpusim::DeviceBuffer tmp(comm.device(), count / 2 * sizeof(float),
+                           payload_of(data));
+
+  // Phase 1: recursive-halving scatter-reduce.
+  std::size_t lo = 0;
+  std::size_t own = count;
+  int step = 0;
+  for (int d = p / 2; d >= 1; d /= 2, ++step) {
+    const int partner = rank ^ d;
+    const std::size_t half = own / 2;
+    const bool keep_lower = (rank & d) == 0;
+    const std::size_t send_floats = keep_lower ? lo + half : lo;
+    const std::size_t keep_floats = keep_lower ? lo : lo + half;
+    co_await comm.sendrecv(data, send_floats * sizeof(float),
+                           half * sizeof(float), partner, tmp, 0,
+                           half * sizeof(float), partner, tag + step);
+    co_await reduce_into(comm, data, keep_floats, tmp, half);
+    lo = keep_floats;
+    own = half;
+  }
+
+  // Phase 2: recursive-doubling allgather (exact reverse of phase 1).
+  for (int d = 1; d < p; d *= 2, ++step) {
+    const int partner = rank ^ d;
+    const std::size_t plo = (rank & d) ? lo - own : lo + own;
+    co_await comm.sendrecv(data, lo * sizeof(float), own * sizeof(float),
+                           partner, data, plo * sizeof(float),
+                           own * sizeof(float), partner, tag + step);
+    lo = std::min(lo, plo);
+    own *= 2;
+  }
+}
+
+sim::Task<void> allreduce_ring(Communicator& comm,
+                               gpusim::DeviceBuffer& data) {
+  const int p = comm.size();
+  const int rank = comm.rank();
+  const std::size_t count = data.size() / sizeof(float);
+  const std::size_t blk = count / static_cast<std::size_t>(p);
+  const int tag = comm.next_collective_tag();
+  const int right = (rank + 1) % p;
+  const int left = (rank - 1 + p) % p;
+  gpusim::DeviceBuffer tmp(comm.device(), blk * sizeof(float),
+                           payload_of(data));
+
+  // Phase 1: ring scatter-reduce.
+  for (int s = 0; s < p - 1; ++s) {
+    const int send_blk = (rank - s + p) % p;
+    const int recv_blk = (rank - s - 1 + p) % p;
+    co_await comm.sendrecv(
+        data, static_cast<std::size_t>(send_blk) * blk * sizeof(float),
+        blk * sizeof(float), right, tmp, 0, blk * sizeof(float), left,
+        tag + s);
+    co_await reduce_into(comm, data,
+                         static_cast<std::size_t>(recv_blk) * blk, tmp, blk);
+  }
+  // Phase 2: ring allgather.
+  for (int s = 0; s < p - 1; ++s) {
+    const int send_blk = (rank - s + 1 + p) % p;
+    const int recv_blk = (rank - s + p) % p;
+    co_await comm.sendrecv(
+        data, static_cast<std::size_t>(send_blk) * blk * sizeof(float),
+        blk * sizeof(float), right, data,
+        static_cast<std::size_t>(recv_blk) * blk * sizeof(float),
+        blk * sizeof(float), left, tag + p + s);
+  }
+}
+
+sim::Task<void> alltoall_pairwise(Communicator& comm,
+                                  const gpusim::DeviceBuffer& send,
+                                  gpusim::DeviceBuffer& recv,
+                                  std::size_t blk) {
+  const int p = comm.size();
+  const int rank = comm.rank();
+  const int tag = comm.next_collective_tag();
+  // s = 0 is the local block; then p-1 pairwise exchanges.
+  co_await comm.local_copy(recv, static_cast<std::size_t>(rank) * blk, send,
+                           static_cast<std::size_t>(rank) * blk, blk);
+  for (int s = 1; s < p; ++s) {
+    const int dst = (rank + s) % p;
+    const int src = (rank - s + p) % p;
+    std::vector<sim::Process> reqs;
+    reqs.push_back(comm.isend(send, static_cast<std::size_t>(dst) * blk, blk,
+                              dst, tag + s));
+    reqs.push_back(comm.irecv(recv, static_cast<std::size_t>(src) * blk, blk,
+                              src, tag + s));
+    co_await comm.wait_all(std::move(reqs));
+  }
+}
+
+sim::Task<void> alltoall_bruck(Communicator& comm,
+                               const gpusim::DeviceBuffer& send,
+                               gpusim::DeviceBuffer& recv, std::size_t blk) {
+  const int p = comm.size();
+  const int rank = comm.rank();
+  const int tag = comm.next_collective_tag();
+  const auto payload = payload_of(send);
+  gpusim::DeviceBuffer tmp(comm.device(),
+                           static_cast<std::size_t>(p) * blk, payload);
+  const std::size_t max_pack =
+      static_cast<std::size_t>((p + 1) / 2) * blk;
+  gpusim::DeviceBuffer pack(comm.device(), max_pack, payload);
+  gpusim::DeviceBuffer unpack(comm.device(), max_pack, payload);
+
+  // Step 1: local rotation tmp[j] = send[(rank + j) mod p].
+  for (int j = 0; j < p; ++j) {
+    const int from = (rank + j) % p;
+    co_await comm.local_copy(tmp, static_cast<std::size_t>(j) * blk, send,
+                             static_cast<std::size_t>(from) * blk, blk);
+  }
+
+  // Step 2: log2(p) rounds of pack / exchange / unpack.
+  int round = 0;
+  for (int pof2 = 1; pof2 < p; pof2 *= 2, ++round) {
+    std::vector<int> idx;
+    for (int j = 1; j < p; ++j) {
+      if (j & pof2) idx.push_back(j);
+    }
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      co_await comm.local_copy(pack, i * blk, tmp,
+                               static_cast<std::size_t>(idx[i]) * blk, blk);
+    }
+    const int dst = (rank + pof2) % p;
+    const int src = (rank - pof2 + p) % p;
+    co_await comm.sendrecv(pack, 0, idx.size() * blk, dst, unpack, 0,
+                           idx.size() * blk, src, tag + round);
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      co_await comm.local_copy(tmp, static_cast<std::size_t>(idx[i]) * blk,
+                               unpack, i * blk, blk);
+    }
+  }
+
+  // Step 3: inverse rotation recv[i] = tmp[(rank - i + p) mod p].
+  for (int i = 0; i < p; ++i) {
+    const int from = (rank - i + p) % p;
+    co_await comm.local_copy(recv, static_cast<std::size_t>(i) * blk, tmp,
+                             static_cast<std::size_t>(from) * blk, blk);
+  }
+}
+
+}  // namespace
+
+sim::Task<void> allreduce_sum(Communicator& comm, gpusim::DeviceBuffer& data,
+                              AllreduceAlgo algo) {
+  const auto p = static_cast<std::size_t>(comm.size());
+  const std::size_t count = data.size() / sizeof(float);
+  if (data.size() % sizeof(float) != 0 || count % p != 0 || count == 0) {
+    throw std::invalid_argument(
+        "allreduce_sum: element count must be a positive multiple of the "
+        "world size");
+  }
+  if (comm.size() == 1) co_return;
+  switch (algo) {
+    case AllreduceAlgo::RecursiveHalvingDoubling:
+      if (!is_pow2(comm.size())) {
+        throw std::invalid_argument(
+            "allreduce_sum: recursive halving/doubling needs a power-of-two "
+            "world");
+      }
+      co_await allreduce_rhd(comm, data);
+      break;
+    case AllreduceAlgo::Ring:
+      co_await allreduce_ring(comm, data);
+      break;
+  }
+}
+
+sim::Task<void> alltoall(Communicator& comm, const gpusim::DeviceBuffer& send,
+                         gpusim::DeviceBuffer& recv, std::size_t block_bytes,
+                         AlltoallAlgo algo) {
+  const auto p = static_cast<std::size_t>(comm.size());
+  if (block_bytes == 0 || send.size() < p * block_bytes ||
+      recv.size() < p * block_bytes) {
+    throw std::invalid_argument("alltoall: buffers must hold p blocks");
+  }
+  switch (algo) {
+    case AlltoallAlgo::Bruck:
+      co_await alltoall_bruck(comm, send, recv, block_bytes);
+      break;
+    case AlltoallAlgo::Pairwise:
+      co_await alltoall_pairwise(comm, send, recv, block_bytes);
+      break;
+  }
+}
+
+sim::Task<void> allgather(Communicator& comm, gpusim::DeviceBuffer& data,
+                          std::size_t block_bytes) {
+  const int p = comm.size();
+  const int rank = comm.rank();
+  if (block_bytes == 0 ||
+      data.size() < static_cast<std::size_t>(p) * block_bytes) {
+    throw std::invalid_argument("allgather: buffer must hold p blocks");
+  }
+  const int tag = comm.next_collective_tag();
+  const int right = (rank + 1) % p;
+  const int left = (rank - 1 + p) % p;
+  for (int s = 0; s < p - 1; ++s) {
+    const int send_blk = (rank - s + p) % p;
+    const int recv_blk = (rank - s - 1 + p) % p;
+    co_await comm.sendrecv(
+        data, static_cast<std::size_t>(send_blk) * block_bytes, block_bytes,
+        right, data, static_cast<std::size_t>(recv_blk) * block_bytes,
+        block_bytes, left, tag + s);
+  }
+}
+
+sim::Task<void> broadcast(Communicator& comm, gpusim::DeviceBuffer& data,
+                          std::size_t bytes, int root) {
+  const int p = comm.size();
+  if (root < 0 || root >= p) {
+    throw std::invalid_argument("broadcast: bad root");
+  }
+  if (p == 1 || bytes == 0) co_return;
+  const int tag = comm.next_collective_tag();
+  // Binomial tree in the rank space rotated so that root maps to 0.
+  const int vrank = (comm.rank() - root + p) % p;
+  int mask = 1;
+  // Receive once from the parent...
+  while (mask < p) {
+    if (vrank & mask) {
+      const int parent = ((vrank ^ mask) + root) % p;
+      co_await comm.recv(data, 0, bytes, parent, tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  // ...then forward to children below the received mask.
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < p) {
+      const int child = ((vrank | mask) + root) % p;
+      co_await comm.send(data, 0, bytes, child, tag);
+    }
+    mask >>= 1;
+  }
+}
+
+}  // namespace mpath::mpisim

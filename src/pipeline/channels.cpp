@@ -1,0 +1,116 @@
+#include "mpath/pipeline/channels.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mpath::pipeline {
+
+namespace {
+ExecPlan direct_plan(std::size_t bytes) {
+  return {ExecPath{topo::PathPlan{topo::PathKind::Direct, topo::kInvalidDevice},
+                   bytes, 1}};
+}
+}  // namespace
+
+sim::Task<void> SinglePathChannel::transfer(gpusim::DeviceBuffer& dst,
+                                            std::size_t dst_offset,
+                                            const gpusim::DeviceBuffer& src,
+                                            std::size_t src_offset,
+                                            std::size_t bytes) {
+  co_await engine_->execute(dst, dst_offset, src, src_offset,
+                            direct_plan(bytes));
+}
+
+ModelDrivenChannel::ModelDrivenChannel(PipelineEngine& engine,
+                                       model::PathConfigurator& configurator,
+                                       topo::PathPolicy policy,
+                                       ModelDrivenOptions options)
+    : engine_(&engine),
+      configurator_(&configurator),
+      policy_(policy),
+      options_(options) {}
+
+sim::Task<void> ModelDrivenChannel::transfer(gpusim::DeviceBuffer& dst,
+                                             std::size_t dst_offset,
+                                             const gpusim::DeviceBuffer& src,
+                                             std::size_t src_offset,
+                                             std::size_t bytes) {
+  if (bytes < options_.min_multipath_bytes) {
+    co_await engine_->execute(dst, dst_offset, src, src_offset,
+                              direct_plan(bytes));
+    co_return;
+  }
+  const auto key = std::make_pair(src.device(), dst.device());
+  auto it = path_cache_.find(key);
+  if (it == path_cache_.end()) {
+    it = path_cache_
+             .emplace(key, topo::enumerate_paths(
+                               engine_->runtime().topology(), src.device(),
+                               dst.device(), policy_))
+             .first;
+  }
+  const auto& config =
+      configurator_->configure(src.device(), dst.device(), bytes, it->second);
+  last_config_ = config;
+  ExecPlan plan;
+  plan.reserve(config.paths.size());
+  for (const auto& share : config.paths) {
+    plan.push_back(ExecPath{share.plan, share.bytes, share.chunks});
+  }
+  co_await engine_->execute(dst, dst_offset, src, src_offset,
+                            std::move(plan));
+}
+
+StaticPlanChannel::StaticPlanChannel(PipelineEngine& engine, StaticPlan plan,
+                                     std::size_t min_multipath_bytes)
+    : engine_(&engine),
+      plan_(std::move(plan)),
+      min_multipath_bytes_(min_multipath_bytes) {
+  if (plan_.paths.empty() ||
+      plan_.paths.size() != plan_.fractions.size() ||
+      plan_.paths.size() != plan_.chunks.size()) {
+    throw std::invalid_argument("StaticPlanChannel: inconsistent plan");
+  }
+  if (plan_.paths.front().kind != topo::PathKind::Direct) {
+    throw std::invalid_argument(
+        "StaticPlanChannel: first path must be direct");
+  }
+  double sum = 0.0;
+  for (double f : plan_.fractions) {
+    if (f < 0.0) {
+      throw std::invalid_argument("StaticPlanChannel: negative fraction");
+    }
+    sum += f;
+  }
+  if (std::abs(sum - 1.0) > 1e-6) {
+    throw std::invalid_argument("StaticPlanChannel: fractions must sum to 1");
+  }
+}
+
+sim::Task<void> StaticPlanChannel::transfer(gpusim::DeviceBuffer& dst,
+                                            std::size_t dst_offset,
+                                            const gpusim::DeviceBuffer& src,
+                                            std::size_t src_offset,
+                                            std::size_t bytes) {
+  if (bytes < min_multipath_bytes_) {
+    co_await engine_->execute(dst, dst_offset, src, src_offset,
+                              direct_plan(bytes));
+    co_return;
+  }
+  ExecPlan plan;
+  plan.reserve(plan_.paths.size());
+  std::uint64_t assigned = 0;
+  for (std::size_t i = 1; i < plan_.paths.size(); ++i) {
+    const auto share = static_cast<std::uint64_t>(
+        std::floor(plan_.fractions[i] * static_cast<double>(bytes)));
+    assigned += share;
+    plan.push_back(ExecPath{plan_.paths[i], share, plan_.chunks[i]});
+  }
+  // The direct path absorbs the rounding remainder, as in Algorithm 1.
+  plan.insert(plan.begin(),
+              ExecPath{plan_.paths[0], bytes - assigned, plan_.chunks[0]});
+  co_await engine_->execute(dst, dst_offset, src, src_offset,
+                            std::move(plan));
+}
+
+}  // namespace mpath::pipeline

@@ -1,0 +1,178 @@
+#include "mpath/pipeline/engine.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace mpath::pipeline {
+
+PipelineEngine::PipelineEngine(gpusim::GpuRuntime& runtime,
+                               std::size_t staging_buffers_per_device,
+                               gpusim::Payload staging_payload)
+    : runtime_(&runtime),
+      staging_(runtime, staging_buffers_per_device, staging_payload) {}
+
+gpusim::StreamId PipelineEngine::stream_for(const StreamKey& key,
+                                            topo::DeviceId device) {
+  auto it = streams_.find(key);
+  if (it == streams_.end()) {
+    it = streams_.emplace(key, runtime_->create_stream(device)).first;
+  }
+  return it->second;
+}
+
+sim::Engine::DelayAwaiter PipelineEngine::issue_cost() {
+  const auto& costs = runtime_->costs();
+  return runtime_->engine().delay(costs.op_launch_s *
+                                  runtime_->rng().jitter(costs.jitter_rel));
+}
+
+std::uint64_t PipelineEngine::bytes_on(topo::PathKind kind) const {
+  auto it = bytes_by_kind_.find(kind);
+  return it == bytes_by_kind_.end() ? 0 : it->second;
+}
+
+sim::Task<void> PipelineEngine::execute(gpusim::DeviceBuffer& dst,
+                                        std::size_t dst_offset,
+                                        const gpusim::DeviceBuffer& src,
+                                        std::size_t src_offset,
+                                        ExecPlan plan) {
+  std::uint64_t total = 0;
+  for (const ExecPath& p : plan) {
+    if (p.chunks < 1) {
+      throw std::invalid_argument("PipelineEngine: chunks must be >= 1");
+    }
+    if (p.plan.kind != topo::PathKind::Direct &&
+        p.plan.stage == topo::kInvalidDevice) {
+      throw std::invalid_argument("PipelineEngine: staged path without stage");
+    }
+    total += p.bytes;
+  }
+  // Bounds check up front; memcpy enqueues would catch it later, but a
+  // malformed plan should fail before any operation is issued.
+  src.check_region(src_offset, total);
+  dst.check_region(dst_offset, total);
+
+  const topo::DeviceId src_dev = src.device();
+  const topo::DeviceId dst_dev = dst.device();
+  const auto& costs = runtime_->costs();
+
+  // -- prepare per-path issue state -----------------------------------------
+  std::vector<PathIssue> paths;
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const ExecPath& spec = plan[i];
+    if (spec.bytes == 0) continue;
+    PathIssue pi;
+    pi.spec = spec;
+    pi.offset = offset;
+    offset += spec.bytes;
+    // Never more chunks than bytes.
+    const int k = static_cast<int>(std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(spec.chunks), spec.bytes));
+    pi.spec.chunks = k;
+    const std::uint64_t base = spec.bytes / static_cast<std::uint64_t>(k);
+    const std::uint64_t rem = spec.bytes % static_cast<std::uint64_t>(k);
+    std::size_t chunk_off = 0;
+    for (int c = 0; c < k; ++c) {
+      const std::size_t sz =
+          base + (static_cast<std::uint64_t>(c) < rem ? 1 : 0);
+      pi.chunk_offsets.push_back(chunk_off);
+      pi.chunk_sizes.push_back(sz);
+      chunk_off += sz;
+    }
+    pi.staged = spec.plan.kind != topo::PathKind::Direct;
+    if (pi.staged) {
+      pi.first_stream = stream_for({src_dev, dst_dev, i, 0}, src_dev);
+      pi.second_stream =
+          stream_for({src_dev, dst_dev, i, 1}, spec.plan.stage);
+      pi.extra_sync_s = spec.plan.kind == topo::PathKind::HostStaged
+                            ? costs.host_stage_sync_s
+                            : costs.stage_sync_s;
+      const std::size_t max_chunk =
+          *std::max_element(pi.chunk_sizes.begin(), pi.chunk_sizes.end());
+      // Double-buffered staging: two slots of the largest chunk.
+      pi.lease =
+          co_await staging_.acquire(spec.plan.stage, 2 * max_chunk, src_dev);
+      for (int c = 0; c < k; ++c) {
+        pi.fwd_events.push_back(runtime_->create_event());
+        pi.bwd_events.push_back(runtime_->create_event());
+      }
+    } else {
+      pi.first_stream = stream_for({src_dev, dst_dev, i, 0}, src_dev);
+    }
+    bytes_by_kind_[spec.plan.kind] += spec.bytes;
+    paths.push_back(std::move(pi));
+  }
+
+  // -- interleaved issue loop -------------------------------------------------
+  // One host loop issues chunk r of every path before chunk r+1 of any, so
+  // all paths begin flowing early while later paths still start strictly
+  // after earlier ones (sequential initiation).
+  int max_rounds = 0;
+  for (const PathIssue& pi : paths) {
+    max_rounds = std::max(max_rounds, pi.spec.chunks);
+  }
+  for (int r = 0; r < max_rounds; ++r) {
+    for (PathIssue& pi : paths) {
+      if (r >= pi.spec.chunks) continue;
+      const std::size_t c = static_cast<std::size_t>(r);
+      const std::size_t sz = pi.chunk_sizes[c];
+      const std::size_t src_at = src_offset + pi.offset + pi.chunk_offsets[c];
+      const std::size_t dst_at = dst_offset + pi.offset + pi.chunk_offsets[c];
+      if (!pi.staged) {
+        runtime_->memcpy_async(dst, dst_at, src, src_at, sz,
+                               pi.first_stream);
+        co_await issue_cost();
+        continue;
+      }
+      gpusim::DeviceBuffer& stage = pi.lease.buffer();
+      const std::size_t slot_off = (c % 2) * (stage.size() / 2);
+      if (r >= 2) {
+        // The slot is free once chunk c-2 left the staging device.
+        runtime_->wait_event(pi.first_stream, pi.bwd_events[c - 2]);
+        co_await issue_cost();
+      }
+      runtime_->memcpy_async(stage, slot_off, src, src_at, sz,
+                             pi.first_stream);
+      co_await issue_cost();
+      runtime_->record_event(pi.fwd_events[c], pi.first_stream);
+      co_await issue_cost();
+      runtime_->wait_event(pi.second_stream, pi.fwd_events[c]);
+      co_await issue_cost();
+      if (pi.extra_sync_s > 0.0) {
+        runtime_->stream_delay(pi.second_stream, pi.extra_sync_s);
+        co_await issue_cost();
+      }
+      runtime_->memcpy_async(dst, dst_at, stage, slot_off, sz,
+                             pi.second_stream);
+      co_await issue_cost();
+      runtime_->record_event(pi.bwd_events[c], pi.second_stream);
+      co_await issue_cost();
+    }
+  }
+
+  // -- completion ---------------------------------------------------------------
+  // Staged paths first: their staging lease returns to the pool the moment
+  // their own streams drain, so windowed transfers never hold buffers
+  // hostage while waiting for an unrelated (direct) slice to finish.
+  for (PathIssue& pi : paths) {
+    if (!pi.staged) continue;
+    co_await runtime_->synchronize(pi.second_stream);
+    if (src.materialized() && dst.materialized() &&
+        !pi.lease.buffer().materialized()) {
+      std::memcpy(dst.region(dst_offset + pi.offset, pi.spec.bytes).data(),
+                  src.region(src_offset + pi.offset, pi.spec.bytes).data(),
+                  pi.spec.bytes);
+    }
+    pi.lease.release();
+  }
+  for (PathIssue& pi : paths) {
+    if (pi.staged) continue;
+    co_await runtime_->synchronize(pi.first_stream);
+  }
+  ++transfers_;
+  // Leases release on scope exit, returning staging buffers to the pool.
+}
+
+}  // namespace mpath::pipeline

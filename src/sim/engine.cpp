@@ -1,0 +1,158 @@
+#include "mpath/sim/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "mpath/util/log.hpp"
+
+namespace mpath::sim {
+
+void Latch::fire() {
+  if (fired_) return;
+  fired_ = true;
+  // Resume via the event queue (at the current time) rather than inline, so
+  // that firing a latch from deep inside another coroutine cannot reenter
+  // arbitrary user state.
+  for (auto h : waiters_) {
+    engine_->schedule_handle(engine_->now(), h);
+  }
+  waiters_.clear();
+}
+
+Engine::~Engine() {
+  // Destroy any still-suspended root frames. Their Task destructors handle
+  // frame destruction; the queue may still hold handles into those frames,
+  // but it is destroyed without resuming anything.
+  while (!queue_.empty()) queue_.pop();
+}
+
+void Engine::schedule_handle(Time t, std::coroutine_handle<> h) {
+  assert(t >= now_ && "cannot schedule in the past");
+  queue_.push(Event{t < now_ ? now_ : t, next_seq_++, h, nullptr});
+}
+
+void Engine::schedule_callback(Time t, std::function<void()> fn) {
+  assert(t >= now_ && "cannot schedule in the past");
+  queue_.push(Event{t < now_ ? now_ : t, next_seq_++, nullptr, std::move(fn)});
+}
+
+namespace {
+Task<void> run_root(Task<void> inner,
+                    std::shared_ptr<detail::ProcState> state) {
+  try {
+    co_await std::move(inner);
+  } catch (...) {
+    state->exception = std::current_exception();
+  }
+  state->done.fire();
+}
+}  // namespace
+
+Process Engine::spawn(Task<void> task, std::string name) {
+  // Amortized reclamation: sweeping on a doubling watermark keeps spawn
+  // O(1) amortized even when millions of short-lived processes are created
+  // (every GPU stream operation is one).
+  if (roots_.size() >= sweep_watermark_) {
+    sweep_completed_roots();
+    sweep_watermark_ = std::max<std::size_t>(1024, 2 * roots_.size());
+  }
+  auto state = std::make_shared<detail::ProcState>(*this);
+  Task<void> root = run_root(std::move(task), state);
+  const auto handle = root.raw_handle();
+  roots_.push_back(Root{std::move(root), state, std::move(name)});
+  ++live_roots_;
+  schedule_handle(now_, handle);
+  return Process(std::move(state));
+}
+
+void Engine::sweep_completed_roots() {
+  std::erase_if(roots_, [](const Root& r) {
+    if (!r.task.done()) return false;
+    // Keep unobserved failures so run() can report them.
+    return !(r.state->exception && !r.state->observed);
+  });
+  std::size_t live = 0;
+  for (const Root& r : roots_) {
+    if (!r.task.done()) ++live;
+  }
+  live_roots_ = live;
+}
+
+void Engine::check_quiescence() const {
+  std::size_t blocked = 0;
+  std::string first_name;
+  for (const Root& r : roots_) {
+    if (!r.task.done()) {
+      ++blocked;
+      if (first_name.empty()) first_name = r.name.empty() ? "<anon>" : r.name;
+    }
+  }
+  if (blocked > 0) {
+    throw SimError("simulation deadlock: " + std::to_string(blocked) +
+                   " process(es) still blocked at t=" + std::to_string(now_) +
+                   " (first: " + first_name + ")");
+  }
+  for (const Root& r : roots_) {
+    if (r.state->exception && !r.state->observed) {
+      std::string name = r.name.empty() ? "<anon>" : r.name;
+      try {
+        std::rethrow_exception(r.state->exception);
+      } catch (const std::exception& e) {
+        throw SimError("unjoined process '" + name + "' failed: " + e.what());
+      } catch (...) {
+        throw SimError("unjoined process '" + name +
+                       "' failed with a non-std exception");
+      }
+    }
+  }
+}
+
+std::uint64_t Engine::run_impl(Time t_limit, bool bounded) {
+  std::uint64_t processed = 0;
+  while (!queue_.empty()) {
+    if (bounded && queue_.top().t > t_limit) {
+      now_ = t_limit;
+      return processed;
+    }
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.t;
+    if (ev.handle) {
+      ev.handle.resume();
+    } else {
+      ev.callback();
+    }
+    ++processed;
+  }
+  sweep_completed_roots();
+  check_quiescence();
+  roots_.clear();
+  return processed;
+}
+
+std::uint64_t Engine::run() {
+  return run_impl(0.0, /*bounded=*/false);
+}
+
+std::uint64_t Engine::run_until(Time t_limit) {
+  return run_impl(t_limit, /*bounded=*/true);
+}
+
+Task<void> when_all(Engine& engine, std::vector<Task<void>> tasks) {
+  std::vector<Process> procs;
+  procs.reserve(tasks.size());
+  for (auto& t : tasks) {
+    procs.push_back(engine.spawn(std::move(t)));
+  }
+  std::exception_ptr first_error;
+  for (auto& p : procs) {
+    try {
+      co_await p.join();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace mpath::sim

@@ -1,0 +1,171 @@
+#include "mpath/sim/fluid.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mpath::sim {
+
+namespace {
+// Flows whose remaining volume drops below this many bytes are complete;
+// guards against floating-point dust postponing completion events forever.
+constexpr double kRemainingEps = 1e-3;
+}  // namespace
+
+LinkId FluidNetwork::add_link(LinkSpec spec) {
+  if (spec.capacity_bps <= 0.0) {
+    throw std::invalid_argument("FluidNetwork: capacity must be positive (" +
+                                spec.name + ")");
+  }
+  if (spec.latency_s < 0.0) {
+    throw std::invalid_argument("FluidNetwork: latency must be >= 0 (" +
+                                spec.name + ")");
+  }
+  links_.push_back(LinkState{std::move(spec), 0.0});
+  return static_cast<LinkId>(links_.size() - 1);
+}
+
+const LinkSpec& FluidNetwork::link(LinkId id) const {
+  return links_.at(id).spec;
+}
+
+double FluidNetwork::link_allocated_rate(LinkId id) const {
+  if (id >= links_.size()) throw std::out_of_range("bad LinkId");
+  double rate = 0.0;
+  for (const Flow& f : flows_) {
+    for (LinkId l : f.route) {
+      if (l == id) rate += f.rate;
+    }
+  }
+  return rate;
+}
+
+double FluidNetwork::link_bytes_transferred(LinkId id) const {
+  return links_.at(id).bytes_transferred;
+}
+
+void FluidNetwork::progress_to_now() {
+  const Time now = engine_->now();
+  const double dt = now - last_progress_;
+  last_progress_ = now;
+  if (dt <= 0.0) return;
+  for (Flow& f : flows_) {
+    const double delivered = std::min(f.remaining, f.rate * dt);
+    f.remaining -= delivered;
+    for (LinkId l : f.route) {
+      links_[l].bytes_transferred += delivered;
+    }
+  }
+}
+
+void FluidNetwork::recompute_rates() {
+  // Water-filling max-min fairness. A route may traverse a link multiple
+  // times; each traversal consumes one share of that link.
+  const std::size_t nlinks = links_.size();
+  std::vector<double> residual(nlinks);
+  std::vector<double> unfrozen_mult(nlinks, 0.0);
+  for (std::size_t l = 0; l < nlinks; ++l) {
+    residual[l] = links_[l].spec.capacity_bps;
+  }
+  std::vector<Flow*> unfrozen;
+  for (Flow& f : flows_) {
+    f.rate = 0.0;
+    unfrozen.push_back(&f);
+    for (LinkId l : f.route) unfrozen_mult[l] += 1.0;
+  }
+
+  while (!unfrozen.empty()) {
+    // Find the bottleneck link: the one offering the smallest fair share.
+    double best_share = std::numeric_limits<double>::infinity();
+    std::size_t best_link = nlinks;
+    for (std::size_t l = 0; l < nlinks; ++l) {
+      if (unfrozen_mult[l] <= 0.0) continue;
+      const double share = residual[l] / unfrozen_mult[l];
+      if (share < best_share) {
+        best_share = share;
+        best_link = l;
+      }
+    }
+    assert(best_link < nlinks && "unfrozen flow with no links");
+    // Freeze every unfrozen flow that traverses the bottleneck link.
+    std::vector<Flow*> still_unfrozen;
+    still_unfrozen.reserve(unfrozen.size());
+    for (Flow* f : unfrozen) {
+      const bool through =
+          std::find(f->route.begin(), f->route.end(),
+                    static_cast<LinkId>(best_link)) != f->route.end();
+      if (!through) {
+        still_unfrozen.push_back(f);
+        continue;
+      }
+      f->rate = best_share;
+      for (LinkId l : f->route) {
+        residual[l] -= best_share;
+        unfrozen_mult[l] -= 1.0;
+      }
+    }
+    unfrozen.swap(still_unfrozen);
+  }
+}
+
+void FluidNetwork::schedule_next_completion() {
+  if (flows_.empty()) return;
+  double min_dt = std::numeric_limits<double>::infinity();
+  for (const Flow& f : flows_) {
+    if (f.rate > 0.0) {
+      min_dt = std::min(min_dt, std::max(0.0, f.remaining) / f.rate);
+    }
+  }
+  if (!std::isfinite(min_dt)) return;  // nothing can progress (shouldn't happen)
+  const std::uint64_t gen = ++timer_generation_;
+  engine_->schedule_callback(engine_->now() + min_dt,
+                             [this, gen] { on_completion_timer(gen); });
+}
+
+void FluidNetwork::on_completion_timer(std::uint64_t generation) {
+  if (generation != timer_generation_) return;  // superseded by a newer event
+  progress_to_now();
+  bool any_completed = false;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->remaining <= kRemainingEps) {
+      it->done->fire();
+      it = flows_.erase(it);
+      any_completed = true;
+    } else {
+      ++it;
+    }
+  }
+  if (any_completed) recompute_rates();
+  schedule_next_completion();
+}
+
+void FluidNetwork::begin_flow(std::vector<LinkId> route, double bytes,
+                              Latch* done) {
+  progress_to_now();
+  Flow f;
+  f.route = std::move(route);
+  f.remaining = bytes;
+  f.done.reset(done);
+  flows_.push_back(std::move(f));
+  recompute_rates();
+  schedule_next_completion();
+}
+
+Task<void> FluidNetwork::transfer(std::vector<LinkId> route, double bytes) {
+  double latency = 0.0;
+  for (LinkId l : route) {
+    latency += links_.at(l).spec.latency_s;
+  }
+  if (latency > 0.0) co_await engine_->delay(latency);
+  if (bytes <= 0.0 || route.empty()) co_return;
+  // The Latch must outlive this coroutine frame's suspension: ownership is
+  // transferred to the Flow, which the network destroys after firing it.
+  auto latch = std::make_unique<Latch>(*engine_);
+  Latch* lp = latch.get();
+  begin_flow(std::move(route), bytes, latch.release());
+  co_await lp->wait();
+}
+
+}  // namespace mpath::sim

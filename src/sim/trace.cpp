@@ -1,0 +1,104 @@
+#include "mpath/sim/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace mpath::sim {
+
+void Tracer::add_span(std::string track, std::string name, double t0,
+                      double t1) {
+  if (t1 < t0) {
+    throw std::invalid_argument("Tracer::add_span: t1 < t0");
+  }
+  spans_.push_back(Span{std::move(track), std::move(name), t0, t1});
+}
+
+void Tracer::add_instant(std::string track, std::string name, double t) {
+  instants_.push_back(Instant{std::move(track), std::move(name), t});
+}
+
+void Tracer::clear() {
+  spans_.clear();
+  instants_.clear();
+}
+
+namespace {
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::string Tracer::chrome_trace_json() const {
+  // Assign dense thread ids by first appearance, and emit metadata rows so
+  // viewers show the track names.
+  std::map<std::string, std::uint32_t> tracks;
+  auto tid = [&tracks](const std::string& t) {
+    auto it = tracks.find(t);
+    if (it == tracks.end()) {
+      it = tracks.emplace(t, static_cast<std::uint32_t>(tracks.size())).first;
+    }
+    return it->second;
+  };
+
+  std::ostringstream out;
+  out.precision(6);
+  out << std::fixed;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out << ",";
+    first = false;
+  };
+  for (const Span& s : spans_) {
+    sep();
+    out << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << tid(s.track) << ",\"ts\":"
+        << s.t0 * 1e6 << ",\"dur\":" << (s.t1 - s.t0) * 1e6 << ",\"name\":\""
+        << json_escape(s.name) << "\"}";
+  }
+  for (const Instant& i : instants_) {
+    sep();
+    out << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":" << tid(i.track)
+        << ",\"ts\":" << i.t * 1e6 << ",\"name\":\"" << json_escape(i.name)
+        << "\"}";
+  }
+  for (const auto& [name, id] : tracks) {
+    sep();
+    out << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << id
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+        << json_escape(name) << "\"}}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+void Tracer::write_chrome_trace(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("Tracer: cannot write " + path);
+  }
+  out << chrome_trace_json();
+}
+
+}  // namespace mpath::sim

@@ -1,0 +1,33 @@
+#include "mpath/topo/binding.hpp"
+
+namespace mpath::topo {
+
+NetworkBinding::NetworkBinding(const Topology& topo, sim::FluidNetwork& net)
+    : topo_(&topo), net_(&net) {
+  edge_to_link_.reserve(topo.edges().size());
+  for (const Edge& e : topo.edges()) {
+    edge_to_link_.push_back(net.add_link(
+        sim::LinkSpec{e.name, e.capacity_bps, e.latency_s}));
+  }
+}
+
+sim::LinkId NetworkBinding::link_for_edge(EdgeId edge) const {
+  return edge_to_link_.at(edge);
+}
+
+std::vector<sim::LinkId> NetworkBinding::links_for_route(
+    std::span<const EdgeId> route) const {
+  std::vector<sim::LinkId> out;
+  out.reserve(route.size());
+  for (EdgeId e : route) {
+    out.push_back(edge_to_link_.at(e));
+  }
+  return out;
+}
+
+std::vector<sim::LinkId> NetworkBinding::route_links(DeviceId from,
+                                                     DeviceId to) const {
+  return links_for_route(topo_->route(from, to));
+}
+
+}  // namespace mpath::topo

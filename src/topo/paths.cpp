@@ -1,0 +1,88 @@
+#include "mpath/topo/paths.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mpath::topo {
+
+std::string_view to_string(PathKind kind) {
+  switch (kind) {
+    case PathKind::Direct: return "direct";
+    case PathKind::GpuStaged: return "gpu-staged";
+    case PathKind::HostStaged: return "host-staged";
+  }
+  return "?";
+}
+
+std::string describe(const PathPlan& plan, const Topology& topo) {
+  if (plan.kind == PathKind::Direct) return "direct";
+  return "via " + topo.device(plan.stage).name;
+}
+
+std::string PathPolicy::label() const {
+  // Match the labels used in the paper's figures.
+  std::string base = std::to_string(max_gpu_staged + 1) + "_GPUs";
+  if (max_gpu_staged == 0) base = "direct";
+  if (include_host) base += "_w_host";
+  return base;
+}
+
+std::vector<PathPlan> enumerate_paths(const Topology& topo, DeviceId src,
+                                      DeviceId dst, const PathPolicy& policy) {
+  if (src == dst) {
+    throw std::invalid_argument("enumerate_paths: src == dst");
+  }
+  if (topo.device(src).kind != DeviceKind::Gpu ||
+      topo.device(dst).kind != DeviceKind::Gpu) {
+    throw std::invalid_argument("enumerate_paths: endpoints must be GPUs");
+  }
+  std::vector<PathPlan> out;
+  out.push_back(PathPlan{PathKind::Direct, kInvalidDevice});
+
+  // GPU stages: GPUs with direct links on both hops, by bottleneck capacity.
+  struct Candidate {
+    DeviceId stage;
+    double bottleneck;
+  };
+  std::vector<Candidate> candidates;
+  for (DeviceId g : topo.gpus()) {
+    if (g == src || g == dst) continue;
+    auto in = topo.direct_edge(src, g);
+    auto eg_out = topo.direct_edge(g, dst);
+    if (!in || !eg_out) continue;
+    const double cap = std::min(topo.edges()[*in].capacity_bps,
+                                topo.edges()[*eg_out].capacity_bps);
+    candidates.push_back({g, cap});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.bottleneck != b.bottleneck) {
+                return a.bottleneck > b.bottleneck;
+              }
+              return a.stage < b.stage;
+            });
+  const auto n_staged = std::min<std::size_t>(
+      candidates.size(),
+      policy.max_gpu_staged < 0 ? 0
+                                : static_cast<std::size_t>(
+                                      policy.max_gpu_staged));
+  for (std::size_t i = 0; i < n_staged; ++i) {
+    out.push_back(PathPlan{PathKind::GpuStaged, candidates[i].stage});
+  }
+
+  if (policy.include_host) {
+    out.push_back(PathPlan{PathKind::HostStaged, topo.nearest_host(src)});
+  }
+  return out;
+}
+
+std::vector<std::vector<EdgeId>> path_hop_routes(const Topology& topo,
+                                                 DeviceId src, DeviceId dst,
+                                                 const PathPlan& plan) {
+  if (plan.kind == PathKind::Direct) {
+    return {topo.route(src, dst)};
+  }
+  return {topo.route(src, plan.stage), topo.route(plan.stage, dst)};
+}
+
+}  // namespace mpath::topo

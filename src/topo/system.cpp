@@ -1,0 +1,148 @@
+#include "mpath/topo/system.hpp"
+
+#include <stdexcept>
+
+#include "mpath/util/units.hpp"
+
+namespace mpath::topo {
+
+using util::gbps;
+using util::usec;
+
+System make_beluga() {
+  Topology t("beluga");
+  const DeviceId host = t.add_device(DeviceKind::Host, 0, "host0");
+  t.add_memory_channel(host, gbps(30.0), usec(0.2));
+
+  std::vector<DeviceId> gpu;
+  for (int i = 0; i < 4; ++i) {
+    gpu.push_back(t.add_device(DeviceKind::Gpu, 0, "gpu" + std::to_string(i)));
+  }
+  // Full NVLink2 mesh: two bricks per pair, ~23 GB/s/dir each -> 46 GB/s.
+  for (std::size_t a = 0; a < gpu.size(); ++a) {
+    for (std::size_t b = a + 1; b < gpu.size(); ++b) {
+      t.connect_duplex(gpu[a], gpu[b], LinkKind::NVLink2, gbps(46.0),
+                       usec(1.0));
+    }
+  }
+  // Dedicated PCIe3 x16 per GPU to the host root complex.
+  for (DeviceId g : gpu) {
+    t.connect_duplex(g, host, LinkKind::PCIe3, gbps(12.0), usec(1.6));
+  }
+
+  SoftwareCosts costs;  // defaults tuned for the V100/PCIe3 era
+  costs.ipc_open_s = 140e-6;
+  return System{std::move(t), costs};
+}
+
+System make_narval() {
+  Topology t("narval");
+  // One NUMA domain (host + private DRAM channel) per GPU; see paper Fig. 3.
+  std::vector<DeviceId> host, gpu;
+  for (int i = 0; i < 4; ++i) {
+    host.push_back(
+        t.add_device(DeviceKind::Host, i, "host" + std::to_string(i)));
+    t.add_memory_channel(host[static_cast<std::size_t>(i)], gbps(16.0),
+                         usec(0.25));
+  }
+  for (int i = 0; i < 4; ++i) {
+    gpu.push_back(t.add_device(DeviceKind::Gpu, i, "gpu" + std::to_string(i)));
+  }
+  // Full NVLink3 mesh: four bricks per pair, ~23 GB/s/dir each -> 92 GB/s.
+  for (std::size_t a = 0; a < gpu.size(); ++a) {
+    for (std::size_t b = a + 1; b < gpu.size(); ++b) {
+      t.connect_duplex(gpu[a], gpu[b], LinkKind::NVLink3, gbps(92.0),
+                       usec(0.9));
+    }
+  }
+  // PCIe4 x16 per GPU into its own NUMA domain.
+  for (std::size_t i = 0; i < 4; ++i) {
+    t.connect_duplex(gpu[i], host[i], LinkKind::PCIe4, gbps(24.0), usec(1.4));
+  }
+  // Inter-domain fabric. Domains {0,1} and {2,3} share a socket (fast
+  // on-die fabric); cross-socket pairs ride the slower UPI-equivalent.
+  auto fabric = [&](std::size_t a, std::size_t b, double bw, double lat) {
+    t.connect_duplex(host[a], host[b], LinkKind::UPI, gbps(bw), usec(lat));
+  };
+  fabric(0, 1, 40.0, 0.5);
+  fabric(2, 3, 40.0, 0.5);
+  fabric(0, 2, 18.0, 1.0);
+  fabric(0, 3, 18.0, 1.0);
+  fabric(1, 2, 18.0, 1.0);
+  fabric(1, 3, 18.0, 1.0);
+
+  SoftwareCosts costs;
+  costs.op_launch_s = 1.0e-6;
+  costs.ipc_open_s = 110e-6;
+  costs.host_stage_sync_s = 5.0e-6;  // cross-NUMA staging is costlier
+  return System{std::move(t), costs};
+}
+
+System make_dgx_nvswitch() {
+  Topology t("dgx-nvswitch");
+  const DeviceId host = t.add_device(DeviceKind::Host, 0, "host0");
+  t.add_memory_channel(host, gbps(80.0), usec(0.2));
+  const DeviceId sw = t.add_device(DeviceKind::Host, 0, "nvswitch");
+  std::vector<DeviceId> gpu;
+  for (int i = 0; i < 8; ++i) {
+    gpu.push_back(t.add_device(DeviceKind::Gpu, 0, "gpu" + std::to_string(i)));
+  }
+  for (DeviceId g : gpu) {
+    // All-to-all through the switch at full NVLink4 bandwidth per GPU.
+    t.connect_duplex(g, sw, LinkKind::NVSwitch, gbps(300.0), usec(0.7));
+    t.connect_duplex(g, host, LinkKind::PCIe5, gbps(48.0), usec(1.2));
+  }
+
+  SoftwareCosts costs;
+  costs.op_launch_s = 0.9e-6;
+  return System{std::move(t), costs};
+}
+
+System make_pcie_only() {
+  Topology t("pcie-only");
+  std::vector<DeviceId> host;
+  for (int i = 0; i < 2; ++i) {
+    host.push_back(
+        t.add_device(DeviceKind::Host, i, "host" + std::to_string(i)));
+    t.add_memory_channel(host[static_cast<std::size_t>(i)], gbps(25.0),
+                         usec(0.2));
+  }
+  t.connect_duplex(host[0], host[1], LinkKind::UPI, gbps(20.0), usec(1.0));
+  std::vector<DeviceId> gpu;
+  for (int i = 0; i < 4; ++i) {
+    const int numa = i / 2;
+    gpu.push_back(
+        t.add_device(DeviceKind::Gpu, numa, "gpu" + std::to_string(i)));
+    t.connect_duplex(gpu.back(), host[static_cast<std::size_t>(numa)],
+                     LinkKind::PCIe4, gbps(24.0), usec(1.5));
+  }
+  return System{std::move(t), SoftwareCosts{}};
+}
+
+System make_amd_ring() {
+  Topology t("amd-ring");
+  const DeviceId host = t.add_device(DeviceKind::Host, 0, "host0");
+  t.add_memory_channel(host, gbps(40.0), usec(0.2));
+  std::vector<DeviceId> gpu;
+  for (int i = 0; i < 4; ++i) {
+    gpu.push_back(t.add_device(DeviceKind::Gpu, 0, "gpu" + std::to_string(i)));
+    t.connect_duplex(gpu.back(), host, LinkKind::PCIe4, gbps(24.0), usec(1.5));
+  }
+  // xGMI ring: 0-1-2-3-0. Non-adjacent pairs hop through a neighbor GPU.
+  for (std::size_t i = 0; i < 4; ++i) {
+    t.connect_duplex(gpu[i], gpu[(i + 1) % 4], LinkKind::XGMI, gbps(50.0),
+                     usec(1.1));
+  }
+  return System{std::move(t), SoftwareCosts{}};
+}
+
+System make_system(std::string_view name) {
+  if (name == "beluga") return make_beluga();
+  if (name == "narval") return make_narval();
+  if (name == "dgx") return make_dgx_nvswitch();
+  if (name == "pcie") return make_pcie_only();
+  if (name == "amd") return make_amd_ring();
+  throw std::invalid_argument("unknown system preset: " + std::string(name));
+}
+
+}  // namespace mpath::topo

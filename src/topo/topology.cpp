@@ -1,0 +1,229 @@
+#include "mpath/topo/topology.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace mpath::topo {
+
+std::string_view to_string(LinkKind kind) {
+  switch (kind) {
+    case LinkKind::NVLink2: return "NVLink2";
+    case LinkKind::NVLink3: return "NVLink3";
+    case LinkKind::NVLink4: return "NVLink4";
+    case LinkKind::PCIe3: return "PCIe3";
+    case LinkKind::PCIe4: return "PCIe4";
+    case LinkKind::PCIe5: return "PCIe5";
+    case LinkKind::UPI: return "UPI";
+    case LinkKind::XGMI: return "xGMI";
+    case LinkKind::MemChan: return "MemChan";
+    case LinkKind::NVSwitch: return "NVSwitch";
+  }
+  return "?";
+}
+
+std::string_view to_string(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::Gpu: return "GPU";
+    case DeviceKind::Host: return "Host";
+  }
+  return "?";
+}
+
+DeviceId Topology::add_device(DeviceKind kind, int numa_node,
+                              std::string name) {
+  const auto id = static_cast<DeviceId>(devices_.size());
+  devices_.push_back(DeviceInfo{id, kind, numa_node, std::move(name)});
+  adjacency_.emplace_back();
+  route_cache_.clear();
+  return id;
+}
+
+EdgeId Topology::connect(DeviceId from, DeviceId to, LinkKind kind,
+                         double capacity_bps, double latency_s) {
+  if (from >= devices_.size() || to >= devices_.size() || from == to) {
+    throw std::invalid_argument("Topology::connect: bad endpoints");
+  }
+  if (capacity_bps <= 0.0 || latency_s < 0.0) {
+    throw std::invalid_argument("Topology::connect: bad link parameters");
+  }
+  const auto id = static_cast<EdgeId>(edges_.size());
+  std::string name = devices_[from].name + "->" + devices_[to].name + ":" +
+                     std::string(to_string(kind));
+  edges_.push_back(
+      Edge{id, from, to, kind, capacity_bps, latency_s, std::move(name), false});
+  adjacency_[from].push_back(id);
+  route_cache_.clear();
+  return id;
+}
+
+std::pair<EdgeId, EdgeId> Topology::connect_duplex(DeviceId a, DeviceId b,
+                                                   LinkKind kind,
+                                                   double capacity_bps,
+                                                   double latency_s) {
+  EdgeId ab = connect(a, b, kind, capacity_bps, latency_s);
+  EdgeId ba = connect(b, a, kind, capacity_bps, latency_s);
+  return {ab, ba};
+}
+
+EdgeId Topology::add_memory_channel(DeviceId host, double capacity_bps,
+                                    double latency_s) {
+  if (host >= devices_.size() || devices_[host].kind != DeviceKind::Host) {
+    throw std::invalid_argument(
+        "Topology::add_memory_channel: not a Host device");
+  }
+  if (memory_channels_.count(host) != 0) {
+    throw std::invalid_argument(
+        "Topology::add_memory_channel: host already has a channel");
+  }
+  const auto id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{id, host, host, LinkKind::MemChan, capacity_bps,
+                        latency_s, devices_[host].name + ":MemChan", true});
+  memory_channels_.emplace(host, id);
+  route_cache_.clear();
+  return id;
+}
+
+const DeviceInfo& Topology::device(DeviceId id) const {
+  if (id >= devices_.size()) throw std::out_of_range("bad DeviceId");
+  return devices_[id];
+}
+
+std::vector<DeviceId> Topology::gpus() const {
+  std::vector<DeviceId> out;
+  for (const auto& d : devices_) {
+    if (d.kind == DeviceKind::Gpu) out.push_back(d.id);
+  }
+  return out;
+}
+
+std::vector<DeviceId> Topology::hosts() const {
+  std::vector<DeviceId> out;
+  for (const auto& d : devices_) {
+    if (d.kind == DeviceKind::Host) out.push_back(d.id);
+  }
+  return out;
+}
+
+DeviceId Topology::host_for_numa(int numa_node) const {
+  for (const auto& d : devices_) {
+    if (d.kind == DeviceKind::Host && d.numa_node == numa_node) return d.id;
+  }
+  throw std::runtime_error("Topology: no host in NUMA node " +
+                           std::to_string(numa_node));
+}
+
+DeviceId Topology::nearest_host(DeviceId dev) const {
+  const auto& info = device(dev);
+  for (const auto& d : devices_) {
+    if (d.kind == DeviceKind::Host && d.numa_node == info.numa_node) {
+      return d.id;
+    }
+  }
+  for (const auto& d : devices_) {
+    if (d.kind == DeviceKind::Host) return d.id;
+  }
+  throw std::runtime_error("Topology: no host device");
+}
+
+std::optional<EdgeId> Topology::direct_edge(DeviceId a, DeviceId b) const {
+  std::optional<EdgeId> best;
+  for (EdgeId e : adjacency_.at(a)) {
+    if (edges_[e].to != b) continue;
+    if (!best || edges_[e].capacity_bps > edges_[*best].capacity_bps) {
+      best = e;
+    }
+  }
+  return best;
+}
+
+const std::vector<EdgeId>& Topology::route(DeviceId from, DeviceId to) const {
+  const auto key = std::make_pair(from, to);
+  auto it = route_cache_.find(key);
+  if (it == route_cache_.end()) {
+    it = route_cache_.emplace(key, compute_route(from, to)).first;
+  }
+  return it->second;
+}
+
+std::vector<EdgeId> Topology::compute_route(DeviceId from, DeviceId to) const {
+  if (from >= devices_.size() || to >= devices_.size()) {
+    throw std::out_of_range("Topology::route: bad DeviceId");
+  }
+  std::vector<EdgeId> path;
+  if (from != to) {
+    // Dijkstra over non-memory-channel edges. Edge weight approximates the
+    // cost of pushing a reference-sized transfer (1 MiB) through the edge,
+    // so higher-bandwidth links are preferred and latency breaks ties.
+    constexpr double kRefBytes = 1.0 * (1 << 20);
+    const double inf = std::numeric_limits<double>::infinity();
+    std::vector<double> dist(devices_.size(), inf);
+    std::vector<EdgeId> via(devices_.size(), 0);
+    std::vector<bool> has_via(devices_.size(), false);
+    using Item = std::pair<double, DeviceId>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+    dist[from] = 0.0;
+    heap.emplace(0.0, from);
+    while (!heap.empty()) {
+      auto [d, u] = heap.top();
+      heap.pop();
+      if (d > dist[u]) continue;
+      if (u == to) break;
+      // A GPU cannot transparently forward traffic: data only transits a
+      // GPU when the hardware routes it (AMD xGMI rings). NVLink/PCIe
+      // forwarding requires explicit staging, which is modeled as separate
+      // hop transfers by the pipeline engine, not as routing.
+      const bool gpu_transit = u != from && devices_[u].kind == DeviceKind::Gpu;
+      for (EdgeId e : adjacency_[u]) {
+        const Edge& edge = edges_[e];
+        if (gpu_transit && (edge.kind != LinkKind::XGMI ||
+                            edges_[via[u]].kind != LinkKind::XGMI)) {
+          continue;
+        }
+        const double w = edge.latency_s + kRefBytes / edge.capacity_bps;
+        if (dist[u] + w < dist[edge.to]) {
+          dist[edge.to] = dist[u] + w;
+          via[edge.to] = e;
+          has_via[edge.to] = true;
+          heap.emplace(dist[edge.to], edge.to);
+        }
+      }
+    }
+    if (!has_via[to]) {
+      throw std::runtime_error("Topology: no route " + devices_[from].name +
+                               " -> " + devices_[to].name);
+    }
+    for (DeviceId v = to; v != from;) {
+      path.push_back(via[v]);
+      v = edges_[via[v]].from;
+    }
+    std::reverse(path.begin(), path.end());
+  }
+  // DMA into or out of host DRAM consumes the host's memory channel.
+  if (auto it = memory_channels_.find(from); it != memory_channels_.end()) {
+    path.insert(path.begin(), it->second);
+  }
+  if (auto it = memory_channels_.find(to); it != memory_channels_.end()) {
+    path.push_back(it->second);
+  }
+  return path;
+}
+
+double Topology::route_capacity(std::span<const EdgeId> route) const {
+  double cap = std::numeric_limits<double>::infinity();
+  for (EdgeId e : route) {
+    cap = std::min(cap, edges_.at(e).capacity_bps);
+  }
+  return cap;
+}
+
+double Topology::route_latency(std::span<const EdgeId> route) const {
+  double lat = 0.0;
+  for (EdgeId e : route) {
+    lat += edges_.at(e).latency_s;
+  }
+  return lat;
+}
+
+}  // namespace mpath::topo

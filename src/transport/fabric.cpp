@@ -1,0 +1,110 @@
+#include "mpath/transport/fabric.hpp"
+
+#include <stdexcept>
+
+namespace mpath::transport {
+
+Fabric::Fabric(gpusim::GpuRuntime& runtime, gpusim::DataChannel& channel,
+               TransportOptions options)
+    : runtime_(&runtime), channel_(&channel), options_(options) {}
+
+Fabric::~Fabric() = default;
+
+Worker& Fabric::add_worker(int rank, topo::DeviceId device) {
+  if (rank != static_cast<int>(workers_.size())) {
+    throw std::invalid_argument(
+        "Fabric::add_worker: ranks must be added densely from 0");
+  }
+  workers_.push_back(std::make_unique<Worker>(*this, rank, device));
+  return *workers_.back();
+}
+
+Worker& Fabric::worker(int rank) {
+  if (rank < 0 || rank >= worker_count()) {
+    throw std::out_of_range("Fabric::worker: bad rank");
+  }
+  return *workers_[static_cast<std::size_t>(rank)];
+}
+
+namespace {
+bool matches(int want_src, int want_tag, int src, int tag) {
+  return (want_src == kAnySource || want_src == src) &&
+         (want_tag == kAnyTag || want_tag == tag);
+}
+}  // namespace
+
+sim::Task<void> Worker::send(int dst_rank, const gpusim::DeviceBuffer& buf,
+                             std::size_t offset, std::size_t bytes, int tag) {
+  buf.check_region(offset, bytes);  // validate eagerly
+  if (tag < 0) {
+    throw std::invalid_argument("Worker::send: tag must be non-negative");
+  }
+  Worker& receiver = fabric_->worker(dst_rank);
+  ++fabric_->messages_;
+  fabric_->bytes_ += bytes;
+
+  SendEntry entry{rank_, tag, bytes, &buf, offset, device_, nullptr};
+
+  // Second arrival drives the transfer: look for a matching posted recv.
+  for (auto it = receiver.posted_.begin(); it != receiver.posted_.end();
+       ++it) {
+    if (!matches(it->src_rank, it->tag, rank_, tag)) continue;
+    if (it->bytes < bytes) {
+      throw std::runtime_error("Worker::send: receive buffer too small");
+    }
+    RecvEntry recv = *it;
+    receiver.posted_.erase(it);
+    co_await receiver.do_transfer(entry, recv);
+    recv.done->fire();
+    co_return;
+  }
+
+  // No recv posted yet: park in the receiver's unexpected queue.
+  sim::Latch done(fabric_->runtime_->engine());
+  entry.done = &done;
+  receiver.unexpected_.push_back(entry);
+  co_await done.wait();
+}
+
+sim::Task<void> Worker::recv(int src_rank, gpusim::DeviceBuffer& buf,
+                             std::size_t offset, std::size_t bytes, int tag) {
+  buf.check_region(offset, bytes);
+  RecvEntry entry{src_rank, tag, bytes, &buf, offset, nullptr};
+
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if (!matches(src_rank, tag, it->src_rank, it->tag)) continue;
+    if (bytes < it->bytes) {
+      throw std::runtime_error("Worker::recv: receive buffer too small");
+    }
+    SendEntry send = *it;
+    unexpected_.erase(it);
+    co_await do_transfer(send, entry);
+    send.done->fire();
+    co_return;
+  }
+
+  sim::Latch done(fabric_->runtime_->engine());
+  entry.done = &done;
+  posted_.push_back(entry);
+  co_await done.wait();
+}
+
+sim::Task<void> Worker::do_transfer(const SendEntry& send,
+                                    const RecvEntry& recv) {
+  gpusim::GpuRuntime& rt = *fabric_->runtime_;
+  const TransportOptions& opt = fabric_->options_;
+  if (send.bytes <= opt.eager_threshold) {
+    ++fabric_->eager_;
+    co_await rt.engine().delay(opt.eager_overhead_s);
+  } else {
+    ++fabric_->rendezvous_;
+    // RTS/CTS handshake, then the sender maps the receiver's buffer via
+    // CUDA IPC (cached after the first open) and PUTs into it.
+    co_await rt.engine().delay(rt.costs().rendezvous_s);
+    co_await rt.ipc_open(send.src_device, *recv.buf);
+  }
+  co_await fabric_->channel_->transfer(*recv.buf, recv.offset, *send.buf,
+                                       send.offset, send.bytes);
+}
+
+}  // namespace mpath::transport

@@ -1,0 +1,151 @@
+#include "mpath/tuning/static_tuner.hpp"
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "mpath/benchcore/omb.hpp"
+#include "mpath/benchcore/stack.hpp"
+#include "mpath/util/log.hpp"
+
+namespace mpath::tuning {
+
+StaticTuner::StaticTuner(topo::System system, topo::PathPolicy policy,
+                         StaticTunerOptions options)
+    : system_(std::move(system)), policy_(policy), options_(std::move(options)) {
+  const auto gpus = system_.topology.gpus();
+  if (gpus.size() < 2) {
+    throw std::invalid_argument("StaticTuner: need at least two GPUs");
+  }
+  paths_ = topo::enumerate_paths(system_.topology, gpus[0], gpus[1], policy_);
+}
+
+double StaticTuner::measure(const pipeline::StaticPlan& plan,
+                            std::size_t bytes) const {
+  benchcore::StackOptions stack_opt;
+  stack_opt.seed = options_.seed;
+  auto stack = benchcore::SimStack::static_plan(system_, plan, stack_opt);
+  benchcore::P2POptions p2p;
+  p2p.window = options_.window;
+  p2p.iterations = options_.iterations;
+  p2p.warmup = options_.warmup;
+  return options_.metric == TuneMetric::Unidirectional
+             ? benchcore::measure_bw(stack.world(), bytes, p2p)
+             : benchcore::measure_bibw(stack.world(), bytes, p2p);
+}
+
+StaticTuneResult StaticTuner::tune(std::size_t bytes) {
+  StaticTuneResult best;
+  if (load_cached(bytes, best)) {
+    best.from_cache = true;
+    return best;
+  }
+
+  const std::size_t p = paths_.size();
+  const int steps = std::max(1, static_cast<int>(
+                                    std::lround(1.0 / options_.fraction_step)));
+  // Enumerate all compositions (f_1, ..., f_{p-1}) of the staged shares on
+  // the grid; the direct path takes the remainder (and must keep > 0).
+  std::vector<int> shares(p, 0);
+  std::vector<std::vector<int>> compositions;
+  std::vector<int> current(p - 1, 0);
+  std::function<void(std::size_t, int)> enumerate =
+      [&](std::size_t idx, int remaining) {
+        if (idx == current.size()) {
+          compositions.push_back(current);
+          return;
+        }
+        for (int v = 0; v <= remaining; ++v) {
+          current[idx] = v;
+          enumerate(idx + 1, remaining - v);
+        }
+      };
+  enumerate(0, steps - 1);  // direct keeps at least one grid step
+
+  for (const auto& comp : compositions) {
+    int staged_total = 0;
+    for (int v : comp) staged_total += v;
+    const int direct_share = steps - staged_total;
+    const bool any_staged = staged_total > 0;
+    for (int k : options_.chunk_grid) {
+      pipeline::StaticPlan plan;
+      plan.paths = paths_;
+      plan.fractions.resize(p);
+      plan.chunks.assign(p, 1);
+      plan.fractions[0] =
+          static_cast<double>(direct_share) / static_cast<double>(steps);
+      for (std::size_t i = 1; i < p; ++i) {
+        plan.fractions[i] = static_cast<double>(comp[i - 1]) /
+                            static_cast<double>(steps);
+        plan.chunks[i] = k;
+      }
+      const double bw = measure(plan, bytes);
+      ++best.evaluated;
+      if (bw > best.bandwidth_bps) {
+        best.bandwidth_bps = bw;
+        best.plan = std::move(plan);
+      }
+      // All-direct plans do not depend on k; skip redundant chunk points.
+      if (!any_staged) break;
+    }
+  }
+  MPATH_INFO << "StaticTuner(" << system_.topology.name() << ", "
+             << policy_.label() << ", " << bytes << "B): best "
+             << best.bandwidth_bps / 1e9 << " GB/s over " << best.evaluated
+             << " candidates";
+  store_cached(bytes, best);
+  return best;
+}
+
+std::string StaticTuner::cache_path(std::size_t bytes) const {
+  std::ostringstream name;
+  name << "static_" << system_.topology.name() << "_" << policy_.label()
+       << "_"
+       << (options_.metric == TuneMetric::Unidirectional ? "bw" : "bibw")
+       << "_w" << options_.window << "_" << bytes << ".csv";
+  return options_.cache_dir + "/" + name.str();
+}
+
+bool StaticTuner::load_cached(std::size_t bytes, StaticTuneResult& out) const {
+  if (options_.cache_dir.empty()) return false;
+  std::ifstream in(cache_path(bytes));
+  if (!in) return false;
+  StaticTuneResult result;
+  result.plan.paths = paths_;
+  std::string line;
+  if (!std::getline(in, line)) return false;
+  std::istringstream ss(line);
+  std::string cell;
+  if (!std::getline(ss, cell, ',')) return false;
+  result.bandwidth_bps = std::stod(cell);
+  for (std::size_t i = 0; i < paths_.size(); ++i) {
+    if (!std::getline(ss, cell, ',')) return false;
+    result.plan.fractions.push_back(std::stod(cell));
+  }
+  for (std::size_t i = 0; i < paths_.size(); ++i) {
+    if (!std::getline(ss, cell, ',')) return false;
+    result.plan.chunks.push_back(std::stoi(cell));
+  }
+  out = std::move(result);
+  return true;
+}
+
+void StaticTuner::store_cached(std::size_t bytes,
+                               const StaticTuneResult& result) const {
+  if (options_.cache_dir.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(options_.cache_dir, ec);
+  std::ofstream out(cache_path(bytes), std::ios::trunc);
+  if (!out) {
+    MPATH_WARN << "StaticTuner: cannot write cache " << cache_path(bytes);
+    return;
+  }
+  out.precision(17);  // full double round-trip
+  out << result.bandwidth_bps;
+  for (double f : result.plan.fractions) out << "," << f;
+  for (int k : result.plan.chunks) out << "," << k;
+  out << "\n";
+}
+
+}  // namespace mpath::tuning

@@ -1,0 +1,65 @@
+#include "mpath/util/csv.hpp"
+
+#include <cstdio>
+#include <span>
+#include <stdexcept>
+
+namespace mpath::util {
+
+CsvWriter::CsvWriter(std::string path) : path_(std::move(path)) {}
+
+void CsvWriter::ensure_open() {
+  if (out_.is_open()) return;
+  out_.open(path_, std::ios::out | std::ios::trunc);
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path_);
+  }
+}
+
+std::string CsvWriter::escape(std::string_view cell) {
+  const bool needs_quote =
+      cell.find_first_of(",\"\n") != std::string_view::npos;
+  if (!needs_quote) return std::string(cell);
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::write_cells(std::span<const std::string_view> cells) {
+  ensure_open();
+  bool first = true;
+  for (auto cell : cells) {
+    if (!first) out_ << ',';
+    first = false;
+    out_ << escape(cell);
+  }
+  out_ << '\n';
+  out_.flush();
+}
+
+void CsvWriter::header(std::initializer_list<std::string_view> columns) {
+  std::vector<std::string_view> v(columns);
+  write_cells(v);
+}
+
+void CsvWriter::row(std::initializer_list<std::string_view> cells) {
+  std::vector<std::string_view> v(cells);
+  write_cells(v);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  std::vector<std::string_view> v(cells.begin(), cells.end());
+  write_cells(v);
+}
+
+std::string CsvWriter::num(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace mpath::util

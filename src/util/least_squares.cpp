@@ -1,0 +1,58 @@
+#include "mpath/util/least_squares.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mpath::util {
+
+LineFit fit_line(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("fit_line: size mismatch");
+  }
+  const auto n = static_cast<double>(xs.size());
+  if (xs.size() < 2) {
+    throw std::invalid_argument("fit_line: need at least two samples");
+  }
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) {
+    throw std::invalid_argument("fit_line: all x values identical");
+  }
+  LineFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+
+  const double y_mean = sy / n;
+  double ss_tot = 0, ss_res = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double pred = fit.intercept + fit.slope * xs[i];
+    ss_res += (ys[i] - pred) * (ys[i] - pred);
+    ss_tot += (ys[i] - y_mean) * (ys[i] - y_mean);
+  }
+  fit.r_squared = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+double fit_proportional(std::span<const double> xs,
+                        std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.empty()) {
+    throw std::invalid_argument("fit_proportional: bad input sizes");
+  }
+  double sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  if (sxx == 0.0) {
+    throw std::invalid_argument("fit_proportional: all x zero");
+  }
+  return sxy / sxx;
+}
+
+}  // namespace mpath::util

@@ -1,0 +1,62 @@
+#include "mpath/util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mpath::util {
+
+namespace {
+
+std::atomic<LogLevel> g_level{[] {
+  if (const char* env = std::getenv("MPATH_LOG")) {
+    std::string_view s(env);
+    if (s == "debug") return LogLevel::Debug;
+    if (s == "info") return LogLevel::Info;
+    if (s == "warn") return LogLevel::Warn;
+    if (s == "error") return LogLevel::Error;
+    if (s == "off") return LogLevel::Off;
+  }
+  return LogLevel::Warn;
+}()};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug:
+      return "DEBUG";
+    case LogLevel::Info:
+      return "INFO";
+    case LogLevel::Warn:
+      return "WARN";
+    case LogLevel::Error:
+      return "ERROR";
+    case LogLevel::Off:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+void set_log_level(std::string_view name) {
+  if (name == "debug") set_log_level(LogLevel::Debug);
+  else if (name == "info") set_log_level(LogLevel::Info);
+  else if (name == "warn") set_log_level(LogLevel::Warn);
+  else if (name == "error") set_log_level(LogLevel::Error);
+  else if (name == "off") set_log_level(LogLevel::Off);
+}
+
+namespace detail {
+void emit(LogLevel level, std::string_view msg) {
+  std::fprintf(stderr, "[mpath %-5s] %.*s\n", level_name(level),
+               static_cast<int>(msg.size()), msg.data());
+}
+}  // namespace detail
+
+}  // namespace mpath::util

@@ -1,0 +1,73 @@
+#include "mpath/util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace mpath::util {
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+          c == '-' || c == '+' || c == 'e' || c == 'E' || c == '%' ||
+          c == 'x')) {
+      return false;
+    }
+  }
+  return true;
+}
+}  // namespace
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row, bool align_right) {
+    out << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const auto pad = widths[c] - row[c].size();
+      out << ' ';
+      const bool right = align_right && looks_numeric(row[c]);
+      if (right) out << std::string(pad, ' ');
+      out << row[c];
+      if (!right) out << std::string(pad, ' ');
+      out << " |";
+    }
+    out << '\n';
+  };
+  emit_row(headers_, false);
+  out << '|';
+  for (auto w : widths) out << std::string(w + 2, '-') << '|';
+  out << '\n';
+  for (const auto& row : rows_) emit_row(row, true);
+  return out.str();
+}
+
+void Table::print() const {
+  const std::string s = render();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fflush(stdout);
+}
+
+std::string Table::fixed(double v, int decimals) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace mpath::util

@@ -1,0 +1,44 @@
+#include "mpath/util/units.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace mpath::util {
+
+std::string format_bytes(std::size_t bytes) {
+  struct Scale {
+    std::size_t divisor;
+    const char* suffix;
+  };
+  static constexpr std::array<Scale, 3> scales{{
+      {kGiB, "GB"},
+      {kMiB, "MB"},
+      {kKiB, "KB"},
+  }};
+  for (const auto& s : scales) {
+    if (bytes < s.divisor) continue;
+    if (bytes % s.divisor == 0) {
+      return std::to_string(bytes / s.divisor) + s.suffix;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f%s",
+                  static_cast<double>(bytes) / static_cast<double>(s.divisor),
+                  s.suffix);
+    return buf;
+  }
+  return std::to_string(bytes) + "B";
+}
+
+std::string format_time(double seconds) {
+  char buf[32];
+  if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2fus", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", seconds);
+  }
+  return buf;
+}
+
+}  // namespace mpath::util

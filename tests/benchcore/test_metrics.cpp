@@ -1,0 +1,36 @@
+#include "mpath/benchcore/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mpath/tuning/calibration.hpp"
+#include "mpath/util/units.hpp"
+
+namespace bc = mpath::benchcore;
+namespace mm = mpath::model;
+namespace mt = mpath::topo;
+using mpath::util::gbps;
+
+TEST(Metrics, MeanRelativeError) {
+  const std::vector<std::pair<double, double>> pairs{
+      {110.0, 100.0}, {95.0, 100.0}, {100.0, 100.0}};
+  EXPECT_NEAR(bc::mean_relative_error(pairs), (0.1 + 0.05 + 0.0) / 3.0,
+              1e-12);
+  EXPECT_DOUBLE_EQ(bc::mean_relative_error({}), 0.0);
+}
+
+TEST(Metrics, PredictedBandwidthMatchesConfigurator) {
+  const auto sys = mt::make_beluga();
+  const auto reg = mpath::tuning::registry_from_topology(sys);
+  mm::PathConfigurator cfg(reg);
+  const auto gpus = sys.topology.gpus();
+  const double pred = bc::predicted_bandwidth(
+      cfg, sys.topology, gpus[0], gpus[1], 256u << 20,
+      mt::PathPolicy::three_gpus());
+  EXPECT_GT(pred, 2.0 * gbps(46));
+  EXPECT_LT(pred, 3.0 * gbps(46));
+  // Direct-only prediction approaches the single lane.
+  const double direct = bc::predicted_bandwidth(
+      cfg, sys.topology, gpus[0], gpus[1], 256u << 20,
+      mt::PathPolicy::direct_only());
+  EXPECT_NEAR(direct, gbps(46), 0.05 * gbps(46));
+}

@@ -1,0 +1,41 @@
+#include "mpath/gpusim/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mg = mpath::gpusim;
+
+TEST(DeviceBuffer, IdsAreUnique) {
+  mg::DeviceBuffer a(0, 16);
+  mg::DeviceBuffer b(0, 16);
+  EXPECT_NE(a.id(), b.id());
+}
+
+TEST(DeviceBuffer, RegionBoundsChecked) {
+  mg::DeviceBuffer buf(1, 128);
+  EXPECT_EQ(buf.region(0, 128).size(), 128u);
+  EXPECT_EQ(buf.region(64, 64).size(), 64u);
+  EXPECT_THROW((void)buf.region(64, 65), std::out_of_range);
+  EXPECT_THROW((void)buf.region(129, 0), std::out_of_range);
+}
+
+TEST(DeviceBuffer, PatternIsDeterministicAndSeedDependent) {
+  mg::DeviceBuffer a(0, 256), b(0, 256), c(0, 256);
+  a.fill_pattern(42);
+  b.fill_pattern(42);
+  c.fill_pattern(43);
+  EXPECT_TRUE(a.same_content(b));
+  EXPECT_FALSE(a.same_content(c));
+}
+
+TEST(DeviceBuffer, SameContentRequiresSameSize) {
+  mg::DeviceBuffer a(0, 8), b(0, 16);
+  EXPECT_FALSE(a.same_content(b));
+}
+
+TEST(DeviceBuffer, TypedView) {
+  mg::DeviceBuffer buf(0, 4 * sizeof(float));
+  auto floats = buf.as<float>();
+  ASSERT_EQ(floats.size(), 4u);
+  floats[2] = 1.5f;
+  EXPECT_EQ(buf.as<const float>()[2], 1.5f);
+}

@@ -1,0 +1,227 @@
+#include "mpath/gpusim/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mpath/topo/system.hpp"
+#include "mpath/util/units.hpp"
+
+namespace mg = mpath::gpusim;
+namespace ms = mpath::sim;
+namespace mt = mpath::topo;
+using namespace mpath::util::literals;
+using mpath::util::gbps;
+
+namespace {
+
+// Beluga with all software overheads zeroed for exact-time assertions.
+struct CleanFixture {
+  mt::System sys = [] {
+    auto s = mt::make_beluga();
+    s.costs = mt::SoftwareCosts{};
+    s.costs.op_launch_s = 0;
+    s.costs.event_record_s = 0;
+    s.costs.event_wait_s = 0;
+    s.costs.jitter_rel = 0;
+    return s;
+  }();
+  ms::Engine engine;
+  ms::FluidNetwork net{engine};
+  mg::GpuRuntime rt{sys, engine, net};
+  std::vector<mt::DeviceId> gpus = sys.topology.gpus();
+};
+
+}  // namespace
+
+TEST(GpuRuntime, CopyMovesPayloadAndTakesWireTime) {
+  CleanFixture f;
+  mg::DeviceBuffer src(f.gpus[0], 1_MiB), dst(f.gpus[1], 1_MiB);
+  src.fill_pattern(7);
+  const auto s = f.rt.create_stream(f.gpus[0]);
+  double finish = -1;
+  f.rt.memcpy_async(dst, 0, src, 0, 1_MiB, s);
+  f.engine.spawn([](mg::GpuRuntime& rt, mg::StreamId st,
+                    double& out) -> ms::Task<void> {
+    co_await rt.synchronize(st);
+    out = rt.engine().now();
+  }(f.rt, s, finish));
+  f.engine.run();
+  EXPECT_TRUE(dst.same_content(src));
+  const double expected = 1e-6 + static_cast<double>(1_MiB) / gbps(46);
+  EXPECT_NEAR(finish, expected, 1e-9);
+  EXPECT_EQ(f.rt.bytes_copied(), 1_MiB);
+}
+
+TEST(GpuRuntime, StreamOpsExecuteInOrder) {
+  CleanFixture f;
+  mg::DeviceBuffer a(f.gpus[0], 64), b(f.gpus[1], 64), c(f.gpus[2], 64);
+  a.fill_pattern(1);
+  const auto s = f.rt.create_stream(f.gpus[0]);
+  // b <- a, then c <- b: only correct if strictly ordered.
+  f.rt.memcpy_async(b, 0, a, 0, 64, s);
+  f.rt.memcpy_async(c, 0, b, 0, 64, s);
+  f.engine.spawn([](mg::GpuRuntime& rt, mg::StreamId st) -> ms::Task<void> {
+    co_await rt.synchronize(st);
+  }(f.rt, s));
+  f.engine.run();
+  EXPECT_TRUE(c.same_content(a));
+}
+
+TEST(GpuRuntime, IndependentStreamsOverlap) {
+  CleanFixture f;
+  // Two disjoint GPU pairs: copies run concurrently, so both finish in the
+  // time of one (plus latency), not 2x.
+  mg::DeviceBuffer s0(f.gpus[0], 46_MiB), d0(f.gpus[1], 46_MiB);
+  mg::DeviceBuffer s1(f.gpus[2], 46_MiB), d1(f.gpus[3], 46_MiB);
+  const auto st0 = f.rt.create_stream(f.gpus[0]);
+  const auto st1 = f.rt.create_stream(f.gpus[2]);
+  f.rt.memcpy_async(d0, 0, s0, 0, 46_MiB, st0);
+  f.rt.memcpy_async(d1, 0, s1, 0, 46_MiB, st1);
+  double finish = -1;
+  f.engine.spawn([](mg::GpuRuntime& rt, double& out) -> ms::Task<void> {
+    co_await rt.device_synchronize();
+    out = rt.engine().now();
+  }(f.rt, finish));
+  f.engine.run();
+  const double one_copy = 1e-6 + static_cast<double>(46_MiB) / gbps(46);
+  EXPECT_NEAR(finish, one_copy, 1e-6);
+}
+
+TEST(GpuRuntime, SameLinkCopiesContend) {
+  CleanFixture f;
+  // Two concurrent copies over the same NVLink share it: each takes ~2x.
+  mg::DeviceBuffer sa(f.gpus[0], 46_MiB), da(f.gpus[1], 46_MiB);
+  mg::DeviceBuffer sb(f.gpus[0], 46_MiB), db(f.gpus[1], 46_MiB);
+  const auto st0 = f.rt.create_stream(f.gpus[0]);
+  const auto st1 = f.rt.create_stream(f.gpus[0]);
+  f.rt.memcpy_async(da, 0, sa, 0, 46_MiB, st0);
+  f.rt.memcpy_async(db, 0, sb, 0, 46_MiB, st1);
+  double finish = -1;
+  f.engine.spawn([](mg::GpuRuntime& rt, double& out) -> ms::Task<void> {
+    co_await rt.device_synchronize();
+    out = rt.engine().now();
+  }(f.rt, finish));
+  f.engine.run();
+  const double shared = 1e-6 + 2.0 * static_cast<double>(46_MiB) / gbps(46);
+  EXPECT_NEAR(finish, shared, 1e-6);
+}
+
+TEST(GpuRuntime, EventsOrderAcrossStreams) {
+  CleanFixture f;
+  mg::DeviceBuffer a(f.gpus[0], 64), b(f.gpus[2], 64), c(f.gpus[1], 64);
+  a.fill_pattern(9);
+  // Staged: a -> b on stream0; stream1 waits for the event then b -> c.
+  const auto s0 = f.rt.create_stream(f.gpus[0]);
+  const auto s1 = f.rt.create_stream(f.gpus[2]);
+  const auto ev = f.rt.create_event();
+  f.rt.memcpy_async(b, 0, a, 0, 64, s0);
+  f.rt.record_event(ev, s0);
+  f.rt.wait_event(s1, ev);
+  f.rt.memcpy_async(c, 0, b, 0, 64, s1);
+  f.engine.spawn([](mg::GpuRuntime& rt) -> ms::Task<void> {
+    co_await rt.device_synchronize();
+  }(f.rt));
+  f.engine.run();
+  EXPECT_TRUE(c.same_content(a));
+}
+
+TEST(GpuRuntime, WaitOnUnrecordedEventIsNoop) {
+  CleanFixture f;
+  const auto s = f.rt.create_stream(f.gpus[0]);
+  const auto ev = f.rt.create_event();
+  f.rt.wait_event(s, ev);
+  double finish = -1;
+  f.engine.spawn([](mg::GpuRuntime& rt, mg::StreamId st,
+                    double& out) -> ms::Task<void> {
+    co_await rt.synchronize(st);
+    out = rt.engine().now();
+  }(f.rt, s, finish));
+  f.engine.run();
+  EXPECT_NEAR(finish, 0.0, 1e-12);
+}
+
+TEST(GpuRuntime, SameDeviceCopyUsesLocalBandwidth) {
+  CleanFixture f;
+  mg::DeviceBuffer src(f.gpus[0], 1_MiB), dst(f.gpus[0], 1_MiB);
+  src.fill_pattern(3);
+  const auto s = f.rt.create_stream(f.gpus[0]);
+  f.rt.memcpy_async(dst, 0, src, 0, 1_MiB, s);
+  double finish = -1;
+  f.engine.spawn([](mg::GpuRuntime& rt, mg::StreamId st,
+                    double& out) -> ms::Task<void> {
+    co_await rt.synchronize(st);
+    out = rt.engine().now();
+  }(f.rt, s, finish));
+  f.engine.run();
+  EXPECT_TRUE(dst.same_content(src));
+  EXPECT_NEAR(finish, static_cast<double>(1_MiB) / 600e9, 1e-9);
+}
+
+TEST(GpuRuntime, RegionOffsetsRespected) {
+  CleanFixture f;
+  mg::DeviceBuffer src(f.gpus[0], 256), dst(f.gpus[1], 256);
+  src.fill_pattern(5);
+  dst.fill_pattern(6);
+  const auto s = f.rt.create_stream(f.gpus[0]);
+  f.rt.memcpy_async(dst, 128, src, 0, 64, s);
+  f.engine.spawn([](mg::GpuRuntime& rt) -> ms::Task<void> {
+    co_await rt.device_synchronize();
+  }(f.rt));
+  f.engine.run();
+  // dst[128..192) == src[0..64); the rest of dst is untouched.
+  EXPECT_TRUE(std::equal(dst.bytes().begin() + 128, dst.bytes().begin() + 192,
+                         src.bytes().begin()));
+  mg::DeviceBuffer ref(f.gpus[1], 256);
+  ref.fill_pattern(6);
+  EXPECT_TRUE(std::equal(dst.bytes().begin(), dst.bytes().begin() + 128,
+                         ref.bytes().begin()));
+}
+
+TEST(GpuRuntime, BadRegionThrowsAtEnqueue) {
+  CleanFixture f;
+  mg::DeviceBuffer src(f.gpus[0], 64), dst(f.gpus[1], 64);
+  const auto s = f.rt.create_stream(f.gpus[0]);
+  EXPECT_THROW(f.rt.memcpy_async(dst, 32, src, 0, 64, s), std::out_of_range);
+}
+
+TEST(GpuRuntime, IpcOpenPaysOnceThenCached) {
+  CleanFixture f;
+  // Re-enable the IPC cost for this test.
+  auto sys = mt::make_beluga();
+  sys.costs.jitter_rel = 0;
+  ms::Engine engine;
+  ms::FluidNetwork net(engine);
+  mg::GpuRuntime rt(sys, engine, net);
+  const auto gpus = sys.topology.gpus();
+  mg::DeviceBuffer buf(gpus[1], 64);
+  double first = -1, second = -1;
+  engine.spawn([](mg::GpuRuntime& r, mt::DeviceId opener,
+                  mg::DeviceBuffer& b, double& t1,
+                  double& t2) -> ms::Task<void> {
+    co_await r.ipc_open(opener, b);
+    t1 = r.engine().now();
+    co_await r.ipc_open(opener, b);
+    t2 = r.engine().now();
+  }(rt, gpus[0], buf, first, second));
+  engine.run();
+  EXPECT_NEAR(first, sys.costs.ipc_open_s, 1e-9);
+  EXPECT_DOUBLE_EQ(second, first);  // cached: no extra time
+  EXPECT_TRUE(rt.ipc_cached(gpus[0], buf));
+  EXPECT_FALSE(rt.ipc_cached(gpus[2], buf));
+  rt.ipc_cache_clear();
+  EXPECT_EQ(rt.ipc_cache_size(), 0u);
+}
+
+TEST(GpuRuntime, OpCountsTracked) {
+  CleanFixture f;
+  mg::DeviceBuffer src(f.gpus[0], 64), dst(f.gpus[1], 64);
+  const auto s = f.rt.create_stream(f.gpus[0]);
+  const auto ev = f.rt.create_event();
+  f.rt.memcpy_async(dst, 0, src, 0, 64, s);
+  f.rt.record_event(ev, s);
+  f.rt.wait_event(s, ev);
+  EXPECT_EQ(f.rt.ops_issued(), 3u);
+  f.engine.spawn([](mg::GpuRuntime& rt) -> ms::Task<void> {
+    co_await rt.device_synchronize();
+  }(f.rt));
+  f.engine.run();
+}

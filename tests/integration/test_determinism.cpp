@@ -1,0 +1,77 @@
+// Reproducibility: the whole stack is a deterministic simulation. The same
+// seed must produce bit-identical results; a different seed must move the
+// jittered measurements.
+#include <gtest/gtest.h>
+
+#include "mpath/benchcore/omb.hpp"
+#include "mpath/benchcore/stack.hpp"
+#include "mpath/tuning/calibration.hpp"
+#include "mpath/util/units.hpp"
+
+using namespace mpath;
+using namespace mpath::util::literals;
+
+namespace {
+
+double run_once(std::uint64_t seed) {
+  auto system = topo::make_beluga();  // jitter_rel = 1% by default
+  auto registry = tuning::calibrate(system);
+  model::PathConfigurator configurator(registry);
+  benchcore::StackOptions opt;
+  opt.seed = seed;
+  auto stack = benchcore::SimStack::model_driven(
+      system, configurator, topo::PathPolicy::three_gpus(), opt);
+  benchcore::P2POptions p2p;
+  p2p.window = 4;
+  p2p.iterations = 3;
+  return benchcore::measure_bw(stack.world(), 32_MiB, p2p);
+}
+
+}  // namespace
+
+TEST(Determinism, SameSeedSameResultBitForBit) {
+  const double a = run_once(12345);
+  const double b = run_once(12345);
+  EXPECT_EQ(a, b);  // exact, not NEAR
+}
+
+TEST(Determinism, DifferentSeedDifferentJitter) {
+  const double a = run_once(1);
+  const double b = run_once(2);
+  EXPECT_NE(a, b);
+  // ...but the physics dominates: within 5% of each other.
+  EXPECT_NEAR(a, b, 0.05 * a);
+}
+
+TEST(Determinism, CalibrationIsDeterministic) {
+  auto system = topo::make_narval();
+  tuning::CalibrationOptions opt;
+  opt.seed = 99;
+  const auto r1 = tuning::calibrate(system, opt);
+  const auto r2 = tuning::calibrate(system, opt);
+  const auto gpus = system.topology.gpus();
+  EXPECT_EQ(r1.route_params(gpus[0], gpus[1]).beta,
+            r2.route_params(gpus[0], gpus[1]).beta);
+  EXPECT_EQ(r1.epsilon(topo::PathKind::HostStaged),
+            r2.epsilon(topo::PathKind::HostStaged));
+  EXPECT_EQ(r1.protocol_alpha(), r2.protocol_alpha());
+}
+
+TEST(Determinism, CollectiveTimingIsReproducible) {
+  auto run = [] {
+    auto system = topo::make_beluga();
+    auto registry = tuning::calibrate(system);
+    model::PathConfigurator configurator(registry);
+    auto stack = benchcore::SimStack::model_driven(
+        system, configurator, topo::PathPolicy::two_gpus());
+    return benchcore::measure_collective_latency(
+        stack.world(),
+        [](mpisim::Communicator& comm) -> sim::Task<void> {
+          gpusim::DeviceBuffer buf(comm.device(), 4_MiB,
+                                   gpusim::Payload::Simulated);
+          co_await mpisim::allreduce_sum(comm, buf);
+        },
+        {.iterations = 2, .warmup = 1});
+  };
+  EXPECT_EQ(run(), run());
+}

@@ -1,0 +1,182 @@
+#include "mpath/model/chunking.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mm = mpath::model;
+namespace mt = mpath::topo;
+
+namespace {
+mm::PathParams staged(double a1, double b1, double a2, double b2,
+                      double eps) {
+  mm::PathParams p;
+  p.plan = {mt::PathKind::GpuStaged, 2};
+  p.first = {a1, b1};
+  p.second = mm::LinkParams{a2, b2};
+  p.epsilon = eps;
+  return p;
+}
+
+mm::PathParams direct() {
+  mm::PathParams p;
+  p.plan = {mt::PathKind::Direct, mt::kInvalidDevice};
+  p.first = {2e-6, 46e9};
+  return p;
+}
+}  // namespace
+
+TEST(Chunking, DirectPathUsesOneChunk) {
+  EXPECT_DOUBLE_EQ(mm::ChunkOptimizer::exact_chunks(direct(), 1.0, 64e6), 1.0);
+  EXPECT_DOUBLE_EQ(
+      mm::ChunkOptimizer::linear_chunks(direct(), {0.5, 0.5}, 1.0, 64e6), 1.0);
+}
+
+TEST(Chunking, ExactCase1MatchesEq14) {
+  // beta < beta': k = sqrt(theta*n / (alpha * beta')).
+  const auto p = staged(2e-6, 12e9, 3e-6, 46e9, 1.5e-6);
+  const double theta = 0.5, n = 64e6;
+  const double expected = std::sqrt(theta * n / (2e-6 * 46e9));
+  EXPECT_NEAR(mm::ChunkOptimizer::exact_chunks(p, theta, n), expected, 1e-12);
+}
+
+TEST(Chunking, ExactCase2MatchesEq15) {
+  // beta >= beta': k = sqrt(theta*n / (beta * (eps + alpha'))).
+  const auto p = staged(2e-6, 46e9, 3e-6, 12e9, 1.5e-6);
+  const double theta = 0.5, n = 64e6;
+  const double expected = std::sqrt(theta * n / (46e9 * (1.5e-6 + 3e-6)));
+  EXPECT_NEAR(mm::ChunkOptimizer::exact_chunks(p, theta, n), expected, 1e-12);
+}
+
+TEST(Chunking, ExactChunksNeverBelowOne) {
+  const auto p = staged(100e-6, 46e9, 100e-6, 12e9, 50e-6);
+  EXPECT_DOUBLE_EQ(mm::ChunkOptimizer::exact_chunks(p, 0.01, 1e4), 1.0);
+  EXPECT_DOUBLE_EQ(mm::ChunkOptimizer::exact_chunks(p, 0.0, 64e6), 1.0);
+}
+
+TEST(Chunking, ExactChunksGrowWithMessageSize) {
+  const auto p = staged(2e-6, 46e9, 3e-6, 12e9, 1.5e-6);
+  double prev = 0.0;
+  for (double n = 2e6; n <= 512e6; n *= 4) {
+    const double k = mm::ChunkOptimizer::exact_chunks(p, 0.3, n);
+    EXPECT_GT(k, prev);
+    prev = k;
+  }
+  // sqrt scaling: 4x the size, 2x the chunks.
+  const double k1 = mm::ChunkOptimizer::exact_chunks(p, 0.3, 16e6);
+  const double k2 = mm::ChunkOptimizer::exact_chunks(p, 0.3, 64e6);
+  EXPECT_NEAR(k2 / k1, 2.0, 1e-9);
+}
+
+TEST(Chunking, LinearMatchesPhiTimesX) {
+  const auto p = staged(2e-6, 12e9, 3e-6, 46e9, 1.5e-6);
+  const double theta = 0.5, n = 64e6;
+  const double x = theta * n / (2e-6 * 46e9);
+  EXPECT_NEAR(mm::ChunkOptimizer::linear_chunks(p, {0.01, 99.0}, theta, n),
+              0.01 * x, 1e-9);
+  // Case 2 uses phi2.
+  const auto q = staged(2e-6, 46e9, 3e-6, 12e9, 1.5e-6);
+  const double x2 = theta * n / (46e9 * (1.5e-6 + 3e-6));
+  EXPECT_NEAR(mm::ChunkOptimizer::linear_chunks(q, {99.0, 0.02}, theta, n),
+              0.02 * x2, 1e-9);
+}
+
+TEST(Chunking, ClampChunksRoundsAndBounds) {
+  EXPECT_EQ(mm::ChunkOptimizer::clamp_chunks(3.4, 64), 3);
+  EXPECT_EQ(mm::ChunkOptimizer::clamp_chunks(3.6, 64), 4);
+  EXPECT_EQ(mm::ChunkOptimizer::clamp_chunks(0.2, 64), 1);
+  EXPECT_EQ(mm::ChunkOptimizer::clamp_chunks(1000.0, 64), 64);
+  EXPECT_EQ(mm::ChunkOptimizer::clamp_chunks(5.0, 0), 1);  // degenerate cap
+}
+
+TEST(PhiFitter, TangentFallbackOnDegenerateRange) {
+  // x_min == x_max: phi = 1/sqrt(x), so phi*x == sqrt(x) exactly.
+  const double x = 400.0;
+  const double phi = mm::PhiFitter::fit_over_range(x, x);
+  EXPECT_NEAR(phi * x, std::sqrt(x), 1e-9);
+}
+
+TEST(PhiFitter, FitIsReasonableOverModestRange) {
+  // sqrt is not linear over wide spans; over a modest 2x span the LS fit
+  // should stay within ~20% everywhere.
+  const double a = 400.0, b = 800.0;
+  const double phi = mm::PhiFitter::fit_over_range(a, b);
+  for (double x = a; x <= b; x *= 1.1) {
+    const double rel = std::abs(phi * x - std::sqrt(x)) / std::sqrt(x);
+    EXPECT_LT(rel, 0.25) << "x=" << x;
+  }
+}
+
+TEST(PhiFitter, WideRangeFitDegradesGracefully) {
+  // Over a 16x span the best linear fit is inherently coarse (the paper's
+  // per-n constants, c*f(n), exist precisely to avoid this): verify the fit
+  // is still the LS optimum but document the ~70% worst-case error.
+  const double a = 50.0, b = 800.0;
+  const double phi = mm::PhiFitter::fit_over_range(a, b);
+  double worst = 0.0;
+  for (double x = a; x <= b; x *= 1.25) {
+    worst = std::max(worst,
+                     std::abs(phi * x - std::sqrt(x)) / std::sqrt(x));
+  }
+  EXPECT_GT(worst, 0.2);   // genuinely coarse...
+  EXPECT_LT(worst, 1.0);   // ...but bounded
+}
+
+TEST(PhiFitter, ClosedFormMatchesNumericalLeastSquares) {
+  const double a = 10.0, b = 1000.0;
+  const double phi = mm::PhiFitter::fit_over_range(a, b);
+  // Numerical LS over a dense grid.
+  double num = 0.0, den = 0.0;
+  const int steps = 100000;
+  for (int i = 0; i < steps; ++i) {
+    const double x = a + (b - a) * (i + 0.5) / steps;
+    num += std::pow(x, 1.5);
+    den += x * x;
+  }
+  EXPECT_NEAR(phi, num / den, 1e-3 * phi);
+}
+
+TEST(PhiFitter, FitForPathSelectsCase) {
+  // Case 1 path: phi1 fitted, phi2 left at 1.
+  const auto p1 = staged(2e-6, 12e9, 3e-6, 46e9, 1.5e-6);
+  const auto phi1 = mm::PhiFitter::fit_for_path(p1, 2e6, 512e6, 0.33);
+  EXPECT_NE(phi1.phi1, 1.0);
+  EXPECT_DOUBLE_EQ(phi1.phi2, 1.0);
+  // Case 2 path: phi2 fitted.
+  const auto p2 = staged(2e-6, 46e9, 3e-6, 12e9, 1.5e-6);
+  const auto phi2 = mm::PhiFitter::fit_for_path(p2, 2e6, 512e6, 0.33);
+  EXPECT_DOUBLE_EQ(phi2.phi1, 1.0);
+  EXPECT_NE(phi2.phi2, 1.0);
+  // Direct path: identity.
+  const auto phid = mm::PhiFitter::fit_for_path(direct(), 2e6, 512e6, 0.33);
+  EXPECT_DOUBLE_EQ(phid.phi1, 1.0);
+  EXPECT_DOUBLE_EQ(phid.phi2, 1.0);
+}
+
+TEST(PhiFitter, PerMessageTangentFitIsExactAtOperatingPoint) {
+  // The c*f(n) construction: refit phi at each message size with the hint
+  // theta. At theta == theta_hint the linearized time equals the exact
+  // optimal-chunk time (Eqs. 17/18) by construction.
+  const auto p = staged(2e-6, 46e9, 3e-6, 12e9, 1.5e-6);
+  for (double n = 8e6; n <= 512e6; n *= 2) {
+    const auto phi = mm::PhiFitter::fit_for_path(p, n, n, 0.5);
+    const auto terms = mm::terms_pipelined(p, phi);
+    const double exact = mm::exact_pipelined_time(p, 0.5, n);
+    EXPECT_NEAR(terms.time(0.5, n), exact, 1e-9 * exact) << "n=" << n;
+  }
+}
+
+TEST(PhiFitter, PerMessageFitStaysCloseOffOperatingPoint) {
+  // When the solved theta deviates from the hint by up to 2x, the
+  // linearized time stays within ~25% of the exact optimum.
+  const auto p = staged(2e-6, 46e9, 3e-6, 12e9, 1.5e-6);
+  for (double n = 8e6; n <= 512e6; n *= 4) {
+    const auto phi = mm::PhiFitter::fit_for_path(p, n, n, 0.4);
+    const auto terms = mm::terms_pipelined(p, phi);
+    for (double theta : {0.2, 0.3, 0.5, 0.8}) {
+      const double exact = mm::exact_pipelined_time(p, theta, n);
+      EXPECT_LT(std::abs(terms.time(theta, n) - exact) / exact, 0.25)
+          << "n=" << n << " theta=" << theta;
+    }
+  }
+}

@@ -1,0 +1,229 @@
+#include "mpath/model/configurator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "mpath/topo/system.hpp"
+
+namespace mm = mpath::model;
+namespace mt = mpath::topo;
+
+namespace {
+
+// Beluga-flavored registry: NVLink hops at 46 GB/s, PCIe hops at 12 GB/s.
+struct Fixture {
+  mt::System sys = mt::make_beluga();
+  std::vector<mt::DeviceId> gpus = sys.topology.gpus();
+  mt::DeviceId host = sys.topology.hosts()[0];
+  mm::ModelRegistry reg{"beluga"};
+
+  Fixture() {
+    for (auto a : gpus) {
+      for (auto b : gpus) {
+        if (a != b) reg.set_route_params(a, b, {3e-6, 46e9});
+      }
+      reg.set_route_params(a, host, {6e-6, 11.5e9});
+      reg.set_route_params(host, a, {6e-6, 11.5e9});
+    }
+    reg.set_epsilon(mt::PathKind::GpuStaged, 1.5e-6);
+    reg.set_epsilon(mt::PathKind::HostStaged, 4e-6);
+    reg.set_issue_alpha(1.2e-6);
+  }
+
+  std::vector<mt::PathPlan> paths(const mt::PathPolicy& policy) {
+    return mt::enumerate_paths(sys.topology, gpus[0], gpus[1], policy);
+  }
+};
+
+std::uint64_t sum_bytes(const mm::TransferConfig& c) {
+  std::uint64_t s = 0;
+  for (const auto& p : c.paths) s += p.bytes;
+  return s;
+}
+
+}  // namespace
+
+TEST(Configurator, SharesSumToMessageExactly) {
+  Fixture f;
+  mm::PathConfigurator cfg(f.reg);
+  for (std::uint64_t n : {2u << 20, 17u << 20, 64u << 20, 512u << 20}) {
+    const auto paths = f.paths(mt::PathPolicy::three_gpus_with_host());
+    const auto& c = cfg.configure(f.gpus[0], f.gpus[1], n, paths);
+    EXPECT_EQ(sum_bytes(c), n);
+    EXPECT_EQ(c.total_bytes, n);
+  }
+}
+
+TEST(Configurator, DirectOnlyGetsWholeMessage) {
+  Fixture f;
+  mm::PathConfigurator cfg(f.reg);
+  const auto paths = f.paths(mt::PathPolicy::direct_only());
+  const auto& c = cfg.configure(f.gpus[0], f.gpus[1], 64u << 20, paths);
+  ASSERT_EQ(c.paths.size(), 1u);
+  EXPECT_EQ(c.paths[0].bytes, 64u << 20);
+  EXPECT_EQ(c.paths[0].chunks, 1);
+  EXPECT_NEAR(c.predicted_bandwidth(), 46e9, 2e9);
+}
+
+TEST(Configurator, LargeMessageUsesAllPaths) {
+  Fixture f;
+  mm::PathConfigurator cfg(f.reg);
+  const auto paths = f.paths(mt::PathPolicy::three_gpus());
+  const auto& c = cfg.configure(f.gpus[0], f.gpus[1], 512u << 20, paths);
+  for (const auto& share : c.paths) {
+    EXPECT_GT(share.bytes, 0u) << mt::describe(share.plan, f.sys.topology);
+  }
+  // Three ~46 GB/s lanes: aggregate prediction lands well above 2x direct.
+  EXPECT_GT(c.predicted_bandwidth(), 2.0 * 46e9);
+  EXPECT_LT(c.predicted_bandwidth(), 3.0 * 46e9);
+}
+
+TEST(Configurator, TinyMessageStaysOnDirectPath) {
+  Fixture f;
+  mm::PathConfigurator cfg(f.reg);
+  const auto paths = f.paths(mt::PathPolicy::three_gpus_with_host());
+  const auto& c = cfg.configure(f.gpus[0], f.gpus[1], 64u << 10, paths);
+  EXPECT_EQ(c.paths[0].bytes, 64u << 10);
+  for (std::size_t i = 1; i < c.paths.size(); ++i) {
+    EXPECT_EQ(c.paths[i].bytes, 0u);
+  }
+}
+
+TEST(Configurator, StagedPathsGetMultipleChunks) {
+  Fixture f;
+  mm::PathConfigurator cfg(f.reg);
+  const auto paths = f.paths(mt::PathPolicy::three_gpus());
+  const auto& c = cfg.configure(f.gpus[0], f.gpus[1], 256u << 20, paths);
+  EXPECT_EQ(c.paths[0].chunks, 1);  // direct never chunks
+  for (std::size_t i = 1; i < c.paths.size(); ++i) {
+    EXPECT_GT(c.paths[i].chunks, 1)
+        << mt::describe(c.paths[i].plan, f.sys.topology);
+    EXPECT_LE(c.paths[i].chunks, cfg.options().max_chunks);
+  }
+}
+
+TEST(Configurator, HostPathGetsSmallerShareThanNvlinkPaths) {
+  Fixture f;
+  mm::PathConfigurator cfg(f.reg);
+  const auto paths = f.paths(mt::PathPolicy::three_gpus_with_host());
+  const auto& c = cfg.configure(f.gpus[0], f.gpus[1], 512u << 20, paths);
+  const auto& host_share = c.paths.back();
+  ASSERT_EQ(host_share.plan.kind, mt::PathKind::HostStaged);
+  for (std::size_t i = 0; i + 1 < c.paths.size(); ++i) {
+    EXPECT_GT(c.paths[i].bytes, host_share.bytes);
+  }
+  EXPECT_GT(host_share.bytes, 0u);  // but it still contributes at 512MB
+}
+
+TEST(Configurator, CacheHitsOnRepeatedRequests) {
+  Fixture f;
+  mm::PathConfigurator cfg(f.reg);
+  const auto paths = f.paths(mt::PathPolicy::two_gpus());
+  (void)cfg.configure(f.gpus[0], f.gpus[1], 64u << 20, paths);
+  (void)cfg.configure(f.gpus[0], f.gpus[1], 64u << 20, paths);
+  (void)cfg.configure(f.gpus[0], f.gpus[1], 64u << 20, paths);
+  EXPECT_EQ(cfg.cache_misses(), 1u);
+  EXPECT_EQ(cfg.cache_hits(), 2u);
+  // Different size is a different entry.
+  (void)cfg.configure(f.gpus[0], f.gpus[1], 128u << 20, paths);
+  EXPECT_EQ(cfg.cache_misses(), 2u);
+  cfg.clear_cache();
+  (void)cfg.configure(f.gpus[0], f.gpus[1], 64u << 20, paths);
+  EXPECT_EQ(cfg.cache_misses(), 3u);
+}
+
+TEST(Configurator, CacheCanBeDisabled) {
+  Fixture f;
+  mm::ConfiguratorOptions opt;
+  opt.cache_enabled = false;
+  mm::PathConfigurator cfg(f.reg, opt);
+  const auto paths = f.paths(mt::PathPolicy::two_gpus());
+  (void)cfg.configure(f.gpus[0], f.gpus[1], 64u << 20, paths);
+  (void)cfg.configure(f.gpus[0], f.gpus[1], 64u << 20, paths);
+  EXPECT_EQ(cfg.cache_hits(), 0u);
+  EXPECT_EQ(cfg.cache_misses(), 2u);
+}
+
+TEST(Configurator, SequentialInitiationPenalizesLaterPaths) {
+  Fixture f;
+  mm::ConfiguratorOptions with;
+  mm::ConfiguratorOptions without;
+  without.sequential_initiation = false;
+  mm::PathConfigurator cfg_with(f.reg, with);
+  mm::PathConfigurator cfg_without(f.reg, without);
+  const auto paths = f.paths(mt::PathPolicy::three_gpus());
+  const auto& a = cfg_with.configure(f.gpus[0], f.gpus[1], 64u << 20, paths);
+  const auto& b =
+      cfg_without.configure(f.gpus[0], f.gpus[1], 64u << 20, paths);
+  // With accumulation, later paths carry extra Delta and receive less.
+  EXPECT_LT(a.paths[2].bytes, b.paths[2].bytes);
+  EXPECT_GT(a.paths[0].bytes, b.paths[0].bytes);
+}
+
+TEST(Configurator, UnpipelinedModeUsesSection33Terms) {
+  Fixture f;
+  mm::ConfiguratorOptions opt;
+  opt.pipelining = false;
+  mm::PathConfigurator cfg(f.reg, opt);
+  const auto paths = f.paths(mt::PathPolicy::three_gpus());
+  const auto& c = cfg.configure(f.gpus[0], f.gpus[1], 256u << 20, paths);
+  for (const auto& share : c.paths) EXPECT_EQ(share.chunks, 1);
+  // Unpipelined staging halves staged-path effectiveness (Omega doubles):
+  // staged shares shrink relative to the pipelined configuration.
+  mm::PathConfigurator piped(f.reg);
+  const auto& cp = piped.configure(f.gpus[0], f.gpus[1], 256u << 20, paths);
+  EXPECT_LT(c.paths[1].bytes, cp.paths[1].bytes);
+}
+
+TEST(Configurator, InputValidation) {
+  Fixture f;
+  mm::PathConfigurator cfg(f.reg);
+  std::vector<mt::PathPlan> empty;
+  EXPECT_THROW((void)cfg.configure(f.gpus[0], f.gpus[1], 1u << 20, empty),
+               std::invalid_argument);
+  std::vector<mt::PathPlan> staged_first{{mt::PathKind::GpuStaged, f.gpus[2]}};
+  EXPECT_THROW(
+      (void)cfg.configure(f.gpus[0], f.gpus[1], 1u << 20, staged_first),
+      std::invalid_argument);
+  const auto paths = f.paths(mt::PathPolicy::two_gpus());
+  EXPECT_THROW((void)cfg.configure(f.gpus[0], f.gpus[1], 0, paths),
+               std::invalid_argument);
+}
+
+TEST(Configurator, PredictedTimeIsMaxOfActivePathTimes) {
+  Fixture f;
+  mm::PathConfigurator cfg(f.reg);
+  const auto paths = f.paths(mt::PathPolicy::three_gpus());
+  const auto& c = cfg.configure(f.gpus[0], f.gpus[1], 128u << 20, paths);
+  double max_t = 0;
+  for (const auto& share : c.paths) {
+    max_t = std::max(max_t, share.predicted_time);
+  }
+  EXPECT_DOUBLE_EQ(c.predicted_time, max_t);
+  EXPECT_GT(c.predicted_time, 0.0);
+}
+
+TEST(Configurator, ContentionFactorAppliesOnlyAboveThreshold) {
+  Fixture f;
+  // Make the first staged path look dramatically slower end to end.
+  const auto paths = f.paths(mt::PathPolicy::three_gpus());
+  f.reg.set_contention_factor(f.gpus[0], f.gpus[1], paths[1], 4.0);
+  mm::PathConfigurator cfg(f.reg);
+  // Below the threshold the override is ignored: shares match a fresh
+  // registry without the override.
+  Fixture g;
+  mm::PathConfigurator cfg_clean(g.reg);
+  const std::uint64_t small = 4u << 20;
+  const auto& with_small =
+      cfg.configure(f.gpus[0], f.gpus[1], small, paths);
+  const auto& clean_small =
+      cfg_clean.configure(g.gpus[0], g.gpus[1], small, paths);
+  EXPECT_EQ(with_small.paths[1].bytes, clean_small.paths[1].bytes);
+  // Above the threshold the overridden path receives a smaller share.
+  const std::uint64_t big = 256u << 20;
+  const auto& with_big = cfg.configure(f.gpus[0], f.gpus[1], big, paths);
+  const auto& clean_big =
+      cfg_clean.configure(g.gpus[0], g.gpus[1], big, paths);
+  EXPECT_LT(with_big.paths[1].bytes, clean_big.paths[1].bytes);
+}

@@ -1,0 +1,103 @@
+#include "mpath/model/params.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mm = mpath::model;
+namespace mt = mpath::topo;
+
+namespace {
+mm::PathParams direct_path(double alpha, double beta) {
+  mm::PathParams p;
+  p.plan = {mt::PathKind::Direct, mt::kInvalidDevice};
+  p.first = {alpha, beta};
+  return p;
+}
+
+mm::PathParams staged_path(double a1, double b1, double a2, double b2,
+                           double eps) {
+  mm::PathParams p;
+  p.plan = {mt::PathKind::GpuStaged, 2};
+  p.first = {a1, b1};
+  p.second = mm::LinkParams{a2, b2};
+  p.epsilon = eps;
+  return p;
+}
+}  // namespace
+
+TEST(Params, LinkTimeIsHockney) {
+  mm::LinkParams lp{2e-6, 50e9};
+  EXPECT_DOUBLE_EQ(lp.time(100e6), 2e-6 + 100e6 / 50e9);
+}
+
+TEST(Params, DirectTermsMatchEq8SpecialCase) {
+  // Direct path: Omega = 1/beta, Delta = alpha.
+  const auto p = direct_path(3e-6, 46e9);
+  const auto t = mm::terms_unpipelined(p);
+  EXPECT_DOUBLE_EQ(t.omega, 1.0 / 46e9);
+  EXPECT_DOUBLE_EQ(t.delta, 3e-6);
+}
+
+TEST(Params, StagedUnpipelinedTermsMatchSection33) {
+  // Omega = 1/b + 1/b', Delta = a + a' + eps.
+  const auto p = staged_path(2e-6, 46e9, 3e-6, 12e9, 1.5e-6);
+  const auto t = mm::terms_unpipelined(p);
+  EXPECT_DOUBLE_EQ(t.omega, 1.0 / 46e9 + 1.0 / 12e9);
+  EXPECT_DOUBLE_EQ(t.delta, 2e-6 + 3e-6 + 1.5e-6);
+}
+
+TEST(Params, PipelinedCase1TermsMatchEq22) {
+  // beta < beta': first link is the bottleneck.
+  const auto p = staged_path(2e-6, 12e9, 3e-6, 46e9, 1.5e-6);
+  const mm::PhiConstants phi{0.25, 0.5};
+  const auto t = mm::terms_pipelined(p, phi);
+  EXPECT_DOUBLE_EQ(t.omega, 1.0 / 12e9 + 0.25 / 46e9);
+  EXPECT_DOUBLE_EQ(t.delta, 1.5e-6 + 3e-6 + 2e-6 / 0.25);
+}
+
+TEST(Params, PipelinedCase2TermsMatchEq22) {
+  // beta >= beta': second link is the bottleneck.
+  const auto p = staged_path(2e-6, 46e9, 3e-6, 12e9, 1.5e-6);
+  const mm::PhiConstants phi{0.25, 0.5};
+  const auto t = mm::terms_pipelined(p, phi);
+  EXPECT_DOUBLE_EQ(t.omega, 0.5 / 46e9 + 1.0 / 12e9);
+  EXPECT_DOUBLE_EQ(t.delta, 2e-6 + (1.5e-6 + 3e-6) / 0.5);
+}
+
+TEST(Params, PipelinedDirectFallsBackToUnpipelined) {
+  const auto p = direct_path(3e-6, 46e9);
+  const auto a = mm::terms_pipelined(p, {0.3, 0.4});
+  const auto b = mm::terms_unpipelined(p);
+  EXPECT_DOUBLE_EQ(a.omega, b.omega);
+  EXPECT_DOUBLE_EQ(a.delta, b.delta);
+}
+
+TEST(Params, PipelinedRejectsBadPhi) {
+  const auto p = staged_path(2e-6, 12e9, 3e-6, 46e9, 1e-6);
+  EXPECT_THROW((void)mm::terms_pipelined(p, {0.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)mm::terms_pipelined(p, {1.0, -1.0}),
+               std::invalid_argument);
+}
+
+TEST(Params, ExactPipelinedTimeCase1MatchesEq17) {
+  const auto p = staged_path(2e-6, 12e9, 3e-6, 46e9, 1.5e-6);
+  const double theta = 0.4, n = 64e6;
+  const double expected = 2.0 * std::sqrt(theta * n * 2e-6 / 46e9) +
+                          theta * n / 12e9 + 1.5e-6 + 3e-6;
+  EXPECT_NEAR(mm::exact_pipelined_time(p, theta, n), expected, 1e-15);
+}
+
+TEST(Params, ExactPipelinedTimeCase2MatchesEq18) {
+  const auto p = staged_path(2e-6, 46e9, 3e-6, 12e9, 1.5e-6);
+  const double theta = 0.4, n = 64e6;
+  const double expected = 2.0 * std::sqrt(theta * n * (1.5e-6 + 3e-6) / 46e9) +
+                          theta * n / 12e9 + 2e-6;
+  EXPECT_NEAR(mm::exact_pipelined_time(p, theta, n), expected, 1e-15);
+}
+
+TEST(Params, PathTermsTimeIsEq21) {
+  mm::PathTerms t{1.0 / 50e9, 4e-6};
+  EXPECT_DOUBLE_EQ(t.time(0.5, 100e6), 0.5 * 100e6 / 50e9 + 4e-6);
+}

@@ -1,0 +1,164 @@
+#include "mpath/model/theta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "mpath/util/rng.hpp"
+
+namespace mm = mpath::model;
+
+namespace {
+double sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+}  // namespace
+
+TEST(ThetaSolver, SinglePathGetsEverything) {
+  std::vector<mm::PathTerms> paths{{1.0 / 46e9, 2e-6}};
+  const auto sol = mm::ThetaSolver::solve(paths, 64e6);
+  ASSERT_EQ(sol.theta.size(), 1u);
+  EXPECT_DOUBLE_EQ(sol.theta[0], 1.0);
+  EXPECT_NEAR(sol.predicted_time, 2e-6 + 64e6 / 46e9, 1e-15);
+}
+
+TEST(ThetaSolver, EqualPathsSplitEqually) {
+  std::vector<mm::PathTerms> paths(3, mm::PathTerms{1.0 / 46e9, 2e-6});
+  const auto sol = mm::ThetaSolver::solve(paths, 96e6);
+  for (double t : sol.theta) EXPECT_NEAR(t, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(sum(sol.theta), 1.0, 1e-12);
+}
+
+TEST(ThetaSolver, HigherBandwidthGetsLargerShare) {
+  // Paper's reading of Eq. 8: bandwidth-proportional at equal latency.
+  std::vector<mm::PathTerms> paths{{1.0 / 40e9, 2e-6}, {1.0 / 10e9, 2e-6}};
+  const auto sol = mm::ThetaSolver::solve(paths, 100e6);
+  EXPECT_NEAR(sol.theta[0], 0.8, 1e-9);
+  EXPECT_NEAR(sol.theta[1], 0.2, 1e-9);
+}
+
+TEST(ThetaSolver, HigherLatencyGetsSmallerShare) {
+  std::vector<mm::PathTerms> paths{{1.0 / 40e9, 1e-6}, {1.0 / 40e9, 100e-6}};
+  const auto sol = mm::ThetaSolver::solve(paths, 100e6);
+  EXPECT_GT(sol.theta[0], sol.theta[1]);
+  EXPECT_NEAR(sum(sol.theta), 1.0, 1e-12);
+}
+
+TEST(ThetaSolver, EqualTimeProperty) {
+  // Theorem 1: at the optimum all active path times are equal.
+  std::vector<mm::PathTerms> paths{
+      {1.0 / 46e9, 2e-6}, {1.0 / 40e9, 8e-6}, {1.0 / 11e9, 20e-6}};
+  const auto sol = mm::ThetaSolver::solve(paths, 256e6);
+  EXPECT_EQ(sol.active.size(), 3u);
+  EXPECT_LT(mm::ThetaSolver::time_spread(paths, sol.theta, 256e6),
+            1e-9 * sol.predicted_time + 1e-12);
+}
+
+TEST(ThetaSolver, SlowPathExcludedForSmallMessages) {
+  // A path with a large Delta cannot help a tiny message: Eq. 24 yields a
+  // negative share and the active-set step must drop it.
+  std::vector<mm::PathTerms> paths{{1.0 / 46e9, 2e-6}, {1.0 / 12e9, 500e-6}};
+  const auto sol = mm::ThetaSolver::solve(paths, 1e5);  // 100 KB
+  EXPECT_DOUBLE_EQ(sol.theta[1], 0.0);
+  EXPECT_DOUBLE_EQ(sol.theta[0], 1.0);
+  ASSERT_EQ(sol.active.size(), 1u);
+  EXPECT_EQ(sol.active[0], 0u);
+}
+
+TEST(ThetaSolver, ExcludedPathRejoinsForLargeMessages) {
+  std::vector<mm::PathTerms> paths{{1.0 / 46e9, 2e-6}, {1.0 / 12e9, 500e-6}};
+  const auto sol = mm::ThetaSolver::solve(paths, 512e6);
+  EXPECT_GT(sol.theta[1], 0.0);
+  EXPECT_EQ(sol.active.size(), 2u);
+}
+
+TEST(ThetaSolver, DirectNeverExcluded) {
+  // Even when the direct path is much worse, it keeps a (small) share as
+  // long as its theta stays non-negative; and if everything else is
+  // dropped it retains the whole message.
+  std::vector<mm::PathTerms> paths{{1.0 / 1e9, 50e-6}, {1.0 / 46e9, 2e-6}};
+  const auto sol = mm::ThetaSolver::solve(paths, 64e6);
+  EXPECT_GT(sol.theta[0], 0.0);
+  EXPECT_NEAR(sum(sol.theta), 1.0, 1e-12);
+}
+
+TEST(ThetaSolver, InputValidation) {
+  std::vector<mm::PathTerms> empty;
+  EXPECT_THROW((void)mm::ThetaSolver::solve(empty, 1e6),
+               std::invalid_argument);
+  std::vector<mm::PathTerms> paths{{1.0 / 46e9, 2e-6}};
+  EXPECT_THROW((void)mm::ThetaSolver::solve(paths, 0.0),
+               std::invalid_argument);
+  std::vector<mm::PathTerms> bad{{0.0, 2e-6}};
+  EXPECT_THROW((void)mm::ThetaSolver::solve(bad, 1e6),
+               std::invalid_argument);
+}
+
+TEST(ThetaSolver, EvaluateMatchesMaxOfPathTimes) {
+  std::vector<mm::PathTerms> paths{{1.0 / 46e9, 2e-6}, {1.0 / 12e9, 5e-6}};
+  std::vector<double> theta{0.7, 0.3};
+  const double expected =
+      std::max(0.7 * 64e6 / 46e9 + 2e-6, 0.3 * 64e6 / 12e9 + 5e-6);
+  EXPECT_DOUBLE_EQ(mm::ThetaSolver::evaluate(paths, theta, 64e6), expected);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep (Theorem 1 validation): for random path sets and message
+// sizes, the closed-form solution (a) is a valid distribution, (b) has
+// equal active-path times, and (c) is never beaten by a dense grid search.
+// ---------------------------------------------------------------------------
+
+class ThetaOptimality
+    : public ::testing::TestWithParam<std::tuple<int, double, unsigned>> {};
+
+TEST_P(ThetaOptimality, ClosedFormBeatsGridSearch) {
+  const auto [n_paths, n_bytes, seed] = GetParam();
+  mpath::util::Rng rng(seed);
+  std::vector<mm::PathTerms> paths;
+  for (int i = 0; i < n_paths; ++i) {
+    paths.push_back(mm::PathTerms{1.0 / rng.uniform(5e9, 100e9),
+                                  rng.uniform(1e-6, 50e-6)});
+  }
+  const auto sol = mm::ThetaSolver::solve(paths, n_bytes);
+
+  // (a) valid distribution
+  EXPECT_NEAR(sum(sol.theta), 1.0, 1e-9);
+  for (double t : sol.theta) {
+    EXPECT_GE(t, 0.0);
+    EXPECT_LE(t, 1.0 + 1e-12);
+  }
+  // (b) equalized times on the active set
+  EXPECT_LT(mm::ThetaSolver::time_spread(paths, sol.theta, n_bytes),
+            1e-6 * sol.predicted_time + 1e-12);
+
+  // (c) no grid point does better (2-path: 1-D grid; 3-path: 2-D grid)
+  const int steps = 200;
+  double best_grid = std::numeric_limits<double>::infinity();
+  if (n_paths == 2) {
+    for (int i = 0; i <= steps; ++i) {
+      const double t0 = static_cast<double>(i) / steps;
+      std::vector<double> theta{t0, 1.0 - t0};
+      best_grid = std::min(best_grid,
+                           mm::ThetaSolver::evaluate(paths, theta, n_bytes));
+    }
+  } else {
+    for (int i = 0; i <= steps; ++i) {
+      for (int j = 0; i + j <= steps; ++j) {
+        const double t0 = static_cast<double>(i) / steps;
+        const double t1 = static_cast<double>(j) / steps;
+        std::vector<double> theta{t0, t1, 1.0 - t0 - t1};
+        best_grid = std::min(
+            best_grid, mm::ThetaSolver::evaluate(paths, theta, n_bytes));
+      }
+    }
+  }
+  EXPECT_LE(sol.predicted_time, best_grid * (1.0 + 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ThetaOptimality,
+    ::testing::Combine(::testing::Values(2, 3),
+                       ::testing::Values(2e6, 16e6, 64e6, 512e6),
+                       ::testing::Values(11u, 23u, 37u)));

@@ -1,0 +1,142 @@
+#include "mpath/pipeline/channels.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mpath/topo/system.hpp"
+#include "mpath/tuning/calibration.hpp"
+#include "mpath/util/units.hpp"
+
+namespace mg = mpath::gpusim;
+namespace mm = mpath::model;
+namespace mp = mpath::pipeline;
+namespace ms = mpath::sim;
+namespace mt = mpath::topo;
+using namespace mpath::util::literals;
+
+namespace {
+
+struct Fixture {
+  mt::System sys = [] {
+    auto s = mt::make_beluga();
+    s.costs.jitter_rel = 0;
+    return s;
+  }();
+  ms::Engine engine;
+  ms::FluidNetwork net{engine};
+  mg::GpuRuntime rt{sys, engine, net};
+  mp::PipelineEngine pipe{rt};
+  mm::ModelRegistry reg = mpath::tuning::registry_from_topology(sys);
+  mm::PathConfigurator cfg{reg};
+  std::vector<mt::DeviceId> gpus = sys.topology.gpus();
+
+  double run_transfer(mg::DataChannel& ch, mg::DeviceBuffer& dst,
+                      const mg::DeviceBuffer& src, std::size_t bytes) {
+    const double start = engine.now();
+    engine.spawn([](mg::DataChannel& c, mg::DeviceBuffer& d,
+                    const mg::DeviceBuffer& s,
+                    std::size_t n) -> ms::Task<void> {
+      co_await c.transfer(d, 0, s, 0, n);
+    }(ch, dst, src, bytes), "xfer");
+    engine.run();
+    return engine.now() - start;
+  }
+};
+
+}  // namespace
+
+TEST(Channels, SinglePathDeliversAndNames) {
+  Fixture f;
+  mp::SinglePathChannel ch(f.pipe);
+  EXPECT_EQ(ch.name(), "direct");
+  mg::DeviceBuffer src(f.gpus[0], 4_MiB), dst(f.gpus[1], 4_MiB);
+  src.fill_pattern(11);
+  f.run_transfer(ch, dst, src, 4_MiB);
+  EXPECT_TRUE(dst.same_content(src));
+  EXPECT_EQ(f.pipe.bytes_on(mt::PathKind::Direct), 4_MiB);
+  EXPECT_EQ(f.pipe.bytes_on(mt::PathKind::GpuStaged), 0u);
+}
+
+TEST(Channels, ModelDrivenUsesMultiplePathsForLargeMessages) {
+  Fixture f;
+  mp::ModelDrivenChannel ch(f.pipe, f.cfg, mt::PathPolicy::three_gpus());
+  EXPECT_EQ(ch.name(), "model-driven");
+  mg::DeviceBuffer src(f.gpus[0], 128_MiB), dst(f.gpus[1], 128_MiB);
+  src.fill_pattern(12);
+  f.run_transfer(ch, dst, src, 128_MiB);
+  EXPECT_TRUE(dst.same_content(src));
+  EXPECT_GT(f.pipe.bytes_on(mt::PathKind::GpuStaged), 0u);
+  ASSERT_TRUE(ch.last_config().has_value());
+  EXPECT_EQ(ch.last_config()->total_bytes, 128_MiB);
+}
+
+TEST(Channels, ModelDrivenFallsBackToDirectForSmallMessages) {
+  Fixture f;
+  mp::ModelDrivenChannel ch(f.pipe, f.cfg, mt::PathPolicy::three_gpus());
+  mg::DeviceBuffer src(f.gpus[0], 64_KiB), dst(f.gpus[1], 64_KiB);
+  src.fill_pattern(13);
+  f.run_transfer(ch, dst, src, 64_KiB);
+  EXPECT_TRUE(dst.same_content(src));
+  EXPECT_EQ(f.pipe.bytes_on(mt::PathKind::GpuStaged), 0u);
+  EXPECT_FALSE(ch.last_config().has_value());
+}
+
+TEST(Channels, ModelDrivenIsFasterThanDirectForLargeMessages) {
+  Fixture f;
+  mp::SinglePathChannel direct(f.pipe);
+  mg::DeviceBuffer src(f.gpus[0], 128_MiB), dst(f.gpus[1], 128_MiB);
+  const double t_direct = f.run_transfer(direct, dst, src, 128_MiB);
+
+  Fixture g;
+  mp::ModelDrivenChannel multi(g.pipe, g.cfg, mt::PathPolicy::three_gpus());
+  mg::DeviceBuffer src2(g.gpus[0], 128_MiB), dst2(g.gpus[1], 128_MiB);
+  const double t_multi = g.run_transfer(multi, dst2, src2, 128_MiB);
+  EXPECT_GT(t_direct / t_multi, 2.0);
+}
+
+TEST(Channels, StaticPlanValidation) {
+  Fixture f;
+  mp::StaticPlan bad;
+  EXPECT_THROW(mp::StaticPlanChannel(f.pipe, bad), std::invalid_argument);
+  bad.paths = {{mt::PathKind::GpuStaged, f.gpus[2]}};
+  bad.fractions = {1.0};
+  bad.chunks = {1};
+  EXPECT_THROW(mp::StaticPlanChannel(f.pipe, bad), std::invalid_argument);
+  mp::StaticPlan not_normalized;
+  not_normalized.paths = {{mt::PathKind::Direct, mt::kInvalidDevice}};
+  not_normalized.fractions = {0.5};
+  not_normalized.chunks = {1};
+  EXPECT_THROW(mp::StaticPlanChannel(f.pipe, not_normalized),
+               std::invalid_argument);
+}
+
+TEST(Channels, StaticPlanSplitsByFractions) {
+  Fixture f;
+  mp::StaticPlan plan;
+  plan.paths = {{mt::PathKind::Direct, mt::kInvalidDevice},
+                {mt::PathKind::GpuStaged, f.gpus[2]}};
+  plan.fractions = {0.75, 0.25};
+  plan.chunks = {1, 8};
+  mp::StaticPlanChannel ch(f.pipe, plan);
+  EXPECT_EQ(ch.name(), "static");
+  mg::DeviceBuffer src(f.gpus[0], 64_MiB), dst(f.gpus[1], 64_MiB);
+  src.fill_pattern(14);
+  f.run_transfer(ch, dst, src, 64_MiB);
+  EXPECT_TRUE(dst.same_content(src));
+  EXPECT_EQ(f.pipe.bytes_on(mt::PathKind::GpuStaged), 16_MiB);
+  EXPECT_EQ(f.pipe.bytes_on(mt::PathKind::Direct), 48_MiB);
+}
+
+TEST(Channels, StaticPlanSmallMessagesGoDirect) {
+  Fixture f;
+  mp::StaticPlan plan;
+  plan.paths = {{mt::PathKind::Direct, mt::kInvalidDevice},
+                {mt::PathKind::GpuStaged, f.gpus[2]}};
+  plan.fractions = {0.5, 0.5};
+  plan.chunks = {1, 8};
+  mp::StaticPlanChannel ch(f.pipe, plan);
+  mg::DeviceBuffer src(f.gpus[0], 32_KiB), dst(f.gpus[1], 32_KiB);
+  src.fill_pattern(15);
+  f.run_transfer(ch, dst, src, 32_KiB);
+  EXPECT_TRUE(dst.same_content(src));
+  EXPECT_EQ(f.pipe.bytes_on(mt::PathKind::GpuStaged), 0u);
+}

@@ -1,0 +1,137 @@
+#include "mpath/pipeline/staging.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mpath/topo/system.hpp"
+
+namespace mg = mpath::gpusim;
+namespace mp = mpath::pipeline;
+namespace ms = mpath::sim;
+namespace mt = mpath::topo;
+
+namespace {
+struct Fixture {
+  mt::System sys = mt::make_beluga();
+  ms::Engine engine;
+  ms::FluidNetwork net{engine};
+  mg::GpuRuntime rt{sys, engine, net};
+  std::vector<mt::DeviceId> gpus = sys.topology.gpus();
+};
+}  // namespace
+
+TEST(StagingPool, AcquireProvidesSizedBuffer) {
+  Fixture f;
+  mp::StagingPool pool(f.rt, 2);
+  bool checked = false;
+  f.engine.spawn([](mp::StagingPool& pl, mt::DeviceId dev,
+                    bool& out) -> ms::Task<void> {
+    auto lease = co_await pl.acquire(dev, 4096, 0);
+    EXPECT_TRUE(lease.valid());
+    EXPECT_GE(lease.buffer().size(), 4096u);
+    EXPECT_EQ(lease.buffer().device(), dev);
+    out = true;
+  }(pool, f.gpus[2], checked));
+  f.engine.run();
+  EXPECT_TRUE(checked);
+  EXPECT_EQ(pool.in_use(f.gpus[2], 0), 0u);  // released on scope exit
+}
+
+TEST(StagingPool, CapacityLimitsConcurrentLeases) {
+  Fixture f;
+  mp::StagingPool pool(f.rt, 2);
+  std::vector<double> acquire_times;
+  for (int i = 0; i < 4; ++i) {
+    f.engine.spawn([](ms::Engine& eng, mp::StagingPool& pl, mt::DeviceId dev,
+                      std::vector<double>& times) -> ms::Task<void> {
+      auto lease = co_await pl.acquire(dev, 64, 0);
+      times.push_back(eng.now());
+      co_await eng.delay(1.0);
+    }(f.engine, pool, f.gpus[2], acquire_times));
+  }
+  f.engine.run();
+  ASSERT_EQ(acquire_times.size(), 4u);
+  EXPECT_DOUBLE_EQ(acquire_times[0], 0.0);
+  EXPECT_DOUBLE_EQ(acquire_times[1], 0.0);
+  EXPECT_DOUBLE_EQ(acquire_times[2], 1.0);
+  EXPECT_DOUBLE_EQ(acquire_times[3], 1.0);
+}
+
+TEST(StagingPool, BuffersAreRecycled) {
+  Fixture f;
+  mp::StagingPool pool(f.rt, 1);
+  mg::BufferId first_id = 0, second_id = 0;
+  f.engine.spawn([](mp::StagingPool& pl, mt::DeviceId dev, mg::BufferId& a,
+                    mg::BufferId& b) -> ms::Task<void> {
+    {
+      auto lease = co_await pl.acquire(dev, 128, 0);
+      a = lease.buffer().id();
+    }
+    {
+      auto lease = co_await pl.acquire(dev, 64, 0);  // smaller: reuse
+      b = lease.buffer().id();
+    }
+  }(pool, f.gpus[3], first_id, second_id));
+  f.engine.run();
+  EXPECT_EQ(first_id, second_id);
+}
+
+TEST(StagingPool, GrowsWhenRequestExceedsRecycledBuffer) {
+  Fixture f;
+  mp::StagingPool pool(f.rt, 1);
+  mg::BufferId first_id = 0, second_id = 0;
+  std::size_t second_size = 0;
+  f.engine.spawn([](mp::StagingPool& pl, mt::DeviceId dev, mg::BufferId& a,
+                    mg::BufferId& b, std::size_t& sz) -> ms::Task<void> {
+    {
+      auto lease = co_await pl.acquire(dev, 64, 0);
+      a = lease.buffer().id();
+    }
+    {
+      auto lease = co_await pl.acquire(dev, 4096, 0);  // bigger: replaced
+      b = lease.buffer().id();
+      sz = lease.buffer().size();
+    }
+  }(pool, f.gpus[3], first_id, second_id, second_size));
+  f.engine.run();
+  EXPECT_NE(first_id, second_id);
+  EXPECT_GE(second_size, 4096u);
+}
+
+TEST(StagingPool, IndependentInitiatorsDoNotContend) {
+  // Staging buffers belong to the sending process: two initiators each get
+  // the full per-pool capacity on the same staging device.
+  Fixture f;
+  mp::StagingPool pool(f.rt, 1);
+  std::vector<double> times;
+  for (int i = 0; i < 2; ++i) {
+    f.engine.spawn([](ms::Engine& eng, mp::StagingPool& pl, mt::DeviceId dev,
+                      mt::DeviceId initiator,
+                      std::vector<double>& out) -> ms::Task<void> {
+      auto lease = co_await pl.acquire(dev, 64, initiator);
+      out.push_back(eng.now());
+      co_await eng.delay(1.0);
+    }(f.engine, pool, f.gpus[2], f.gpus[static_cast<std::size_t>(i)], times));
+  }
+  f.engine.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 0.0);
+  EXPECT_DOUBLE_EQ(times[1], 0.0);
+}
+
+TEST(StagingPool, IndependentDevicesDoNotContend) {
+  Fixture f;
+  mp::StagingPool pool(f.rt, 1);
+  std::vector<double> times;
+  for (int i = 0; i < 2; ++i) {
+    f.engine.spawn([](ms::Engine& eng, mp::StagingPool& pl, mt::DeviceId dev,
+                      std::vector<double>& out) -> ms::Task<void> {
+      auto lease = co_await pl.acquire(dev, 64, 0);
+      out.push_back(eng.now());
+      co_await eng.delay(1.0);
+    }(f.engine, pool, f.gpus[static_cast<std::size_t>(i)], times));
+  }
+  f.engine.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 0.0);
+  EXPECT_DOUBLE_EQ(times[1], 0.0);
+}

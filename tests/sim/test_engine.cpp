@@ -1,0 +1,215 @@
+#include "mpath/sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace ms = mpath::sim;
+
+namespace {
+
+ms::Task<void> record_at(ms::Engine& e, double dt, std::vector<double>& log) {
+  co_await e.delay(dt);
+  log.push_back(e.now());
+}
+
+ms::Task<int> answer(ms::Engine& e) {
+  co_await e.delay(1.0);
+  co_return 42;
+}
+
+ms::Task<void> chain(ms::Engine& e, std::vector<double>& log) {
+  const int v = co_await answer(e);
+  EXPECT_EQ(v, 42);
+  log.push_back(e.now());
+  co_await e.delay(0.5);
+  log.push_back(e.now());
+}
+
+}  // namespace
+
+TEST(Engine, TimeStartsAtZero) {
+  ms::Engine e;
+  EXPECT_DOUBLE_EQ(e.now(), 0.0);
+}
+
+TEST(Engine, DelayAdvancesVirtualClock) {
+  ms::Engine e;
+  std::vector<double> log;
+  e.spawn(record_at(e, 2.5, log));
+  e.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_DOUBLE_EQ(log[0], 2.5);
+  EXPECT_DOUBLE_EQ(e.now(), 2.5);
+}
+
+TEST(Engine, EventsFireInTimeOrder) {
+  ms::Engine e;
+  std::vector<double> log;
+  e.spawn(record_at(e, 3.0, log));
+  e.spawn(record_at(e, 1.0, log));
+  e.spawn(record_at(e, 2.0, log));
+  e.run();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_DOUBLE_EQ(log[0], 1.0);
+  EXPECT_DOUBLE_EQ(log[1], 2.0);
+  EXPECT_DOUBLE_EQ(log[2], 3.0);
+}
+
+TEST(Engine, TiesBreakInSpawnOrder) {
+  ms::Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    e.spawn([](ms::Engine& eng, std::vector<int>& ord,
+               int id) -> ms::Task<void> {
+      co_await eng.delay(1.0);
+      ord.push_back(id);
+    }(e, order, i));
+  }
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, NestedTasksReturnValues) {
+  ms::Engine e;
+  std::vector<double> log;
+  e.spawn(chain(e, log));
+  e.run();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_DOUBLE_EQ(log[0], 1.0);
+  EXPECT_DOUBLE_EQ(log[1], 1.5);
+}
+
+TEST(Engine, JoinDeliversCompletion) {
+  ms::Engine e;
+  bool joined = false;
+  static std::vector<double> sink;
+  auto p = e.spawn(record_at(e, 1.0, sink));
+  e.spawn([](ms::Engine&, ms::Process proc,
+             bool& flag) -> ms::Task<void> {
+    co_await proc.join();
+    flag = true;
+  }(e, p, joined));
+  e.run();
+  EXPECT_TRUE(joined);
+  EXPECT_TRUE(p.done());
+}
+
+TEST(Engine, JoinRethrowsProcessException) {
+  ms::Engine e;
+  auto failing = e.spawn([](ms::Engine& eng) -> ms::Task<void> {
+    co_await eng.delay(1.0);
+    throw std::runtime_error("boom");
+  }(e), "failing");
+  bool caught = false;
+  e.spawn([](ms::Process p, bool& flag) -> ms::Task<void> {
+    try {
+      co_await p.join();
+    } catch (const std::runtime_error& err) {
+      flag = std::string(err.what()) == "boom";
+    }
+  }(failing, caught));
+  e.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Engine, UnjoinedFailureSurfacesAtRun) {
+  ms::Engine e;
+  e.spawn([](ms::Engine& eng) -> ms::Task<void> {
+    co_await eng.delay(1.0);
+    throw std::runtime_error("unseen failure");
+  }(e), "fails-silently");
+  EXPECT_THROW(e.run(), ms::SimError);
+}
+
+TEST(Engine, DeadlockDetected) {
+  ms::Engine e;
+  auto latch = std::make_unique<ms::Latch>(e);
+  e.spawn([](ms::Latch& l) -> ms::Task<void> {
+    co_await l.wait();  // never fired
+  }(*latch), "stuck");
+  EXPECT_THROW(e.run(), ms::SimError);
+}
+
+TEST(Engine, RunUntilStopsClock) {
+  ms::Engine e;
+  std::vector<double> log;
+  e.spawn(record_at(e, 10.0, log));
+  e.run_until(4.0);
+  EXPECT_TRUE(log.empty());
+  EXPECT_DOUBLE_EQ(e.now(), 4.0);
+  e.run_until(20.0);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_DOUBLE_EQ(log[0], 10.0);
+}
+
+TEST(Engine, CallbacksInterleaveWithCoroutines) {
+  ms::Engine e;
+  std::vector<int> order;
+  e.schedule_callback(1.0, [&] { order.push_back(1); });
+  e.spawn([](ms::Engine& eng, std::vector<int>& ord) -> ms::Task<void> {
+    co_await eng.delay(0.5);
+    ord.push_back(0);
+    co_await eng.delay(1.0);
+    ord.push_back(2);
+  }(e, order));
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Engine, WhenAllWaitsForEverything) {
+  ms::Engine e;
+  std::vector<double> log;
+  std::vector<ms::Task<void>> tasks;
+  tasks.push_back(record_at(e, 3.0, log));
+  tasks.push_back(record_at(e, 1.0, log));
+  bool after = false;
+  e.spawn([](ms::Engine& eng, std::vector<ms::Task<void>> ts,
+             bool& done) -> ms::Task<void> {
+    co_await ms::when_all(eng, std::move(ts));
+    done = true;
+    EXPECT_DOUBLE_EQ(eng.now(), 3.0);
+  }(e, std::move(tasks), after));
+  e.run();
+  EXPECT_TRUE(after);
+  EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(Engine, WhenAllPropagatesFirstError) {
+  ms::Engine e;
+  std::vector<ms::Task<void>> tasks;
+  tasks.push_back([](ms::Engine& eng) -> ms::Task<void> {
+    co_await eng.delay(1.0);
+  }(e));
+  tasks.push_back([](ms::Engine& eng) -> ms::Task<void> {
+    co_await eng.delay(0.5);
+    throw std::runtime_error("first");
+  }(e));
+  bool caught = false;
+  e.spawn([](ms::Engine& eng, std::vector<ms::Task<void>> ts,
+             bool& flag) -> ms::Task<void> {
+    try {
+      co_await ms::when_all(eng, std::move(ts));
+    } catch (const std::runtime_error& err) {
+      flag = std::string(err.what()) == "first";
+      // All tasks completed before the rethrow.
+      EXPECT_DOUBLE_EQ(eng.now(), 1.0);
+    }
+  }(e, std::move(tasks), caught));
+  e.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Engine, ManySpawnsSweepCleanly) {
+  ms::Engine e;
+  // More processes than the sweep threshold to exercise root reclamation.
+  std::vector<double> log;
+  for (int i = 0; i < 10000; ++i) {
+    e.spawn([](ms::Engine& eng) -> ms::Task<void> {
+      co_await eng.delay(0.001);
+    }(e));
+  }
+  EXPECT_NO_THROW(e.run());
+  EXPECT_EQ(e.live_process_count(), 0u);
+}

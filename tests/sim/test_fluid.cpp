@@ -1,0 +1,206 @@
+#include "mpath/sim/fluid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ms = mpath::sim;
+
+namespace {
+
+struct Fixture {
+  ms::Engine engine;
+  ms::FluidNetwork net{engine};
+};
+
+// Run one transfer and record completion time.
+ms::Task<void> timed_transfer(ms::Engine& e, ms::FluidNetwork& net,
+                              std::vector<ms::LinkId> route, double bytes,
+                              double& finish) {
+  co_await net.transfer(std::move(route), bytes);
+  finish = e.now();
+}
+
+ms::Task<void> delayed_transfer(ms::Engine& e, ms::FluidNetwork& net,
+                                double start, std::vector<ms::LinkId> route,
+                                double bytes, double& finish) {
+  co_await e.delay(start);
+  co_await net.transfer(std::move(route), bytes);
+  finish = e.now();
+}
+
+}  // namespace
+
+TEST(Fluid, RejectsBadLinkSpecs) {
+  Fixture f;
+  EXPECT_THROW(f.net.add_link({"zero", 0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(f.net.add_link({"neg-lat", 1e9, -1.0}), std::invalid_argument);
+}
+
+TEST(Fluid, SingleFlowRunsAtCapacity) {
+  Fixture f;
+  const auto link = f.net.add_link({"l", 100.0, 0.0});  // 100 B/s
+  double finish = -1;
+  f.engine.spawn(timed_transfer(f.engine, f.net, {link}, 500.0, finish));
+  f.engine.run();
+  EXPECT_NEAR(finish, 5.0, 1e-9);
+}
+
+TEST(Fluid, LatencyPaidOncePerTraversal) {
+  Fixture f;
+  const auto a = f.net.add_link({"a", 100.0, 1.0});
+  const auto b = f.net.add_link({"b", 100.0, 2.0});
+  double finish = -1;
+  f.engine.spawn(timed_transfer(f.engine, f.net, {a, b}, 100.0, finish));
+  f.engine.run();
+  // 3s of latency, then 1s of streaming at the 100 B/s bottleneck.
+  EXPECT_NEAR(finish, 4.0, 1e-9);
+}
+
+TEST(Fluid, EmptyRouteAndZeroBytesCompleteInstantly) {
+  Fixture f;
+  const auto link = f.net.add_link({"l", 100.0, 1.5});
+  double f1 = -1, f2 = -1;
+  f.engine.spawn(timed_transfer(f.engine, f.net, {}, 100.0, f1));
+  f.engine.spawn(timed_transfer(f.engine, f.net, {link}, 0.0, f2));
+  f.engine.run();
+  EXPECT_NEAR(f1, 0.0, 1e-12);
+  EXPECT_NEAR(f2, 1.5, 1e-12);  // latency still paid
+}
+
+TEST(Fluid, TwoFlowsShareFairly) {
+  Fixture f;
+  const auto link = f.net.add_link({"l", 100.0, 0.0});
+  double f1 = -1, f2 = -1;
+  f.engine.spawn(timed_transfer(f.engine, f.net, {link}, 500.0, f1));
+  f.engine.spawn(timed_transfer(f.engine, f.net, {link}, 500.0, f2));
+  f.engine.run();
+  // Both run at 50 B/s for 10 s.
+  EXPECT_NEAR(f1, 10.0, 1e-9);
+  EXPECT_NEAR(f2, 10.0, 1e-9);
+}
+
+TEST(Fluid, ShortFlowFinishesThenLongFlowSpeedsUp) {
+  Fixture f;
+  const auto link = f.net.add_link({"l", 100.0, 0.0});
+  double short_f = -1, long_f = -1;
+  f.engine.spawn(timed_transfer(f.engine, f.net, {link}, 100.0, short_f));
+  f.engine.spawn(timed_transfer(f.engine, f.net, {link}, 500.0, long_f));
+  f.engine.run();
+  // Shared at 50/50 until the short flow's 100 B done at t=2; the long flow
+  // then has 400 B left at 100 B/s -> t = 2 + 4 = 6.
+  EXPECT_NEAR(short_f, 2.0, 1e-9);
+  EXPECT_NEAR(long_f, 6.0, 1e-9);
+}
+
+TEST(Fluid, LateArrivalReducesRate) {
+  Fixture f;
+  const auto link = f.net.add_link({"l", 100.0, 0.0});
+  double f1 = -1, f2 = -1;
+  f.engine.spawn(timed_transfer(f.engine, f.net, {link}, 400.0, f1));
+  f.engine.spawn(
+      delayed_transfer(f.engine, f.net, 2.0, {link}, 400.0, f2));
+  f.engine.run();
+  // Flow 1: 200 B alone (t=0..2), then shares: 200 B at 50 B/s -> t=6.
+  EXPECT_NEAR(f1, 6.0, 1e-9);
+  // Flow 2: 200 B at 50 B/s (t=2..6), then 200 B at 100 B/s -> t=8.
+  EXPECT_NEAR(f2, 8.0, 1e-9);
+}
+
+TEST(Fluid, MaxMinRespectsPerFlowBottleneck) {
+  // Flow A uses only the fat link; flow B traverses fat + thin. B is
+  // limited to 10 by the thin link; A gets the leftover 90 (max-min).
+  Fixture f;
+  const auto fat = f.net.add_link({"fat", 100.0, 0.0});
+  const auto thin = f.net.add_link({"thin", 10.0, 0.0});
+  double fa = -1, fb = -1;
+  f.engine.spawn(timed_transfer(f.engine, f.net, {fat}, 900.0, fa));
+  f.engine.spawn(timed_transfer(f.engine, f.net, {fat, thin}, 100.0, fb));
+  f.engine.run();
+  EXPECT_NEAR(fb, 10.0, 1e-9);
+  EXPECT_NEAR(fa, 10.0, 1e-9);  // 900 B at 90 B/s = 10 s
+}
+
+TEST(Fluid, DoubleTraversalConsumesTwoShares) {
+  // A route crossing the same link twice (staging write+read through one
+  // memory channel) gets capacity/2.
+  Fixture f;
+  const auto chan = f.net.add_link({"memchan", 100.0, 0.0});
+  double finish = -1;
+  f.engine.spawn(timed_transfer(f.engine, f.net, {chan, chan}, 100.0, finish));
+  f.engine.run();
+  EXPECT_NEAR(finish, 2.0, 1e-9);
+}
+
+TEST(Fluid, BytesTransferredAccounting) {
+  Fixture f;
+  const auto a = f.net.add_link({"a", 100.0, 0.0});
+  const auto b = f.net.add_link({"b", 50.0, 0.0});
+  double finish = -1;
+  f.engine.spawn(timed_transfer(f.engine, f.net, {a, b}, 200.0, finish));
+  f.engine.run();
+  EXPECT_NEAR(f.net.link_bytes_transferred(a), 200.0, 1e-6);
+  EXPECT_NEAR(f.net.link_bytes_transferred(b), 200.0, 1e-6);
+  EXPECT_EQ(f.net.active_flow_count(), 0u);
+}
+
+TEST(Fluid, ConservationAcrossManyRandomFlows) {
+  // Property: with N flows over shared links, total delivered bytes equal
+  // the sum of requested bytes, and no link ever exceeds capacity (verified
+  // implicitly by completion times >= bytes/capacity lower bound).
+  Fixture f;
+  const auto l0 = f.net.add_link({"l0", 200.0, 0.0});
+  const auto l1 = f.net.add_link({"l1", 120.0, 0.0});
+  const auto l2 = f.net.add_link({"l2", 80.0, 0.0});
+  struct Spec {
+    std::vector<ms::LinkId> route;
+    double bytes;
+    double start;
+  };
+  const std::vector<Spec> specs = {
+      {{l0}, 300, 0.0},        {{l0, l1}, 240, 0.5},
+      {{l1, l2}, 160, 1.0},    {{l2}, 80, 0.25},
+      {{l0, l1, l2}, 400, 0.0}, {{l1}, 500, 2.0},
+  };
+  std::vector<double> finishes(specs.size(), -1.0);
+  double total_bytes = 0;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    total_bytes += specs[i].bytes;
+    f.engine.spawn(delayed_transfer(f.engine, f.net, specs[i].start,
+                                    specs[i].route, specs[i].bytes,
+                                    finishes[i]));
+  }
+  f.engine.run();
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    ASSERT_GT(finishes[i], 0.0) << "flow " << i << " never finished";
+    // No flow can beat its serial lower bound.
+    double cap = 1e18;
+    for (auto l : specs[i].route) {
+      cap = std::min(cap, f.net.link(l).capacity_bps);
+    }
+    EXPECT_GE(finishes[i] + 1e-9, specs[i].start + specs[i].bytes / cap);
+  }
+  const double sum_delivered = f.net.link_bytes_transferred(l0) +
+                               f.net.link_bytes_transferred(l1) +
+                               f.net.link_bytes_transferred(l2);
+  // Each flow contributes bytes * route-length to the per-link totals.
+  double expected = 0;
+  for (const auto& s : specs) {
+    expected += s.bytes * static_cast<double>(s.route.size());
+  }
+  EXPECT_NEAR(sum_delivered, expected, 1e-3);
+}
+
+TEST(Fluid, ManySmallFlowsDrainCompletely) {
+  Fixture f;
+  const auto link = f.net.add_link({"l", 1000.0, 1e-6});
+  std::vector<double> finishes(64, -1.0);
+  for (int i = 0; i < 64; ++i) {
+    f.engine.spawn(delayed_transfer(f.engine, f.net, 0.001 * i, {link}, 10.0,
+                                    finishes[i]));
+  }
+  f.engine.run();
+  for (double t : finishes) EXPECT_GT(t, 0.0);
+  EXPECT_EQ(f.net.active_flow_count(), 0u);
+  EXPECT_NEAR(f.net.link_bytes_transferred(link), 640.0, 1e-3);
+}

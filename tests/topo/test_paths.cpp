@@ -1,0 +1,156 @@
+#include "mpath/topo/paths.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mpath/topo/system.hpp"
+
+namespace mt = mpath::topo;
+
+namespace {
+struct BelugaFixture : ::testing::Test {
+  mt::System sys = mt::make_beluga();
+  std::vector<mt::DeviceId> gpus = sys.topology.gpus();
+};
+}  // namespace
+
+TEST_F(BelugaFixture, DirectOnlyPolicy) {
+  const auto paths = mt::enumerate_paths(sys.topology, gpus[0], gpus[1],
+                                         mt::PathPolicy::direct_only());
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].kind, mt::PathKind::Direct);
+}
+
+TEST_F(BelugaFixture, TwoGpuPolicyAddsOneStage) {
+  const auto paths = mt::enumerate_paths(sys.topology, gpus[0], gpus[1],
+                                         mt::PathPolicy::two_gpus());
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0].kind, mt::PathKind::Direct);
+  EXPECT_EQ(paths[1].kind, mt::PathKind::GpuStaged);
+  EXPECT_TRUE(paths[1].stage == gpus[2] || paths[1].stage == gpus[3]);
+}
+
+TEST_F(BelugaFixture, ThreeGpuPolicyUsesBothOtherGpus) {
+  const auto paths = mt::enumerate_paths(sys.topology, gpus[0], gpus[1],
+                                         mt::PathPolicy::three_gpus());
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_EQ(paths[1].kind, mt::PathKind::GpuStaged);
+  EXPECT_EQ(paths[2].kind, mt::PathKind::GpuStaged);
+  EXPECT_NE(paths[1].stage, paths[2].stage);
+  for (std::size_t i = 1; i < 3; ++i) {
+    EXPECT_NE(paths[i].stage, gpus[0]);
+    EXPECT_NE(paths[i].stage, gpus[1]);
+  }
+}
+
+TEST_F(BelugaFixture, HostPolicyAppendsHostStage) {
+  const auto paths = mt::enumerate_paths(
+      sys.topology, gpus[0], gpus[1], mt::PathPolicy::three_gpus_with_host());
+  ASSERT_EQ(paths.size(), 4u);
+  EXPECT_EQ(paths.back().kind, mt::PathKind::HostStaged);
+  EXPECT_EQ(sys.topology.device(paths.back().stage).kind,
+            mt::DeviceKind::Host);
+}
+
+TEST_F(BelugaFixture, EndpointValidation) {
+  EXPECT_THROW(
+      (void)mt::enumerate_paths(sys.topology, gpus[0], gpus[0],
+                                mt::PathPolicy::two_gpus()),
+      std::invalid_argument);
+  const auto host = sys.topology.hosts()[0];
+  EXPECT_THROW(
+      (void)mt::enumerate_paths(sys.topology, gpus[0], host,
+                                mt::PathPolicy::two_gpus()),
+      std::invalid_argument);
+}
+
+TEST_F(BelugaFixture, HopRoutesForEachKind) {
+  const auto paths = mt::enumerate_paths(
+      sys.topology, gpus[0], gpus[1], mt::PathPolicy::three_gpus_with_host());
+  const auto direct = mt::path_hop_routes(sys.topology, gpus[0], gpus[1],
+                                          paths[0]);
+  ASSERT_EQ(direct.size(), 1u);
+  EXPECT_EQ(direct[0].size(), 1u);
+
+  const auto staged = mt::path_hop_routes(sys.topology, gpus[0], gpus[1],
+                                          paths[1]);
+  ASSERT_EQ(staged.size(), 2u);
+  EXPECT_EQ(staged[0].size(), 1u);  // NVLink hop
+  EXPECT_EQ(staged[1].size(), 1u);
+
+  const auto host = mt::path_hop_routes(sys.topology, gpus[0], gpus[1],
+                                        paths[3]);
+  ASSERT_EQ(host.size(), 2u);
+  // PCIe + memory channel each way on Beluga.
+  EXPECT_EQ(host[0].size(), 2u);
+  EXPECT_EQ(host[1].size(), 2u);
+}
+
+TEST_F(BelugaFixture, PolicyLabelsMatchPaperFigures) {
+  EXPECT_EQ(mt::PathPolicy::two_gpus().label(), "2_GPUs");
+  EXPECT_EQ(mt::PathPolicy::three_gpus().label(), "3_GPUs");
+  EXPECT_EQ(mt::PathPolicy::three_gpus_with_host().label(), "3_GPUs_w_host");
+  EXPECT_EQ(mt::PathPolicy::direct_only().label(), "direct");
+}
+
+TEST_F(BelugaFixture, DescribeIsHumanReadable) {
+  const auto paths = mt::enumerate_paths(
+      sys.topology, gpus[0], gpus[1], mt::PathPolicy::three_gpus_with_host());
+  EXPECT_EQ(mt::describe(paths[0], sys.topology), "direct");
+  EXPECT_EQ(mt::describe(paths[3], sys.topology), "via host0");
+}
+
+TEST(Paths, NarvalHostStageIsSrcNuma) {
+  auto sys = mt::make_narval();
+  const auto gpus = sys.topology.gpus();
+  const auto paths = mt::enumerate_paths(
+      sys.topology, gpus[2], gpus[0], mt::PathPolicy::three_gpus_with_host());
+  const auto& host_path = paths.back();
+  ASSERT_EQ(host_path.kind, mt::PathKind::HostStaged);
+  EXPECT_EQ(sys.topology.device(host_path.stage).numa_node,
+            sys.topology.device(gpus[2]).numa_node);
+}
+
+TEST(Paths, AmdRingHasOnlyNeighborStages) {
+  auto sys = mt::make_amd_ring();
+  const auto gpus = sys.topology.gpus();
+  // gpu0 -> gpu1 are adjacent; common neighbors on the ring: none have
+  // direct links to both except... gpu0's neighbors are 1,3; gpu1's are 0,2.
+  // No GPU has direct links to both 0 and 1, so no GPU-staged candidates.
+  const auto paths = mt::enumerate_paths(sys.topology, gpus[0], gpus[1],
+                                         mt::PathPolicy::three_gpus());
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].kind, mt::PathKind::Direct);
+  // gpu0 -> gpu2 are opposite corners: both gpu1 and gpu3 bridge them.
+  const auto diag = mt::enumerate_paths(sys.topology, gpus[0], gpus[2],
+                                        mt::PathPolicy::three_gpus());
+  ASSERT_EQ(diag.size(), 3u);
+}
+
+TEST(Paths, StageOrderingByBottleneckCapacity) {
+  // Asymmetric stage links: the higher-bottleneck stage must come first.
+  mt::Topology t("asym");
+  const auto h = t.add_device(mt::DeviceKind::Host, 0, "h");
+  t.add_memory_channel(h, 30e9, 0);
+  std::vector<mt::DeviceId> g;
+  for (int i = 0; i < 4; ++i) {
+    g.push_back(t.add_device(mt::DeviceKind::Gpu, 0, "g" + std::to_string(i)));
+    t.connect_duplex(g.back(), h, mt::LinkKind::PCIe3, 12e9, 1e-6);
+  }
+  t.connect_duplex(g[0], g[1], mt::LinkKind::NVLink2, 46e9, 1e-6);
+  // Stage via g2: strong both hops. Stage via g3: weak first hop.
+  t.connect_duplex(g[0], g[2], mt::LinkKind::NVLink2, 46e9, 1e-6);
+  t.connect_duplex(g[2], g[1], mt::LinkKind::NVLink2, 46e9, 1e-6);
+  t.connect_duplex(g[0], g[3], mt::LinkKind::NVLink2, 23e9, 1e-6);
+  t.connect_duplex(g[3], g[1], mt::LinkKind::NVLink2, 46e9, 1e-6);
+
+  const auto paths =
+      mt::enumerate_paths(t, g[0], g[1], mt::PathPolicy::three_gpus());
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_EQ(paths[1].stage, g[2]);
+  EXPECT_EQ(paths[2].stage, g[3]);
+  // With max_gpu_staged = 1 only the strong stage is kept.
+  const auto one =
+      mt::enumerate_paths(t, g[0], g[1], mt::PathPolicy::two_gpus());
+  ASSERT_EQ(one.size(), 2u);
+  EXPECT_EQ(one[1].stage, g[2]);
+}

@@ -1,0 +1,115 @@
+#include "mpath/topo/system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mpath/topo/paths.hpp"
+#include "mpath/util/units.hpp"
+
+namespace mt = mpath::topo;
+using mpath::util::gbps;
+
+TEST(Systems, BelugaShape) {
+  const auto sys = mt::make_beluga();
+  const auto& t = sys.topology;
+  EXPECT_EQ(t.name(), "beluga");
+  EXPECT_EQ(t.gpus().size(), 4u);
+  EXPECT_EQ(t.hosts().size(), 1u);
+  // Full NVLink mesh: every GPU pair has a direct NVLink edge.
+  const auto gpus = t.gpus();
+  for (auto a : gpus) {
+    for (auto b : gpus) {
+      if (a == b) continue;
+      auto e = t.direct_edge(a, b);
+      ASSERT_TRUE(e.has_value());
+      EXPECT_EQ(t.edges()[*e].kind, mt::LinkKind::NVLink2);
+      EXPECT_DOUBLE_EQ(t.edges()[*e].capacity_bps, gbps(46));
+    }
+  }
+  // All GPUs share NUMA node 0.
+  for (auto g : gpus) EXPECT_EQ(t.device(g).numa_node, 0);
+}
+
+TEST(Systems, NarvalShape) {
+  const auto sys = mt::make_narval();
+  const auto& t = sys.topology;
+  EXPECT_EQ(t.gpus().size(), 4u);
+  EXPECT_EQ(t.hosts().size(), 4u);
+  const auto gpus = t.gpus();
+  // One NUMA domain per GPU.
+  for (std::size_t i = 0; i < gpus.size(); ++i) {
+    EXPECT_EQ(t.device(gpus[i]).numa_node, static_cast<int>(i));
+  }
+  // NVLink3 mesh at higher bandwidth than Beluga.
+  auto e = t.direct_edge(gpus[0], gpus[1]);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_DOUBLE_EQ(t.edges()[*e].capacity_bps, gbps(92));
+}
+
+TEST(Systems, NarvalHostStagingCrossesNuma) {
+  // The defining Narval pathology (paper Observation 3): the second hop of
+  // a host-staged transfer crosses the inter-socket fabric.
+  const auto sys = mt::make_narval();
+  const auto& t = sys.topology;
+  const auto gpus = t.gpus();
+  const auto host0 = t.host_for_numa(0);
+  const auto& hop2 = t.route(host0, gpus[3]);
+  bool crosses_upi = false;
+  for (auto eid : hop2) {
+    if (t.edges()[eid].kind == mt::LinkKind::UPI) crosses_upi = true;
+  }
+  EXPECT_TRUE(crosses_upi);
+  // And it still pays the memory channel at the staging end.
+  EXPECT_TRUE(t.edges()[hop2.front()].is_memory_channel);
+}
+
+TEST(Systems, BelugaHostStagingStaysLocal) {
+  const auto sys = mt::make_beluga();
+  const auto& t = sys.topology;
+  const auto gpus = t.gpus();
+  const auto host = t.hosts()[0];
+  for (auto eid : t.route(host, gpus[1])) {
+    EXPECT_NE(t.edges()[eid].kind, mt::LinkKind::UPI);
+  }
+}
+
+TEST(Systems, DgxAllPairsThroughSwitch) {
+  const auto sys = mt::make_dgx_nvswitch();
+  const auto& t = sys.topology;
+  EXPECT_EQ(t.gpus().size(), 8u);
+  const auto gpus = t.gpus();
+  const auto& r = t.route(gpus[0], gpus[7]);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(t.edges()[r[0]].kind, mt::LinkKind::NVSwitch);
+  EXPECT_EQ(t.edges()[r[1]].kind, mt::LinkKind::NVSwitch);
+}
+
+TEST(Systems, PcieOnlyRoutesThroughHosts) {
+  const auto sys = mt::make_pcie_only();
+  const auto& t = sys.topology;
+  const auto gpus = t.gpus();
+  // Same-NUMA pair: two PCIe hops.
+  const auto& near = t.route(gpus[0], gpus[1]);
+  EXPECT_EQ(near.size(), 2u);
+  // Cross-NUMA pair: PCIe + UPI + PCIe.
+  const auto& far = t.route(gpus[0], gpus[3]);
+  EXPECT_EQ(far.size(), 3u);
+}
+
+TEST(Systems, PresetLookup) {
+  EXPECT_EQ(mt::make_system("beluga").topology.name(), "beluga");
+  EXPECT_EQ(mt::make_system("narval").topology.name(), "narval");
+  EXPECT_EQ(mt::make_system("dgx").topology.name(), "dgx-nvswitch");
+  EXPECT_EQ(mt::make_system("pcie").topology.name(), "pcie-only");
+  EXPECT_EQ(mt::make_system("amd").topology.name(), "amd-ring");
+  EXPECT_THROW((void)mt::make_system("nope"), std::invalid_argument);
+}
+
+TEST(Systems, CostsArePositive) {
+  for (const char* name : {"beluga", "narval", "dgx", "pcie", "amd"}) {
+    const auto sys = mt::make_system(name);
+    EXPECT_GT(sys.costs.op_launch_s, 0) << name;
+    EXPECT_GT(sys.costs.ipc_open_s, 0) << name;
+    EXPECT_GT(sys.costs.local_copy_bps, 0) << name;
+    EXPECT_GE(sys.costs.jitter_rel, 0) << name;
+  }
+}

@@ -1,0 +1,139 @@
+#include "mpath/topo/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mpath/util/units.hpp"
+
+namespace mt = mpath::topo;
+using mpath::util::gbps;
+using mpath::util::usec;
+
+namespace {
+// Two GPUs on one host, NVLink between them, PCIe to the host.
+struct MiniNode {
+  mt::Topology topo{"mini"};
+  mt::DeviceId host, g0, g1;
+  mt::EdgeId memchan;
+
+  MiniNode() {
+    host = topo.add_device(mt::DeviceKind::Host, 0, "host0");
+    memchan = topo.add_memory_channel(host, gbps(30), usec(0.2));
+    g0 = topo.add_device(mt::DeviceKind::Gpu, 0, "gpu0");
+    g1 = topo.add_device(mt::DeviceKind::Gpu, 0, "gpu1");
+    topo.connect_duplex(g0, g1, mt::LinkKind::NVLink2, gbps(46), usec(1.0));
+    topo.connect_duplex(g0, host, mt::LinkKind::PCIe3, gbps(12), usec(1.6));
+    topo.connect_duplex(g1, host, mt::LinkKind::PCIe3, gbps(12), usec(1.6));
+  }
+};
+}  // namespace
+
+TEST(Topology, DeviceBookkeeping) {
+  MiniNode n;
+  EXPECT_EQ(n.topo.devices().size(), 3u);
+  EXPECT_EQ(n.topo.gpus().size(), 2u);
+  EXPECT_EQ(n.topo.hosts().size(), 1u);
+  EXPECT_EQ(n.topo.device(n.g0).kind, mt::DeviceKind::Gpu);
+  EXPECT_EQ(n.topo.host_for_numa(0), n.host);
+  EXPECT_EQ(n.topo.nearest_host(n.g0), n.host);
+  EXPECT_THROW((void)n.topo.host_for_numa(7), std::runtime_error);
+}
+
+TEST(Topology, ConnectValidation) {
+  mt::Topology t("bad");
+  const auto a = t.add_device(mt::DeviceKind::Gpu, 0, "a");
+  const auto b = t.add_device(mt::DeviceKind::Gpu, 0, "b");
+  EXPECT_THROW(t.connect(a, a, mt::LinkKind::NVLink2, 1e9, 0), std::invalid_argument);
+  EXPECT_THROW(t.connect(a, b, mt::LinkKind::NVLink2, 0, 0), std::invalid_argument);
+  EXPECT_THROW(t.connect(a, b, mt::LinkKind::NVLink2, 1e9, -1), std::invalid_argument);
+  EXPECT_THROW(t.connect(a, 99, mt::LinkKind::NVLink2, 1e9, 0), std::invalid_argument);
+  EXPECT_THROW(t.add_memory_channel(a, 1e9, 0), std::invalid_argument);
+}
+
+TEST(Topology, MemoryChannelUniquePerHost) {
+  mt::Topology t("x");
+  const auto h = t.add_device(mt::DeviceKind::Host, 0, "h");
+  t.add_memory_channel(h, 1e9, 0);
+  EXPECT_THROW(t.add_memory_channel(h, 1e9, 0), std::invalid_argument);
+}
+
+TEST(Topology, DirectEdgePrefersHighestCapacity) {
+  mt::Topology t("multi");
+  const auto a = t.add_device(mt::DeviceKind::Gpu, 0, "a");
+  const auto b = t.add_device(mt::DeviceKind::Gpu, 0, "b");
+  t.connect(a, b, mt::LinkKind::PCIe3, gbps(12), usec(1));
+  const auto nv = t.connect(a, b, mt::LinkKind::NVLink2, gbps(46), usec(1));
+  ASSERT_TRUE(t.direct_edge(a, b).has_value());
+  EXPECT_EQ(*t.direct_edge(a, b), nv);
+  EXPECT_FALSE(t.direct_edge(b, a).has_value() &&
+               t.edges()[*t.direct_edge(b, a)].kind == mt::LinkKind::NVLink2);
+}
+
+TEST(Topology, GpuToGpuRoutePrefersNVLink) {
+  MiniNode n;
+  const auto& r = n.topo.route(n.g0, n.g1);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(n.topo.edges()[r[0]].kind, mt::LinkKind::NVLink2);
+}
+
+TEST(Topology, GpuToHostRouteEndsWithMemChannel) {
+  MiniNode n;
+  const auto& r = n.topo.route(n.g0, n.host);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(n.topo.edges()[r[0]].kind, mt::LinkKind::PCIe3);
+  EXPECT_TRUE(n.topo.edges()[r[1]].is_memory_channel);
+}
+
+TEST(Topology, HostToGpuRouteStartsWithMemChannel) {
+  MiniNode n;
+  const auto& r = n.topo.route(n.host, n.g1);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_TRUE(n.topo.edges()[r[0]].is_memory_channel);
+  EXPECT_EQ(n.topo.edges()[r[1]].kind, mt::LinkKind::PCIe3);
+}
+
+TEST(Topology, TransitThroughHostSkipsMemChannel) {
+  // Remove the NVLink: GPU-GPU traffic routes PCIe->PCIe through the root
+  // complex without touching DRAM.
+  mt::Topology t("pcie");
+  const auto h = t.add_device(mt::DeviceKind::Host, 0, "h");
+  t.add_memory_channel(h, gbps(30), usec(0.2));
+  const auto a = t.add_device(mt::DeviceKind::Gpu, 0, "a");
+  const auto b = t.add_device(mt::DeviceKind::Gpu, 0, "b");
+  t.connect_duplex(a, h, mt::LinkKind::PCIe3, gbps(12), usec(1.6));
+  t.connect_duplex(b, h, mt::LinkKind::PCIe3, gbps(12), usec(1.6));
+  const auto& r = t.route(a, b);
+  ASSERT_EQ(r.size(), 2u);
+  for (auto e : r) EXPECT_FALSE(t.edges()[e].is_memory_channel);
+}
+
+TEST(Topology, RouteToSelfIsEmpty) {
+  MiniNode n;
+  EXPECT_TRUE(n.topo.route(n.g0, n.g0).empty());
+}
+
+TEST(Topology, NoRouteThrows) {
+  mt::Topology t("disconnected");
+  const auto a = t.add_device(mt::DeviceKind::Gpu, 0, "a");
+  const auto b = t.add_device(mt::DeviceKind::Gpu, 0, "b");
+  EXPECT_THROW((void)t.route(a, b), std::runtime_error);
+}
+
+TEST(Topology, RouteCapacityAndLatency) {
+  MiniNode n;
+  const auto& r = n.topo.route(n.g0, n.host);
+  EXPECT_DOUBLE_EQ(n.topo.route_capacity(r), gbps(12));
+  EXPECT_NEAR(n.topo.route_latency(r), usec(1.8), 1e-12);
+}
+
+TEST(Topology, RouteCacheIsStable) {
+  MiniNode n;
+  const auto* first = &n.topo.route(n.g0, n.g1);
+  const auto* second = &n.topo.route(n.g0, n.g1);
+  EXPECT_EQ(first, second);
+}
+
+TEST(Topology, LinkKindNames) {
+  EXPECT_EQ(mt::to_string(mt::LinkKind::NVLink3), "NVLink3");
+  EXPECT_EQ(mt::to_string(mt::LinkKind::MemChan), "MemChan");
+  EXPECT_EQ(mt::to_string(mt::DeviceKind::Gpu), "GPU");
+}

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "mpath/util/csv.hpp"
+#include "mpath/util/table.hpp"
+
+namespace mu = mpath::util;
+
+namespace {
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+}  // namespace
+
+TEST(Csv, WritesQuotedCells) {
+  const std::string path = "/tmp/mpath_test_csv.csv";
+  {
+    mu::CsvWriter w(path);
+    w.header({"a", "b"});
+    w.row({"plain", "with,comma"});
+    w.row({"with\"quote", "x"});
+  }
+  const std::string content = slurp(path);
+  EXPECT_EQ(content, "a,b\nplain,\"with,comma\"\n\"with\"\"quote\",x\n");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, LazyOpen) {
+  mu::CsvWriter w("/tmp/mpath_never_written.csv");
+  EXPECT_FALSE(w.opened());
+}
+
+TEST(Csv, NumFormatting) {
+  EXPECT_EQ(mu::CsvWriter::num(2.5), "2.5");
+  EXPECT_EQ(mu::CsvWriter::num(1e9), "1e+09");
+}
+
+TEST(Table, RendersAligned) {
+  mu::Table t({"size", "GB/s"});
+  t.add_row({"2MB", "45.12"});
+  t.add_row({"512MB", "131.07"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("| size  "), std::string::npos);
+  EXPECT_NE(s.find("131.07"), std::string::npos);
+  // Numeric cells right-align: the shorter number is padded on the left.
+  EXPECT_NE(s.find(" 45.12"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, PadsMissingCells) {
+  mu::Table t({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_NO_THROW((void)t.render());
+}
+
+TEST(Table, FixedFormat) {
+  EXPECT_EQ(mu::Table::fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(mu::Table::fixed(2.0, 0), "2");
+}

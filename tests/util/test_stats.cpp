@@ -1,0 +1,71 @@
+#include "mpath/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace mu = mpath::util;
+
+TEST(RunningStats, EmptyIsZero) {
+  mu::RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  mu::RunningStats rs;
+  rs.add(42.0);
+  EXPECT_EQ(rs.count(), 1u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 42.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 42.0);
+}
+
+TEST(RunningStats, MatchesClosedForm) {
+  mu::RunningStats rs;
+  const std::vector<double> xs{1, 2, 3, 4, 5, 6};
+  for (double x : xs) rs.add(x);
+  EXPECT_DOUBLE_EQ(rs.mean(), 3.5);
+  EXPECT_NEAR(rs.variance(), 3.5, 1e-12);  // sample variance of 1..6
+  EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 6.0);
+}
+
+TEST(RunningStats, ResetClears) {
+  mu::RunningStats rs;
+  rs.add(1.0);
+  rs.add(2.0);
+  rs.reset();
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+}
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mu::mean(xs), 5.0);
+  EXPECT_NEAR(mu::stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(mu::median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(mu::median({4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(mu::median({}), 0.0);
+  EXPECT_DOUBLE_EQ(mu::median({7}), 7.0);
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> xs{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(mu::percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(mu::percentile(xs, 100), 50.0);
+  EXPECT_DOUBLE_EQ(mu::percentile(xs, 50), 30.0);
+  EXPECT_DOUBLE_EQ(mu::percentile(xs, 25), 20.0);
+}
+
+TEST(Stats, RelativeError) {
+  EXPECT_DOUBLE_EQ(mu::relative_error(110.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(mu::relative_error(90.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(mu::relative_error(5.0, 0.0), 5.0);
+}

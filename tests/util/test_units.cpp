@@ -1,0 +1,37 @@
+#include "mpath/util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mu = mpath::util;
+using namespace mpath::util::literals;
+
+TEST(Units, Literals) {
+  EXPECT_EQ(1_KiB, 1024u);
+  EXPECT_EQ(2_MiB, 2u * 1024 * 1024);
+  EXPECT_EQ(1_GiB, 1024u * 1024 * 1024);
+}
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(mu::gbps(46.0), 46e9);
+  EXPECT_DOUBLE_EQ(mu::usec(2.5), 2.5e-6);
+  EXPECT_DOUBLE_EQ(mu::msec(1.0), 1e-3);
+  EXPECT_DOUBLE_EQ(mu::to_usec(1e-6), 1.0);
+  EXPECT_DOUBLE_EQ(mu::to_gbps(46e9), 46.0);
+}
+
+TEST(Units, FormatBytesExactMultiples) {
+  EXPECT_EQ(mu::format_bytes(2_MiB), "2MB");
+  EXPECT_EQ(mu::format_bytes(512_KiB), "512KB");
+  EXPECT_EQ(mu::format_bytes(1_GiB), "1GB");
+  EXPECT_EQ(mu::format_bytes(100), "100B");
+}
+
+TEST(Units, FormatBytesFractional) {
+  EXPECT_EQ(mu::format_bytes(1_MiB + 512_KiB), "1.5MB");
+}
+
+TEST(Units, FormatTime) {
+  EXPECT_EQ(mu::format_time(1.5e-6), "1.50us");
+  EXPECT_EQ(mu::format_time(2.5e-3), "2.50ms");
+  EXPECT_EQ(mu::format_time(1.25), "1.250s");
+}
