@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_contention_model.cpp" "bench-cmake/CMakeFiles/ablation_contention_model.dir/ablation_contention_model.cpp.o" "gcc" "bench-cmake/CMakeFiles/ablation_contention_model.dir/ablation_contention_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tuning/CMakeFiles/mpath_tuning.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchcore/CMakeFiles/mpath_benchcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/mpath_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mpath_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/mpath_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/mpath_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/mpath_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/mpath_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mpath_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mpath_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

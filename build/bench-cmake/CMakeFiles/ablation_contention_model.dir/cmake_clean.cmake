@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_contention_model"
+  "../bench/ablation_contention_model.pdb"
+  "CMakeFiles/ablation_contention_model.dir/ablation_contention_model.cpp.o"
+  "CMakeFiles/ablation_contention_model.dir/ablation_contention_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_contention_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

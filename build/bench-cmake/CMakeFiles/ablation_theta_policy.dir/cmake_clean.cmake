@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_theta_policy"
+  "../bench/ablation_theta_policy.pdb"
+  "CMakeFiles/ablation_theta_policy.dir/ablation_theta_policy.cpp.o"
+  "CMakeFiles/ablation_theta_policy.dir/ablation_theta_policy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_theta_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

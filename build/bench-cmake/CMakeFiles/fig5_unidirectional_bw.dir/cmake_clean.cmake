@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_unidirectional_bw"
+  "../bench/fig5_unidirectional_bw.pdb"
+  "CMakeFiles/fig5_unidirectional_bw.dir/fig5_unidirectional_bw.cpp.o"
+  "CMakeFiles/fig5_unidirectional_bw.dir/fig5_unidirectional_bw.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_unidirectional_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

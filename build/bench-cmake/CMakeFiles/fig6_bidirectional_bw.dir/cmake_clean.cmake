@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_bidirectional_bw"
+  "../bench/fig6_bidirectional_bw.pdb"
+  "CMakeFiles/fig6_bidirectional_bw.dir/fig6_bidirectional_bw.cpp.o"
+  "CMakeFiles/fig6_bidirectional_bw.dir/fig6_bidirectional_bw.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_bidirectional_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

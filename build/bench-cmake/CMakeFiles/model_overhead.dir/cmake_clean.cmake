@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/model_overhead"
+  "../bench/model_overhead.pdb"
+  "CMakeFiles/model_overhead.dir/model_overhead.cpp.o"
+  "CMakeFiles/model_overhead.dir/model_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

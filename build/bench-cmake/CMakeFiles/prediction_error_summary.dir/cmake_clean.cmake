@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/prediction_error_summary"
+  "../bench/prediction_error_summary.pdb"
+  "CMakeFiles/prediction_error_summary.dir/prediction_error_summary.cpp.o"
+  "CMakeFiles/prediction_error_summary.dir/prediction_error_summary.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prediction_error_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for prediction_error_summary.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/theorem1_check"
+  "../bench/theorem1_check.pdb"
+  "CMakeFiles/theorem1_check.dir/theorem1_check.cpp.o"
+  "CMakeFiles/theorem1_check.dir/theorem1_check.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorem1_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

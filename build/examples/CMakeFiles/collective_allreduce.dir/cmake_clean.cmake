@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collective_allreduce.dir/collective_allreduce.cpp.o"
+  "CMakeFiles/collective_allreduce.dir/collective_allreduce.cpp.o.d"
+  "collective_allreduce"
+  "collective_allreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collective_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

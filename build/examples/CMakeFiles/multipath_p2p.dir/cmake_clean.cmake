@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multipath_p2p.dir/multipath_p2p.cpp.o"
+  "CMakeFiles/multipath_p2p.dir/multipath_p2p.cpp.o.d"
+  "multipath_p2p"
+  "multipath_p2p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multipath_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

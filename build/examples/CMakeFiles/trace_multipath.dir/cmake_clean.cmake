@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_multipath.dir/trace_multipath.cpp.o"
+  "CMakeFiles/trace_multipath.dir/trace_multipath.cpp.o.d"
+  "trace_multipath"
+  "trace_multipath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_multipath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpath_benchcore.dir/metrics.cpp.o"
+  "CMakeFiles/mpath_benchcore.dir/metrics.cpp.o.d"
+  "CMakeFiles/mpath_benchcore.dir/omb.cpp.o"
+  "CMakeFiles/mpath_benchcore.dir/omb.cpp.o.d"
+  "CMakeFiles/mpath_benchcore.dir/stack.cpp.o"
+  "CMakeFiles/mpath_benchcore.dir/stack.cpp.o.d"
+  "libmpath_benchcore.a"
+  "libmpath_benchcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpath_benchcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

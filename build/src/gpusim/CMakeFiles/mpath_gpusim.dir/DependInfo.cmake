@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/buffer.cpp" "src/gpusim/CMakeFiles/mpath_gpusim.dir/buffer.cpp.o" "gcc" "src/gpusim/CMakeFiles/mpath_gpusim.dir/buffer.cpp.o.d"
+  "/root/repo/src/gpusim/runtime.cpp" "src/gpusim/CMakeFiles/mpath_gpusim.dir/runtime.cpp.o" "gcc" "src/gpusim/CMakeFiles/mpath_gpusim.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mpath_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mpath_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/mpath_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpath_gpusim.dir/buffer.cpp.o"
+  "CMakeFiles/mpath_gpusim.dir/buffer.cpp.o.d"
+  "CMakeFiles/mpath_gpusim.dir/runtime.cpp.o"
+  "CMakeFiles/mpath_gpusim.dir/runtime.cpp.o.d"
+  "libmpath_gpusim.a"
+  "libmpath_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpath_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

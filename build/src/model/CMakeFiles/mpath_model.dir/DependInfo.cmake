@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/chunking.cpp" "src/model/CMakeFiles/mpath_model.dir/chunking.cpp.o" "gcc" "src/model/CMakeFiles/mpath_model.dir/chunking.cpp.o.d"
+  "/root/repo/src/model/configurator.cpp" "src/model/CMakeFiles/mpath_model.dir/configurator.cpp.o" "gcc" "src/model/CMakeFiles/mpath_model.dir/configurator.cpp.o.d"
+  "/root/repo/src/model/params.cpp" "src/model/CMakeFiles/mpath_model.dir/params.cpp.o" "gcc" "src/model/CMakeFiles/mpath_model.dir/params.cpp.o.d"
+  "/root/repo/src/model/registry.cpp" "src/model/CMakeFiles/mpath_model.dir/registry.cpp.o" "gcc" "src/model/CMakeFiles/mpath_model.dir/registry.cpp.o.d"
+  "/root/repo/src/model/theta.cpp" "src/model/CMakeFiles/mpath_model.dir/theta.cpp.o" "gcc" "src/model/CMakeFiles/mpath_model.dir/theta.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mpath_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/mpath_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mpath_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

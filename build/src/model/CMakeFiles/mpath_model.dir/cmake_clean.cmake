@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpath_model.dir/chunking.cpp.o"
+  "CMakeFiles/mpath_model.dir/chunking.cpp.o.d"
+  "CMakeFiles/mpath_model.dir/configurator.cpp.o"
+  "CMakeFiles/mpath_model.dir/configurator.cpp.o.d"
+  "CMakeFiles/mpath_model.dir/params.cpp.o"
+  "CMakeFiles/mpath_model.dir/params.cpp.o.d"
+  "CMakeFiles/mpath_model.dir/registry.cpp.o"
+  "CMakeFiles/mpath_model.dir/registry.cpp.o.d"
+  "CMakeFiles/mpath_model.dir/theta.cpp.o"
+  "CMakeFiles/mpath_model.dir/theta.cpp.o.d"
+  "libmpath_model.a"
+  "libmpath_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpath_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

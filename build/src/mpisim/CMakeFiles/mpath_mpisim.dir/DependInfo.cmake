@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpisim/collectives.cpp" "src/mpisim/CMakeFiles/mpath_mpisim.dir/collectives.cpp.o" "gcc" "src/mpisim/CMakeFiles/mpath_mpisim.dir/collectives.cpp.o.d"
+  "/root/repo/src/mpisim/world.cpp" "src/mpisim/CMakeFiles/mpath_mpisim.dir/world.cpp.o" "gcc" "src/mpisim/CMakeFiles/mpath_mpisim.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mpath_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mpath_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/mpath_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/mpath_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/mpath_transport.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpath_mpisim.dir/collectives.cpp.o"
+  "CMakeFiles/mpath_mpisim.dir/collectives.cpp.o.d"
+  "CMakeFiles/mpath_mpisim.dir/world.cpp.o"
+  "CMakeFiles/mpath_mpisim.dir/world.cpp.o.d"
+  "libmpath_mpisim.a"
+  "libmpath_mpisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpath_mpisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpath_pipeline.dir/channels.cpp.o"
+  "CMakeFiles/mpath_pipeline.dir/channels.cpp.o.d"
+  "CMakeFiles/mpath_pipeline.dir/engine.cpp.o"
+  "CMakeFiles/mpath_pipeline.dir/engine.cpp.o.d"
+  "CMakeFiles/mpath_pipeline.dir/staging.cpp.o"
+  "CMakeFiles/mpath_pipeline.dir/staging.cpp.o.d"
+  "libmpath_pipeline.a"
+  "libmpath_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpath_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

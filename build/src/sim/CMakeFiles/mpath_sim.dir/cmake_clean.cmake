@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpath_sim.dir/engine.cpp.o"
+  "CMakeFiles/mpath_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/mpath_sim.dir/fluid.cpp.o"
+  "CMakeFiles/mpath_sim.dir/fluid.cpp.o.d"
+  "CMakeFiles/mpath_sim.dir/trace.cpp.o"
+  "CMakeFiles/mpath_sim.dir/trace.cpp.o.d"
+  "libmpath_sim.a"
+  "libmpath_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpath_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

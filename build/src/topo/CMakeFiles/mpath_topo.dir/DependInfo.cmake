@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/binding.cpp" "src/topo/CMakeFiles/mpath_topo.dir/binding.cpp.o" "gcc" "src/topo/CMakeFiles/mpath_topo.dir/binding.cpp.o.d"
+  "/root/repo/src/topo/paths.cpp" "src/topo/CMakeFiles/mpath_topo.dir/paths.cpp.o" "gcc" "src/topo/CMakeFiles/mpath_topo.dir/paths.cpp.o.d"
+  "/root/repo/src/topo/system.cpp" "src/topo/CMakeFiles/mpath_topo.dir/system.cpp.o" "gcc" "src/topo/CMakeFiles/mpath_topo.dir/system.cpp.o.d"
+  "/root/repo/src/topo/topology.cpp" "src/topo/CMakeFiles/mpath_topo.dir/topology.cpp.o" "gcc" "src/topo/CMakeFiles/mpath_topo.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mpath_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mpath_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpath_topo.dir/binding.cpp.o"
+  "CMakeFiles/mpath_topo.dir/binding.cpp.o.d"
+  "CMakeFiles/mpath_topo.dir/paths.cpp.o"
+  "CMakeFiles/mpath_topo.dir/paths.cpp.o.d"
+  "CMakeFiles/mpath_topo.dir/system.cpp.o"
+  "CMakeFiles/mpath_topo.dir/system.cpp.o.d"
+  "CMakeFiles/mpath_topo.dir/topology.cpp.o"
+  "CMakeFiles/mpath_topo.dir/topology.cpp.o.d"
+  "libmpath_topo.a"
+  "libmpath_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpath_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpath_transport.dir/fabric.cpp.o"
+  "CMakeFiles/mpath_transport.dir/fabric.cpp.o.d"
+  "libmpath_transport.a"
+  "libmpath_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpath_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpath_tuning.dir/calibration.cpp.o"
+  "CMakeFiles/mpath_tuning.dir/calibration.cpp.o.d"
+  "CMakeFiles/mpath_tuning.dir/static_tuner.cpp.o"
+  "CMakeFiles/mpath_tuning.dir/static_tuner.cpp.o.d"
+  "libmpath_tuning.a"
+  "libmpath_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpath_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpath_util.dir/csv.cpp.o"
+  "CMakeFiles/mpath_util.dir/csv.cpp.o.d"
+  "CMakeFiles/mpath_util.dir/least_squares.cpp.o"
+  "CMakeFiles/mpath_util.dir/least_squares.cpp.o.d"
+  "CMakeFiles/mpath_util.dir/log.cpp.o"
+  "CMakeFiles/mpath_util.dir/log.cpp.o.d"
+  "CMakeFiles/mpath_util.dir/stats.cpp.o"
+  "CMakeFiles/mpath_util.dir/stats.cpp.o.d"
+  "CMakeFiles/mpath_util.dir/table.cpp.o"
+  "CMakeFiles/mpath_util.dir/table.cpp.o.d"
+  "CMakeFiles/mpath_util.dir/units.cpp.o"
+  "CMakeFiles/mpath_util.dir/units.cpp.o.d"
+  "libmpath_util.a"
+  "libmpath_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpath_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("topo")
+subdirs("gpusim")
+subdirs("model")
+subdirs("pipeline")
+subdirs("transport")
+subdirs("mpisim")
+subdirs("tuning")
+subdirs("benchcore")
+subdirs("integration")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_benchcore.dir/test_metrics.cpp.o"
+  "CMakeFiles/test_benchcore.dir/test_metrics.cpp.o.d"
+  "CMakeFiles/test_benchcore.dir/test_omb.cpp.o"
+  "CMakeFiles/test_benchcore.dir/test_omb.cpp.o.d"
+  "test_benchcore"
+  "test_benchcore.pdb"
+  "test_benchcore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_benchcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

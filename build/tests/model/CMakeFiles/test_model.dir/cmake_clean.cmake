@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model.dir/test_chunking.cpp.o"
+  "CMakeFiles/test_model.dir/test_chunking.cpp.o.d"
+  "CMakeFiles/test_model.dir/test_configurator.cpp.o"
+  "CMakeFiles/test_model.dir/test_configurator.cpp.o.d"
+  "CMakeFiles/test_model.dir/test_params.cpp.o"
+  "CMakeFiles/test_model.dir/test_params.cpp.o.d"
+  "CMakeFiles/test_model.dir/test_registry.cpp.o"
+  "CMakeFiles/test_model.dir/test_registry.cpp.o.d"
+  "CMakeFiles/test_model.dir/test_theta.cpp.o"
+  "CMakeFiles/test_model.dir/test_theta.cpp.o.d"
+  "test_model"
+  "test_model.pdb"
+  "test_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpisim.dir/test_collectives.cpp.o"
+  "CMakeFiles/test_mpisim.dir/test_collectives.cpp.o.d"
+  "CMakeFiles/test_mpisim.dir/test_world.cpp.o"
+  "CMakeFiles/test_mpisim.dir/test_world.cpp.o.d"
+  "test_mpisim"
+  "test_mpisim.pdb"
+  "test_mpisim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

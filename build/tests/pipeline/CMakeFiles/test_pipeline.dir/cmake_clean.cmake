@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline.dir/test_channels.cpp.o"
+  "CMakeFiles/test_pipeline.dir/test_channels.cpp.o.d"
+  "CMakeFiles/test_pipeline.dir/test_engine.cpp.o"
+  "CMakeFiles/test_pipeline.dir/test_engine.cpp.o.d"
+  "CMakeFiles/test_pipeline.dir/test_staging.cpp.o"
+  "CMakeFiles/test_pipeline.dir/test_staging.cpp.o.d"
+  "test_pipeline"
+  "test_pipeline.pdb"
+  "test_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

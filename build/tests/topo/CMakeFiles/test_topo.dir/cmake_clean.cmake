@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topo.dir/test_binding.cpp.o"
+  "CMakeFiles/test_topo.dir/test_binding.cpp.o.d"
+  "CMakeFiles/test_topo.dir/test_paths.cpp.o"
+  "CMakeFiles/test_topo.dir/test_paths.cpp.o.d"
+  "CMakeFiles/test_topo.dir/test_systems.cpp.o"
+  "CMakeFiles/test_topo.dir/test_systems.cpp.o.d"
+  "CMakeFiles/test_topo.dir/test_topology.cpp.o"
+  "CMakeFiles/test_topo.dir/test_topology.cpp.o.d"
+  "test_topo"
+  "test_topo.pdb"
+  "test_topo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

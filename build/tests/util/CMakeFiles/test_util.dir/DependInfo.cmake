@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/test_csv_table.cpp" "tests/util/CMakeFiles/test_util.dir/test_csv_table.cpp.o" "gcc" "tests/util/CMakeFiles/test_util.dir/test_csv_table.cpp.o.d"
+  "/root/repo/tests/util/test_least_squares.cpp" "tests/util/CMakeFiles/test_util.dir/test_least_squares.cpp.o" "gcc" "tests/util/CMakeFiles/test_util.dir/test_least_squares.cpp.o.d"
+  "/root/repo/tests/util/test_stats.cpp" "tests/util/CMakeFiles/test_util.dir/test_stats.cpp.o" "gcc" "tests/util/CMakeFiles/test_util.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/util/test_units.cpp" "tests/util/CMakeFiles/test_util.dir/test_units.cpp.o" "gcc" "tests/util/CMakeFiles/test_util.dir/test_units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tuning/CMakeFiles/mpath_tuning.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchcore/CMakeFiles/mpath_benchcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/mpath_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mpath_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/mpath_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/mpath_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/mpath_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/mpath_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mpath_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mpath_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
