@@ -2,12 +2,26 @@
 // engine and the cost of fluid-network rate recomputation. Not a paper
 // figure — it documents that the substrate is fast enough for the
 // exhaustive static-tuning baseline to be practical.
+//
+// The fluid benchmarks run twice: once with the legacy eager whole-network
+// solver (SolverMode::kFull, "mode:full") and once with the incremental
+// dirty-component solver plus same-time coalescing ("mode:incr"), so the
+// speedup of the incremental path is measured in-tree.
 #include <benchmark/benchmark.h>
 
 #include "mpath/sim/fluid.hpp"
 #include "mpath/sim/sync.hpp"
 
 namespace ms = mpath::sim;
+
+namespace {
+
+ms::FluidNetwork::SolverMode mode_arg(const benchmark::State& state) {
+  return state.range(1) == 0 ? ms::FluidNetwork::SolverMode::kFull
+                             : ms::FluidNetwork::SolverMode::kIncremental;
+}
+
+}  // namespace
 
 static void BM_EngineEventThroughput(benchmark::State& state) {
   for (auto _ : state) {
@@ -37,10 +51,15 @@ static void BM_CoroutineSpawnJoin(benchmark::State& state) {
 }
 BENCHMARK(BM_CoroutineSpawnJoin)->Arg(1000)->Arg(10000);
 
+// Long-lived concurrent flows over a small ring of shared links: measures
+// the steady-state cost of completions re-solving rates.
 static void BM_FluidConcurrentFlows(benchmark::State& state) {
+  std::uint64_t flows_done = 0;
+  ms::FluidNetwork::SolverStats last{};
   for (auto _ : state) {
     ms::Engine engine;
     ms::FluidNetwork net(engine);
+    net.set_solver_mode(mode_arg(state));
     const int nlinks = 8;
     std::vector<ms::LinkId> links;
     for (int l = 0; l < nlinks; ++l) {
@@ -56,9 +75,105 @@ static void BM_FluidConcurrentFlows(benchmark::State& state) {
       }(net, route, 1e6 * (1 + f % 7)));
     }
     benchmark::DoNotOptimize(engine.run());
+    flows_done += static_cast<std::uint64_t>(flows);
+    last = net.stats();
   }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetItemsProcessed(static_cast<std::int64_t>(flows_done));
+  state.SetLabel(state.range(1) == 0 ? "mode:full" : "mode:incr");
+  state.counters["resolves"] = static_cast<double>(last.resolves);
+  state.counters["coalesced"] = static_cast<double>(last.coalesced);
 }
-BENCHMARK(BM_FluidConcurrentFlows)->Arg(16)->Arg(256);
+BENCHMARK(BM_FluidConcurrentFlows)
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({256, 0})
+    ->Args({256, 1});
+
+// Pipeline-style churn on a shared-link topology: W workers each push a
+// stream of C chunks through {shared hub, private spoke}. Chunk completions
+// land in same-timestamp bursts (the pipeline engine's common case at large
+// k), so the incremental solver coalesces a burst's worth of re-solves into
+// one pass while the full solver pays one whole-network solve per event.
+// items_per_second == flows (chunks) per second.
+static void BM_FluidSharedLinkChurn(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  const int chunks = 64;
+  std::uint64_t flows_done = 0;
+  ms::FluidNetwork::SolverStats last{};
+  for (auto _ : state) {
+    ms::Engine engine;
+    ms::FluidNetwork net(engine);
+    net.set_solver_mode(mode_arg(state));
+    const auto hub = net.add_link({"hub", 64e9, 0.0});
+    std::vector<ms::LinkId> spokes;
+    for (int w = 0; w < workers; ++w) {
+      spokes.push_back(net.add_link({"spoke", 2e9, 0.0}));
+    }
+    for (int w = 0; w < workers; ++w) {
+      engine.spawn([](ms::FluidNetwork& n, ms::LinkId h, ms::LinkId s,
+                      int c) -> ms::Task<void> {
+        for (int i = 0; i < c; ++i) {
+          std::vector<ms::LinkId> route{h, s};
+          co_await n.transfer(std::move(route), 1e6);
+        }
+      }(net, hub, spokes[w], chunks));
+    }
+    benchmark::DoNotOptimize(engine.run());
+    flows_done += static_cast<std::uint64_t>(workers) * chunks;
+    last = net.stats();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(flows_done));
+  state.SetLabel(state.range(1) == 0 ? "mode:full" : "mode:incr");
+  state.counters["resolves"] = static_cast<double>(last.resolves);
+  state.counters["coalesced"] = static_cast<double>(last.coalesced);
+}
+BENCHMARK(BM_FluidSharedLinkChurn)
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({256, 0})
+    ->Args({256, 1});
+
+// Disjoint worker pairs (no shared hub): the incremental solver re-solves
+// only the two-link component a chunk touches; the full solver re-walks
+// every link on every event. This isolates the dirty-component win.
+static void BM_FluidDisjointChurn(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  const int chunks = 64;
+  std::uint64_t flows_done = 0;
+  ms::FluidNetwork::SolverStats last{};
+  for (auto _ : state) {
+    ms::Engine engine;
+    ms::FluidNetwork net(engine);
+    net.set_solver_mode(mode_arg(state));
+    std::vector<ms::LinkId> a, b;
+    for (int w = 0; w < workers; ++w) {
+      a.push_back(net.add_link({"a", 2e9, 0.0}));
+      b.push_back(net.add_link({"b", 2e9, 0.0}));
+    }
+    for (int w = 0; w < workers; ++w) {
+      engine.spawn([](ms::FluidNetwork& n, ms::LinkId la, ms::LinkId lb,
+                      int c, int w_) -> ms::Task<void> {
+        for (int i = 0; i < c; ++i) {
+          std::vector<ms::LinkId> route{la, lb};
+          co_await n.transfer(std::move(route), 1e6 * (1 + (w_ + i) % 7));
+        }
+      }(net, a[w], b[w], chunks, w));
+    }
+    benchmark::DoNotOptimize(engine.run());
+    flows_done += static_cast<std::uint64_t>(workers) * chunks;
+    last = net.stats();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(flows_done));
+  state.SetLabel(state.range(1) == 0 ? "mode:full" : "mode:incr");
+  state.counters["resolves"] = static_cast<double>(last.resolves);
+  state.counters["coalesced"] = static_cast<double>(last.coalesced);
+}
+BENCHMARK(BM_FluidDisjointChurn)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({256, 0})
+    ->Args({256, 1});
 
 BENCHMARK_MAIN();

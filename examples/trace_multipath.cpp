@@ -25,6 +25,7 @@ int main() {
   gpusim::GpuRuntime runtime(system, engine, network);
   sim::Tracer tracer;
   runtime.set_tracer(&tracer);
+  network.set_tracer(&tracer);  // adds rate-solver counter tracks
 
   pipeline::PipelineEngine pipeline_engine(runtime);
   pipeline::ModelDrivenChannel channel(pipeline_engine, configurator,

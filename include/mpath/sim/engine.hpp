@@ -101,6 +101,11 @@ class Engine {
   void schedule_handle(Time t, std::coroutine_handle<> h);
   /// Invoke `fn` at absolute simulated time `t` (>= now).
   void schedule_callback(Time t, std::function<void()> fn);
+  /// Same-time batching: invoke `fn` at the *current* timestamp, after
+  /// every event already queued at this time (FIFO by sequence) but before
+  /// any event queued afterwards. Lets modules coalesce a burst of
+  /// same-time updates (e.g. k chunk completions) into one pass.
+  void defer(std::function<void()> fn);
 
   struct DelayAwaiter {
     Engine* engine;

@@ -2,15 +2,26 @@
 //
 // Each transfer ("flow") occupies a set of directed links simultaneously
 // (cut-through). Active flows share every link max-min fairly: whenever a
-// flow starts or finishes, allocations are re-solved by water-filling and
-// the next completion event is (re)scheduled. This reproduces the
-// contention phenomena behind the paper's evaluation — saturated NVLink,
-// shared PCIe/UPI on host-staged paths, and bidirectional interference —
-// without packet-level simulation.
+// flow starts, finishes, or is cancelled, allocations are re-solved by
+// water-filling and the next completion event is (re)scheduled. This
+// reproduces the contention phenomena behind the paper's evaluation —
+// saturated NVLink, shared PCIe/UPI on host-staged paths, and
+// bidirectional interference — without packet-level simulation.
+//
+// The solver is *incremental*: every link keeps the set of flows that
+// traverse it, a flow add/remove only dirties the links it touches, and the
+// water-filling re-solve is restricted to the connected component of the
+// flow/link sharing graph reachable from the dirty links (flows in disjoint
+// components cannot change rate, so their allocations are reused as-is).
+// Re-solves triggered within one simulated timestamp are additionally
+// coalesced into a single pass: a burst of k same-time chunk completions or
+// starts (the pipeline engine's common case at large chunk counts) costs one
+// rate solve instead of k. The original whole-network solver is retained as
+// `SolverMode::kFull` — both a behavioural baseline for benchmarks and a
+// reference oracle (`set_self_check`) that property tests compare against.
 #pragma once
 
 #include <cstdint>
-#include <list>
 #include <memory>
 #include <string>
 #include <vector>
@@ -20,7 +31,12 @@
 
 namespace mpath::sim {
 
+class Tracer;
+
 using LinkId = std::uint32_t;
+/// Opaque handle to an in-flight flow (valid until completion/cancel).
+using FlowId = std::uint64_t;
+inline constexpr FlowId kInvalidFlow = 0;
 
 struct LinkSpec {
   std::string name;
@@ -30,6 +46,23 @@ struct LinkSpec {
 
 class FluidNetwork {
  public:
+  enum class SolverMode {
+    kIncremental,  ///< dirty-component re-solve + same-time coalescing
+    kFull,         ///< legacy: immediate whole-network re-solve per event
+  };
+
+  /// Counters describing solver work done so far (monotonic).
+  struct SolverStats {
+    std::uint64_t resolve_requests = 0;  ///< flow add/remove events
+    std::uint64_t coalesced = 0;    ///< requests absorbed by a pending solve
+    std::uint64_t resolves = 0;     ///< water-filling passes actually run
+    std::uint64_t full_resolves = 0;     ///< passes that visited every link
+    std::uint64_t flows_resolved = 0;    ///< flow-rate assignments summed
+    std::uint64_t links_resolved = 0;    ///< component link visits summed
+    std::uint64_t timers_fired = 0;      ///< completion timers processed
+    std::uint64_t timers_stale = 0;      ///< superseded timers discarded
+  };
+
   explicit FluidNetwork(Engine& engine) : engine_(&engine) {}
   FluidNetwork(const FluidNetwork&) = delete;
   FluidNetwork& operator=(const FluidNetwork&) = delete;
@@ -47,33 +80,115 @@ class FluidNetwork {
   /// consumes a share). An empty route completes after zero time.
   [[nodiscard]] Task<void> transfer(std::vector<LinkId> route, double bytes);
 
+  /// Start a flow immediately (no latency leg, no coroutine). Ownership of
+  /// `done` (may be null) transfers to the network; it fires on completion
+  /// or cancellation. Throws std::invalid_argument on an empty route,
+  /// non-positive bytes, or a bad link id.
+  FlowId start_flow(std::vector<LinkId> route, double bytes,
+                    Latch* done = nullptr);
+
+  /// Abort an in-flight flow: undelivered bytes are dropped, its completion
+  /// latch fires at the current time, and rates re-solve. Returns false if
+  /// the id is stale (flow already completed or cancelled).
+  bool cancel_flow(FlowId id);
+
   /// Instantaneous aggregate rate allocated on a link (bytes/s).
   [[nodiscard]] double link_allocated_rate(LinkId id) const;
   /// Cumulative bytes moved across a link since construction.
   [[nodiscard]] double link_bytes_transferred(LinkId id) const;
-  [[nodiscard]] std::size_t active_flow_count() const { return flows_.size(); }
+  [[nodiscard]] std::size_t active_flow_count() const {
+    return active_.size();
+  }
+
+  /// Select the rate solver (default kIncremental). kFull reproduces the
+  /// original eager whole-network behaviour for baseline measurements.
+  void set_solver_mode(SolverMode mode) { mode_ = mode; }
+  [[nodiscard]] SolverMode solver_mode() const { return mode_; }
+
+  /// When enabled, every incremental solve is checked against a full
+  /// whole-network water-filling oracle; a rate mismatch beyond 1e-9
+  /// relative throws std::logic_error. Test/debug aid.
+  void set_self_check(bool on) { self_check_ = on; }
+
+  /// Re-run max-min water-filling over the whole network from scratch and
+  /// return the rate of every active flow (unordered). Does not modify
+  /// solver state — this is the reference oracle used by tests.
+  [[nodiscard]] std::vector<double> reference_rates() const;
+
+  [[nodiscard]] const SolverStats& stats() const { return stats_; }
+
+  /// Emit per-resolve counter samples ("rate_resolves", "resolved_flows")
+  /// onto `tracer` track "fluid". Pass nullptr to detach.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
 
  private:
   struct Flow {
-    std::vector<LinkId> route;
+    // Route normalised to distinct links with traversal multiplicity; a
+    // double traversal consumes two shares but the flow still gets one
+    // bottleneck share as its rate (matching the per-traversal solver).
+    std::vector<LinkId> links;
+    std::vector<double> mult;
+    std::vector<std::uint32_t> pos;  ///< index into links_[l].entries
     double remaining = 0.0;
     double rate = 0.0;
+    double bytes_total = 0.0;
+    double done_eps = 0.0;  ///< completion threshold, relative to size
     std::unique_ptr<Latch> done;
+    std::uint32_t gen = 0;         ///< slot generation (FlowId validity)
+    std::uint32_t active_pos = 0;  ///< index into active_
+    std::uint64_t visit_mark = 0;  ///< solver scratch (epoch-stamped)
+    std::uint64_t frozen_mark = 0;  ///< solver scratch (epoch-stamped)
+    bool live = false;
+  };
+  struct LinkEntry {
+    std::uint32_t flow;
+    double mult;
   };
   struct LinkState {
     LinkSpec spec;
     double bytes_transferred = 0.0;
+    double allocated = 0.0;  ///< sum of rate*mult over entries
+    std::vector<LinkEntry> entries;
+    std::uint64_t dirty_mark = 0;  ///< epoch when queued in dirty_links_
+    std::uint64_t visit_mark = 0;  ///< solver scratch (epoch-stamped)
+    // Water-filling scratch, valid only during resolve_dirty():
+    double residual = 0.0;
+    double unfrozen_mult = 0.0;
   };
 
   void progress_to_now();
-  void recompute_rates();
+  void mark_link_dirty(LinkId l);
+  /// React to a flow add/remove (its links are already dirty): solve now
+  /// (kFull) or coalesce into one same-time deferred solve (kIncremental).
+  void request_resolve();
+  /// Water-fill the connected component reachable from the dirty links,
+  /// then re-arm the completion timer.
+  void resolve_and_reschedule();
+  void resolve_dirty();
+  void run_self_check() const;
   void schedule_next_completion();
   void on_completion_timer(std::uint64_t generation);
-  void begin_flow(std::vector<LinkId> route, double bytes, Latch* done);
+  /// Detach `slot` from links/active lists and release its slot. Marks the
+  /// flow's links dirty. Does not fire the latch.
+  void detach_flow(std::uint32_t slot);
+  std::uint32_t allocate_flow(const std::vector<LinkId>& route, double bytes,
+                              Latch* done);
 
   Engine* engine_;
   std::vector<LinkState> links_;
-  std::list<Flow> flows_;
+  std::vector<Flow> flows_;                  ///< slot-addressed storage
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<std::uint32_t> active_;        ///< dense list of live slots
+  std::vector<LinkId> dirty_links_;
+  std::vector<LinkId> comp_links_;           ///< resolve scratch
+  std::vector<std::uint32_t> comp_flows_;    ///< resolve scratch
+  std::uint64_t dirty_epoch_ = 1;  ///< bumps when dirty_links_ drains
+  std::uint64_t visit_epoch_ = 0;  ///< bumps per resolve pass
+  bool resolve_pending_ = false;
+  bool self_check_ = false;
+  SolverMode mode_ = SolverMode::kIncremental;
+  SolverStats stats_;
+  Tracer* tracer_ = nullptr;
   Time last_progress_ = 0.0;
   std::uint64_t timer_generation_ = 0;
 };

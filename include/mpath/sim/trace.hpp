@@ -17,9 +17,14 @@ class Tracer {
   void add_span(std::string track, std::string name, double t0, double t1);
   /// Record a zero-duration marker.
   void add_instant(std::string track, std::string name, double t);
+  /// Record one sample of a named counter series (e.g. the fluid solver's
+  /// rate-recompute count); exports as Chrome "C" phase events.
+  void add_counter(std::string track, std::string name, double t,
+                   double value);
 
   [[nodiscard]] std::size_t span_count() const { return spans_.size(); }
   [[nodiscard]] std::size_t instant_count() const { return instants_.size(); }
+  [[nodiscard]] std::size_t counter_count() const { return counters_.size(); }
   void clear();
 
   /// Write Chrome trace-event format ("traceEvents" JSON array, phases
@@ -40,8 +45,15 @@ class Tracer {
     std::string name;
     double t;
   };
+  struct Counter {
+    std::string track;
+    std::string name;
+    double t;
+    double value;
+  };
   std::vector<Span> spans_;
   std::vector<Instant> instants_;
+  std::vector<Counter> counters_;
 };
 
 }  // namespace mpath::sim

@@ -60,7 +60,12 @@ ThetaSolution ThetaSolver::solve(std::span<const PathTerms> paths,
     }
   }
 
-  // Numerical cleanup: clamp dust and renormalize exactly to 1.
+  // Numerical cleanup: clamp dust, then hand any leftover share to the
+  // direct path (index 0) only, per Algorithm 1. Renormalizing *all*
+  // shares would scale every staged path's n·θ·Ω term while leaving its Δ
+  // fixed, silently moving the solution off the equal-time point whenever
+  // clamping removed mass; adjusting only θ₀ keeps the staged shares at
+  // their closed-form equal-time values.
   double total = 0.0;
   for (double& t : sol.theta) {
     if (t < 0.0) t = 0.0;
@@ -68,7 +73,12 @@ ThetaSolution ThetaSolver::solve(std::span<const PathTerms> paths,
   }
   if (total <= 0.0) {
     sol.theta[0] = 1.0;
+  } else if (sol.theta[0] + (1.0 - total) >= 0.0) {
+    sol.theta[0] += 1.0 - total;
   } else {
+    // Degenerate: the direct path's share cannot absorb the deficit (its
+    // own closed-form θ₀ was negative). Fall back to renormalization so
+    // the result is at least a valid distribution.
     for (double& t : sol.theta) t /= total;
   }
 

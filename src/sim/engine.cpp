@@ -36,6 +36,12 @@ void Engine::schedule_callback(Time t, std::function<void()> fn) {
   queue_.push(Event{t < now_ ? now_ : t, next_seq_++, nullptr, std::move(fn)});
 }
 
+void Engine::defer(std::function<void()> fn) {
+  // Monotone sequence numbers order same-time events FIFO, so this runs
+  // after everything already queued at now() and before later arrivals.
+  queue_.push(Event{now_, next_seq_++, nullptr, std::move(fn)});
+}
+
 namespace {
 Task<void> run_root(Task<void> inner,
                     std::shared_ptr<detail::ProcState> state) {

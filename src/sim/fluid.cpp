@@ -6,12 +6,19 @@
 #include <limits>
 #include <stdexcept>
 
+#include "mpath/sim/trace.hpp"
+#include "mpath/util/log.hpp"
+
 namespace mpath::sim {
 
 namespace {
-// Flows whose remaining volume drops below this many bytes are complete;
-// guards against floating-point dust postponing completion events forever.
-constexpr double kRemainingEps = 1e-3;
+// Completion threshold for a flow of `bytes` total: relative so that
+// floating-point dust cannot postpone completion forever, with a tiny
+// absolute floor so genuinely sub-byte control messages still stream at
+// their allocated rate instead of completing instantly at rate 0.
+double completion_eps(double bytes) {
+  return std::max(1e-12 * bytes, 1e-9);
+}
 }  // namespace
 
 LinkId FluidNetwork::add_link(LinkSpec spec) {
@@ -23,7 +30,9 @@ LinkId FluidNetwork::add_link(LinkSpec spec) {
     throw std::invalid_argument("FluidNetwork: latency must be >= 0 (" +
                                 spec.name + ")");
   }
-  links_.push_back(LinkState{std::move(spec), 0.0});
+  LinkState ls;
+  ls.spec = std::move(spec);
+  links_.push_back(std::move(ls));
   return static_cast<LinkId>(links_.size() - 1);
 }
 
@@ -33,13 +42,13 @@ const LinkSpec& FluidNetwork::link(LinkId id) const {
 
 double FluidNetwork::link_allocated_rate(LinkId id) const {
   if (id >= links_.size()) throw std::out_of_range("bad LinkId");
-  double rate = 0.0;
-  for (const Flow& f : flows_) {
-    for (LinkId l : f.route) {
-      if (l == id) rate += f.rate;
-    }
+  // A same-time resolve may still be pending (coalescing); settle it now so
+  // queries always observe max-min rates. The deferred pass then finds an
+  // empty dirty set and only re-arms the completion timer.
+  if (!dirty_links_.empty()) {
+    const_cast<FluidNetwork*>(this)->resolve_dirty();
   }
-  return rate;
+  return links_[id].allocated;
 }
 
 double FluidNetwork::link_bytes_transferred(LinkId id) const {
@@ -51,106 +60,381 @@ void FluidNetwork::progress_to_now() {
   const double dt = now - last_progress_;
   last_progress_ = now;
   if (dt <= 0.0) return;
-  for (Flow& f : flows_) {
+  for (std::uint32_t slot : active_) {
+    Flow& f = flows_[slot];
     const double delivered = std::min(f.remaining, f.rate * dt);
+    if (delivered <= 0.0) continue;
     f.remaining -= delivered;
-    for (LinkId l : f.route) {
-      links_[l].bytes_transferred += delivered;
+    for (std::size_t i = 0; i < f.links.size(); ++i) {
+      links_[f.links[i]].bytes_transferred += delivered * f.mult[i];
     }
   }
 }
 
-void FluidNetwork::recompute_rates() {
-  // Water-filling max-min fairness. A route may traverse a link multiple
-  // times; each traversal consumes one share of that link.
-  const std::size_t nlinks = links_.size();
-  std::vector<double> residual(nlinks);
-  std::vector<double> unfrozen_mult(nlinks, 0.0);
-  for (std::size_t l = 0; l < nlinks; ++l) {
-    residual[l] = links_[l].spec.capacity_bps;
+void FluidNetwork::mark_link_dirty(LinkId l) {
+  LinkState& ls = links_[l];
+  if (ls.dirty_mark == dirty_epoch_) return;
+  ls.dirty_mark = dirty_epoch_;
+  dirty_links_.push_back(l);
+}
+
+void FluidNetwork::request_resolve() {
+  ++stats_.resolve_requests;
+  if (mode_ == SolverMode::kFull) {
+    // Legacy behaviour: eagerly re-solve the whole network on every event.
+    for (LinkId l = 0; l < static_cast<LinkId>(links_.size()); ++l) {
+      mark_link_dirty(l);
+    }
+    resolve_and_reschedule();
+    return;
   }
-  std::vector<Flow*> unfrozen;
-  for (Flow& f : flows_) {
-    f.rate = 0.0;
-    unfrozen.push_back(&f);
-    for (LinkId l : f.route) unfrozen_mult[l] += 1.0;
+  if (resolve_pending_) {
+    ++stats_.coalesced;
+    return;
+  }
+  resolve_pending_ = true;
+  engine_->defer([this] {
+    resolve_pending_ = false;
+    resolve_and_reschedule();
+  });
+}
+
+void FluidNetwork::resolve_and_reschedule() {
+  progress_to_now();
+  resolve_dirty();
+  schedule_next_completion();
+}
+
+void FluidNetwork::resolve_dirty() {
+  if (dirty_links_.empty()) return;
+  ++stats_.resolves;
+  ++visit_epoch_;
+
+  // Gather the connected component of the flow/link sharing graph that is
+  // reachable from the dirty links. Rates outside it cannot change: a flow
+  // not sharing (transitively) any link with a changed one keeps its
+  // allocation, so the water-filling below touches only the component.
+  comp_links_.clear();
+  comp_flows_.clear();
+  for (LinkId l : dirty_links_) {
+    if (links_[l].visit_mark == visit_epoch_) continue;
+    links_[l].visit_mark = visit_epoch_;
+    comp_links_.push_back(l);
+  }
+  for (std::size_t qi = 0; qi < comp_links_.size(); ++qi) {
+    for (const LinkEntry& e : links_[comp_links_[qi]].entries) {
+      Flow& f = flows_[e.flow];
+      if (f.visit_mark == visit_epoch_) continue;
+      f.visit_mark = visit_epoch_;
+      comp_flows_.push_back(e.flow);
+      for (LinkId l : f.links) {
+        if (links_[l].visit_mark == visit_epoch_) continue;
+        links_[l].visit_mark = visit_epoch_;
+        comp_links_.push_back(l);
+      }
+    }
   }
 
-  while (!unfrozen.empty()) {
-    // Find the bottleneck link: the one offering the smallest fair share.
+  // Water-filling max-min fairness restricted to the component. A route may
+  // traverse a link multiple times; each traversal consumes one share of
+  // that link (mult), but the flow's rate is the single bottleneck share.
+  for (LinkId l : comp_links_) {
+    LinkState& ls = links_[l];
+    ls.residual = ls.spec.capacity_bps;
+    ls.unfrozen_mult = 0.0;
+  }
+  for (std::uint32_t slot : comp_flows_) {
+    Flow& f = flows_[slot];
+    f.rate = 0.0;
+    for (std::size_t i = 0; i < f.links.size(); ++i) {
+      links_[f.links[i]].unfrozen_mult += f.mult[i];
+    }
+  }
+  std::size_t unfrozen = comp_flows_.size();
+  while (unfrozen > 0) {
+    // Bottleneck link: smallest fair share among links that still carry
+    // unfrozen flows (links outside the component are never scanned).
     double best_share = std::numeric_limits<double>::infinity();
-    std::size_t best_link = nlinks;
-    for (std::size_t l = 0; l < nlinks; ++l) {
+    LinkId best = static_cast<LinkId>(links_.size());
+    for (LinkId l : comp_links_) {
+      const LinkState& ls = links_[l];
+      if (ls.unfrozen_mult <= 0.0) continue;
+      const double share = ls.residual / ls.unfrozen_mult;
+      if (share < best_share) {
+        best_share = share;
+        best = l;
+      }
+    }
+    if (best >= links_.size()) {
+      throw std::logic_error(
+          "FluidNetwork: water-filling found no bottleneck for " +
+          std::to_string(unfrozen) + " unfrozen flow(s)");
+    }
+    // Freeze every unfrozen flow through the bottleneck at its fair share.
+    for (const LinkEntry& e : links_[best].entries) {
+      Flow& f = flows_[e.flow];
+      if (f.frozen_mark == visit_epoch_) continue;
+      f.frozen_mark = visit_epoch_;
+      f.rate = best_share;
+      for (std::size_t i = 0; i < f.links.size(); ++i) {
+        LinkState& ls = links_[f.links[i]];
+        ls.residual -= best_share * f.mult[i];
+        ls.unfrozen_mult -= f.mult[i];
+      }
+      --unfrozen;
+    }
+  }
+  for (LinkId l : comp_links_) {
+    LinkState& ls = links_[l];
+    ls.allocated = std::max(0.0, ls.spec.capacity_bps - ls.residual);
+  }
+
+  stats_.flows_resolved += comp_flows_.size();
+  stats_.links_resolved += comp_links_.size();
+  if (comp_links_.size() == links_.size()) ++stats_.full_resolves;
+  dirty_links_.clear();
+  ++dirty_epoch_;
+
+  if (tracer_ != nullptr) {
+    const Time now = engine_->now();
+    tracer_->add_counter("fluid", "rate_resolves", now,
+                         static_cast<double>(stats_.resolves));
+    tracer_->add_counter("fluid", "resolved_flows", now,
+                         static_cast<double>(comp_flows_.size()));
+  }
+  if (self_check_) run_self_check();
+}
+
+std::vector<double> FluidNetwork::reference_rates() const {
+  // The original whole-network water-filling solver, kept verbatim as an
+  // oracle: O(links * iterations + flows * route) per call, no reuse.
+  const std::size_t nflows = active_.size();
+  std::vector<double> rates(nflows, 0.0);
+  std::vector<char> frozen(nflows, 0);
+  std::vector<double> residual(links_.size());
+  std::vector<double> unfrozen_mult(links_.size(), 0.0);
+  for (std::size_t l = 0; l < links_.size(); ++l) {
+    residual[l] = links_[l].spec.capacity_bps;
+  }
+  for (std::uint32_t slot : active_) {
+    const Flow& f = flows_[slot];
+    for (std::size_t i = 0; i < f.links.size(); ++i) {
+      unfrozen_mult[f.links[i]] += f.mult[i];
+    }
+  }
+  std::size_t left = nflows;
+  while (left > 0) {
+    double best_share = std::numeric_limits<double>::infinity();
+    std::size_t best = links_.size();
+    for (std::size_t l = 0; l < links_.size(); ++l) {
       if (unfrozen_mult[l] <= 0.0) continue;
       const double share = residual[l] / unfrozen_mult[l];
       if (share < best_share) {
         best_share = share;
-        best_link = l;
+        best = l;
       }
     }
-    assert(best_link < nlinks && "unfrozen flow with no links");
-    // Freeze every unfrozen flow that traverses the bottleneck link.
-    std::vector<Flow*> still_unfrozen;
-    still_unfrozen.reserve(unfrozen.size());
-    for (Flow* f : unfrozen) {
-      const bool through =
-          std::find(f->route.begin(), f->route.end(),
-                    static_cast<LinkId>(best_link)) != f->route.end();
-      if (!through) {
-        still_unfrozen.push_back(f);
-        continue;
+    assert(best < links_.size() && "unfrozen flow with no links");
+    for (std::size_t i = 0; i < nflows; ++i) {
+      if (frozen[i]) continue;
+      const Flow& f = flows_[active_[i]];
+      const auto it = std::find(f.links.begin(), f.links.end(),
+                                static_cast<LinkId>(best));
+      if (it == f.links.end()) continue;
+      frozen[i] = 1;
+      rates[i] = best_share;
+      for (std::size_t j = 0; j < f.links.size(); ++j) {
+        residual[f.links[j]] -= best_share * f.mult[j];
+        unfrozen_mult[f.links[j]] -= f.mult[j];
       }
-      f->rate = best_share;
-      for (LinkId l : f->route) {
-        residual[l] -= best_share;
-        unfrozen_mult[l] -= 1.0;
-      }
+      --left;
     }
-    unfrozen.swap(still_unfrozen);
+  }
+  return rates;
+}
+
+void FluidNetwork::run_self_check() const {
+  const std::vector<double> ref = reference_rates();
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    const Flow& f = flows_[active_[i]];
+    const double tol = 1e-9 * std::max(1.0, std::abs(ref[i]));
+    if (std::abs(f.rate - ref[i]) > tol) {
+      throw std::logic_error(
+          "FluidNetwork self-check: incremental rate " +
+          std::to_string(f.rate) + " != reference " + std::to_string(ref[i]) +
+          " for flow slot " + std::to_string(active_[i]) + " at t=" +
+          std::to_string(engine_->now()));
+    }
   }
 }
 
 void FluidNetwork::schedule_next_completion() {
-  if (flows_.empty()) return;
+  if (active_.empty()) return;
   double min_dt = std::numeric_limits<double>::infinity();
-  for (const Flow& f : flows_) {
-    if (f.rate > 0.0) {
-      min_dt = std::min(min_dt, std::max(0.0, f.remaining) / f.rate);
+  for (std::uint32_t slot : active_) {
+    const Flow& f = flows_[slot];
+    if (f.rate <= 0.0) {
+      // Rates are always re-solved before this point; a live flow with no
+      // rate means the solver regressed. Fail loudly instead of leaving the
+      // flow stranded with no future event (which would present as a
+      // silent hang or an engine deadlock far from the root cause).
+      MPATH_ERROR << "FluidNetwork: active flow (slot " << slot << ", "
+                  << f.remaining << " B remaining) has rate " << f.rate
+                  << " at t=" << engine_->now();
+      throw SimError("FluidNetwork: active flow with non-positive rate at t=" +
+                     std::to_string(engine_->now()));
     }
+    min_dt = std::min(min_dt, std::max(0.0, f.remaining) / f.rate);
   }
-  if (!std::isfinite(min_dt)) return;  // nothing can progress (shouldn't happen)
   const std::uint64_t gen = ++timer_generation_;
   engine_->schedule_callback(engine_->now() + min_dt,
                              [this, gen] { on_completion_timer(gen); });
 }
 
 void FluidNetwork::on_completion_timer(std::uint64_t generation) {
-  if (generation != timer_generation_) return;  // superseded by a newer event
+  if (generation != timer_generation_) {
+    ++stats_.timers_stale;  // superseded by a newer event
+    return;
+  }
+  ++stats_.timers_fired;
   progress_to_now();
   bool any_completed = false;
-  for (auto it = flows_.begin(); it != flows_.end();) {
-    if (it->remaining <= kRemainingEps) {
-      it->done->fire();
-      it = flows_.erase(it);
-      any_completed = true;
-    } else {
-      ++it;
+  // A flow is complete when its remaining bytes fall below its relative
+  // epsilon, or when they would stream in less than ~2 ulps of the clock —
+  // otherwise the next timer could round to the current timestamp, deliver
+  // nothing, and re-arm forever without advancing time.
+  const double time_quantum = 4.5e-16 * std::abs(engine_->now());
+  // Detach mutates active_, so collect first. All completions that land on
+  // this timestamp drain in this one pass and share one rate re-solve.
+  std::vector<std::uint32_t> completed;
+  for (std::uint32_t slot : active_) {
+    const Flow& f = flows_[slot];
+    if (f.remaining <= f.done_eps + f.rate * time_quantum) {
+      completed.push_back(slot);
     }
   }
-  if (any_completed) recompute_rates();
-  schedule_next_completion();
+  for (std::uint32_t slot : completed) {
+    Flow& f = flows_[slot];
+    if (f.done) f.done->fire();
+    detach_flow(slot);  // marks the flow's links dirty
+    any_completed = true;
+  }
+  if (any_completed) {
+    request_resolve();
+  } else if (!resolve_pending_) {
+    // Defensive re-arm: rounding pushed the nearest completion past this
+    // timer. Rates are unchanged, so just schedule the next event.
+    schedule_next_completion();
+  }
 }
 
-void FluidNetwork::begin_flow(std::vector<LinkId> route, double bytes,
-                              Latch* done) {
-  progress_to_now();
-  Flow f;
-  f.route = std::move(route);
+void FluidNetwork::detach_flow(std::uint32_t slot) {
+  Flow& f = flows_[slot];
+  assert(f.live);
+  for (std::size_t i = 0; i < f.links.size(); ++i) {
+    const LinkId l = f.links[i];
+    mark_link_dirty(l);
+    auto& entries = links_[l].entries;
+    const std::uint32_t p = f.pos[i];
+    assert(p < entries.size() && entries[p].flow == slot);
+    entries[p] = entries.back();
+    entries.pop_back();
+    if (p < entries.size()) {
+      // Fix the moved entry's back-pointer.
+      Flow& moved = flows_[entries[p].flow];
+      for (std::size_t j = 0; j < moved.links.size(); ++j) {
+        if (moved.links[j] == l) {
+          moved.pos[j] = p;
+          break;
+        }
+      }
+    }
+  }
+  // Swap-remove from the dense active list.
+  const std::uint32_t ap = f.active_pos;
+  active_[ap] = active_.back();
+  active_.pop_back();
+  if (ap < active_.size()) flows_[active_[ap]].active_pos = ap;
+  f.live = false;
+  f.rate = 0.0;
+  f.done.reset();
+  ++f.gen;  // invalidate outstanding FlowIds
+  free_slots_.push_back(slot);
+}
+
+std::uint32_t FluidNetwork::allocate_flow(const std::vector<LinkId>& route,
+                                          double bytes, Latch* done) {
+  std::unique_ptr<Latch> owned(done);
+  for (LinkId l : route) {
+    if (l >= links_.size()) {
+      throw std::invalid_argument("FluidNetwork: bad LinkId in route");
+    }
+  }
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    flows_.emplace_back();
+    slot = static_cast<std::uint32_t>(flows_.size() - 1);
+  }
+  Flow& f = flows_[slot];
+  f.links.clear();
+  f.mult.clear();
+  f.pos.clear();
+  for (LinkId l : route) {  // routes are short; quadratic dedup is fine
+    const auto it = std::find(f.links.begin(), f.links.end(), l);
+    if (it == f.links.end()) {
+      f.links.push_back(l);
+      f.mult.push_back(1.0);
+    } else {
+      f.mult[static_cast<std::size_t>(it - f.links.begin())] += 1.0;
+    }
+  }
   f.remaining = bytes;
-  f.done.reset(done);
-  flows_.push_back(std::move(f));
-  recompute_rates();
-  schedule_next_completion();
+  f.bytes_total = bytes;
+  f.done_eps = completion_eps(bytes);
+  f.rate = 0.0;
+  f.done = std::move(owned);
+  f.live = true;
+  f.active_pos = static_cast<std::uint32_t>(active_.size());
+  active_.push_back(slot);
+  f.pos.resize(f.links.size());
+  for (std::size_t i = 0; i < f.links.size(); ++i) {
+    auto& entries = links_[f.links[i]].entries;
+    f.pos[i] = static_cast<std::uint32_t>(entries.size());
+    entries.push_back(LinkEntry{slot, f.mult[i]});
+  }
+  return slot;
+}
+
+FlowId FluidNetwork::start_flow(std::vector<LinkId> route, double bytes,
+                                Latch* done) {
+  if (route.empty() || bytes <= 0.0) {
+    std::unique_ptr<Latch> owned(done);
+    throw std::invalid_argument(
+        "FluidNetwork::start_flow: route must be non-empty and bytes > 0");
+  }
+  progress_to_now();
+  const std::uint32_t slot = allocate_flow(route, bytes, done);
+  for (LinkId l : flows_[slot].links) mark_link_dirty(l);
+  request_resolve();
+  return (static_cast<FlowId>(flows_[slot].gen) << 32) |
+         static_cast<FlowId>(slot + 1);
+}
+
+bool FluidNetwork::cancel_flow(FlowId id) {
+  if (id == kInvalidFlow) return false;
+  const std::uint64_t low = id & 0xffffffffull;
+  if (low == 0 || low > flows_.size()) return false;
+  const std::uint32_t slot = static_cast<std::uint32_t>(low - 1);
+  Flow& f = flows_[slot];
+  if (!f.live || f.gen != static_cast<std::uint32_t>(id >> 32)) return false;
+  progress_to_now();  // account bytes delivered up to the cancel point
+  if (f.done) f.done->fire();
+  detach_flow(slot);  // marks the flow's links dirty
+  request_resolve();
+  return true;
 }
 
 Task<void> FluidNetwork::transfer(std::vector<LinkId> route, double bytes) {
@@ -164,7 +448,7 @@ Task<void> FluidNetwork::transfer(std::vector<LinkId> route, double bytes) {
   // transferred to the Flow, which the network destroys after firing it.
   auto latch = std::make_unique<Latch>(*engine_);
   Latch* lp = latch.get();
-  begin_flow(std::move(route), bytes, latch.release());
+  (void)start_flow(std::move(route), bytes, latch.release());
   co_await lp->wait();
 }
 

@@ -20,9 +20,15 @@ void Tracer::add_instant(std::string track, std::string name, double t) {
   instants_.push_back(Instant{std::move(track), std::move(name), t});
 }
 
+void Tracer::add_counter(std::string track, std::string name, double t,
+                         double value) {
+  counters_.push_back(Counter{std::move(track), std::move(name), t, value});
+}
+
 void Tracer::clear() {
   spans_.clear();
   instants_.clear();
+  counters_.clear();
 }
 
 namespace {
@@ -82,6 +88,12 @@ std::string Tracer::chrome_trace_json() const {
     out << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":" << tid(i.track)
         << ",\"ts\":" << i.t * 1e6 << ",\"name\":\"" << json_escape(i.name)
         << "\"}";
+  }
+  for (const Counter& c : counters_) {
+    sep();
+    out << "{\"ph\":\"C\",\"pid\":1,\"tid\":" << tid(c.track) << ",\"ts\":"
+        << c.t * 1e6 << ",\"name\":\"" << json_escape(c.name)
+        << "\",\"args\":{\"value\":" << c.value << "}}";
   }
   for (const auto& [name, id] : tracks) {
     sep();

@@ -84,6 +84,24 @@ TEST(ThetaSolver, DirectNeverExcluded) {
   EXPECT_NEAR(sum(sol.theta), 1.0, 1e-12);
 }
 
+TEST(ThetaSolver, DroppedPathLeftoverGoesToDirectOnly) {
+  // Regression: when a clamped-negative share is cleaned up, the leftover
+  // mass must be folded into the direct path (whose Eq. 24 share absorbed
+  // the negative term), not renormalized across all paths — renormalizing
+  // scales the equal-time staged shares and breaks Theorem 1.
+  std::vector<mm::PathTerms> paths{
+      {1.0 / 10e9, 5e-6},     // modest direct path (keeps a small share)
+      {1.0 / 46e9, 2e-6},     // good staged path
+      {1.0 / 12e9, 800e-6}};  // hopeless for small messages -> dropped
+  const auto sol = mm::ThetaSolver::solve(paths, 2e5);  // 200 KB
+  EXPECT_DOUBLE_EQ(sol.theta[2], 0.0);
+  EXPECT_NEAR(sum(sol.theta), 1.0, 1e-12);
+  EXPECT_GT(sol.theta[0], 0.0);
+  // Active-path times stay equalized after cleanup (time_spread ~ 0).
+  EXPECT_LT(mm::ThetaSolver::time_spread(paths, sol.theta, 2e5),
+            1e-9 * sol.predicted_time + 1e-12);
+}
+
 TEST(ThetaSolver, InputValidation) {
   std::vector<mm::PathTerms> empty;
   EXPECT_THROW((void)mm::ThetaSolver::solve(empty, 1e6),

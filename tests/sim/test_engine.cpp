@@ -158,6 +158,26 @@ TEST(Engine, CallbacksInterleaveWithCoroutines) {
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
 }
 
+TEST(Engine, DeferRunsAfterQueuedSameTimeEventsAndBeforeLaterOnes) {
+  ms::Engine e;
+  std::vector<int> order;
+  e.schedule_callback(1.0, [&] { order.push_back(1); });
+  e.schedule_callback(1.0, [&] {
+    // Deferred work runs after the same-time event queued below (seq
+    // order), but before anything queued after the defer call.
+    e.defer([&] {
+      order.push_back(4);
+      e.schedule_callback(e.now(), [&] { order.push_back(5); });
+    });
+    order.push_back(2);
+  });
+  e.schedule_callback(1.0, [&] { order.push_back(3); });
+  e.schedule_callback(2.0, [&] { order.push_back(6); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5, 6}));
+  EXPECT_DOUBLE_EQ(e.now(), 2.0);
+}
+
 TEST(Engine, WhenAllWaitsForEverything) {
   ms::Engine e;
   std::vector<double> log;

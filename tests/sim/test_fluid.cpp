@@ -191,6 +191,21 @@ TEST(Fluid, ConservationAcrossManyRandomFlows) {
   EXPECT_NEAR(sum_delivered, expected, 1e-3);
 }
 
+TEST(Fluid, SubByteFlowStreamsAtAllocatedRate) {
+  // Regression: the old absolute 1e-3 B completion epsilon made legitimate
+  // sub-millibyte control/ack messages complete instantly at rate 0; the
+  // epsilon is now relative to the flow's size.
+  Fixture f;
+  const auto a = f.net.add_link({"slow-a", 0.5, 0.0});  // 0.5 B/s
+  const auto b = f.net.add_link({"slow-b", 0.5, 0.0});
+  double one_byte = -1, sub_milli = -1;
+  f.engine.spawn(timed_transfer(f.engine, f.net, {a}, 1.0, one_byte));
+  f.engine.spawn(timed_transfer(f.engine, f.net, {b}, 1e-4, sub_milli));
+  f.engine.run();
+  EXPECT_NEAR(one_byte, 2.0, 1e-9);      // 1 B at 0.5 B/s
+  EXPECT_NEAR(sub_milli, 2e-4, 1e-12);   // 1e-4 B at 0.5 B/s
+}
+
 TEST(Fluid, ManySmallFlowsDrainCompletely) {
   Fixture f;
   const auto link = f.net.add_link({"l", 1000.0, 1e-6});

@@ -1,0 +1,264 @@
+// Property tests for the incremental max-min solver: randomized flow churn
+// (start / cancel / complete) over shared-link topologies, with the
+// retained full-resolve water-filling oracle checking every incremental
+// solve, plus solver-mode equivalence of completion times.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "mpath/sim/fluid.hpp"
+#include "mpath/util/rng.hpp"
+
+namespace ms = mpath::sim;
+
+namespace {
+
+struct FlowSpec {
+  std::vector<ms::LinkId> route;
+  double bytes;
+  double start;
+  double cancel_after;  // <0: never cancelled
+};
+
+// Deterministic random churn workload over `nlinks` shared links.
+std::vector<FlowSpec> make_workload(mpath::util::Rng& rng, int nlinks,
+                                    int nflows, bool with_cancels) {
+  std::vector<FlowSpec> specs;
+  specs.reserve(static_cast<std::size_t>(nflows));
+  for (int i = 0; i < nflows; ++i) {
+    FlowSpec s;
+    const int hops = 1 + static_cast<int>(rng.uniform(0.0, 2.999));
+    for (int h = 0; h < hops; ++h) {
+      s.route.push_back(
+          static_cast<ms::LinkId>(rng.uniform(0.0, nlinks - 0.001)));
+    }
+    if (rng.uniform(0.0, 1.0) < 0.15) {
+      s.route.push_back(s.route.front());  // double traversal
+    }
+    s.bytes = rng.uniform(0.5, 5000.0);
+    s.start = rng.uniform(0.0, 10.0);
+    s.cancel_after = (with_cancels && rng.uniform(0.0, 1.0) < 0.3)
+                         ? rng.uniform(0.0, 20.0)
+                         : -1.0;
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+ms::Task<void> timed_transfer(ms::Engine& e, ms::FluidNetwork& net,
+                              std::vector<ms::LinkId> route, double bytes,
+                              double& finish) {
+  co_await net.transfer(std::move(route), bytes);
+  finish = e.now();
+}
+
+ms::Task<void> delayed_transfer(ms::Engine& e, ms::FluidNetwork& net,
+                                double start, std::vector<ms::LinkId> route,
+                                double bytes, double& finish) {
+  co_await e.delay(start);
+  co_await net.transfer(std::move(route), bytes);
+  finish = e.now();
+}
+
+}  // namespace
+
+// Hundreds of randomly routed flows churn over shared links while the
+// full-resolve oracle audits every incremental solve; afterwards per-link
+// byte accounting must balance exactly against route multiplicities.
+TEST(FluidChurn, RandomChurnMatchesOracleAndConservesBytes) {
+  mpath::util::Rng rng(1234);
+  const int nlinks = 10;
+  ms::Engine engine;
+  ms::FluidNetwork net(engine);
+  net.set_self_check(true);  // oracle audit: throws std::logic_error on drift
+  std::vector<ms::LinkId> links;
+  for (int l = 0; l < nlinks; ++l) {
+    links.push_back(net.add_link({"l" + std::to_string(l),
+                                  rng.uniform(50.0, 500.0), 0.0}));
+  }
+  const auto specs = make_workload(rng, nlinks, 300, /*with_cancels=*/false);
+  std::vector<double> finishes(specs.size(), -1.0);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    engine.spawn(delayed_transfer(engine, net, specs[i].start, specs[i].route,
+                                  specs[i].bytes, finishes[i]));
+  }
+  engine.run();
+
+  EXPECT_EQ(net.active_flow_count(), 0u);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    ASSERT_GT(finishes[i], 0.0) << "flow " << i << " never finished";
+    double cap = 1e18;
+    for (auto l : specs[i].route) {
+      cap = std::min(cap, net.link(l).capacity_bps);
+    }
+    // No flow beats its serial lower bound (implicit capacity check).
+    EXPECT_GE(finishes[i] + 1e-9, specs[i].start + specs[i].bytes / cap);
+  }
+  // Conservation: every flow contributes bytes once per route traversal.
+  double expected = 0.0;
+  for (const auto& s : specs) {
+    expected += s.bytes * static_cast<double>(s.route.size());
+  }
+  double delivered = 0.0;
+  for (auto l : links) delivered += net.link_bytes_transferred(l);
+  EXPECT_NEAR(delivered / expected, 1.0, 1e-9);
+  EXPECT_GT(net.stats().resolves, 0u);
+  EXPECT_LT(net.stats().resolves, net.stats().resolve_requests +
+                                      net.stats().timers_fired + 1);
+}
+
+// Same churn with ~30% of flows cancelled mid-flight: handles must
+// invalidate, cancelled bytes must not be double-counted, and the oracle
+// must still agree after every add/remove.
+TEST(FluidChurn, CancelChurnMatchesOracle) {
+  mpath::util::Rng rng(99);
+  const int nlinks = 8;
+  ms::Engine engine;
+  ms::FluidNetwork net(engine);
+  net.set_self_check(true);
+  std::vector<ms::LinkId> links;
+  for (int l = 0; l < nlinks; ++l) {
+    links.push_back(net.add_link({"l" + std::to_string(l),
+                                  rng.uniform(50.0, 500.0), 0.0}));
+  }
+  const auto specs = make_workload(rng, nlinks, 200, /*with_cancels=*/true);
+  std::vector<ms::FlowId> ids(specs.size(), ms::kInvalidFlow);
+  int cancels_attempted = 0;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    engine.schedule_callback(specs[i].start, [&net, &ids, &specs, i] {
+      ids[i] = net.start_flow(specs[i].route, specs[i].bytes);
+    });
+    if (specs[i].cancel_after >= 0.0) {
+      ++cancels_attempted;
+      engine.schedule_callback(specs[i].start + specs[i].cancel_after,
+                               [&net, &ids, i] {
+        (void)net.cancel_flow(ids[i]);  // may race completion: both fine
+      });
+    }
+  }
+  engine.run();
+
+  EXPECT_EQ(net.active_flow_count(), 0u);
+  EXPECT_GT(cancels_attempted, 10);
+  // Cancelled flows deliver at most their size; totals cannot exceed the
+  // all-completed sum.
+  double max_expected = 0.0;
+  for (const auto& s : specs) {
+    max_expected += s.bytes * static_cast<double>(s.route.size());
+  }
+  double delivered = 0.0;
+  for (auto l : links) delivered += net.link_bytes_transferred(l);
+  EXPECT_LE(delivered, max_expected * (1.0 + 1e-9));
+  EXPECT_GT(delivered, 0.0);
+  // All handles are stale afterwards.
+  for (ms::FlowId id : ids) EXPECT_FALSE(net.cancel_flow(id));
+}
+
+// The incremental solver must reproduce the legacy eager full solver's
+// completion times bit-for-bit (within 1e-9 s) on an identical workload.
+TEST(FluidChurn, ModesProduceIdenticalCompletionTimes) {
+  mpath::util::Rng rng(777);
+  const int nlinks = 6;
+  const auto specs = make_workload(rng, nlinks, 150, /*with_cancels=*/false);
+  auto run_mode = [&](ms::FluidNetwork::SolverMode mode) {
+    mpath::util::Rng cap_rng(42);
+    ms::Engine engine;
+    ms::FluidNetwork net(engine);
+    net.set_solver_mode(mode);
+    for (int l = 0; l < nlinks; ++l) {
+      net.add_link({"l" + std::to_string(l), cap_rng.uniform(50.0, 500.0),
+                    1e-5 * l});
+    }
+    std::vector<double> finishes(specs.size(), -1.0);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      engine.spawn(delayed_transfer(engine, net, specs[i].start,
+                                    specs[i].route, specs[i].bytes,
+                                    finishes[i]));
+    }
+    engine.run();
+    return finishes;
+  };
+  const auto full = run_mode(ms::FluidNetwork::SolverMode::kFull);
+  const auto incr = run_mode(ms::FluidNetwork::SolverMode::kIncremental);
+  ASSERT_EQ(full.size(), incr.size());
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    EXPECT_NEAR(full[i], incr[i], 1e-9) << "flow " << i;
+  }
+}
+
+// A same-timestamp burst of starts (and later of completions) must share
+// one rate re-solve instead of paying one per flow.
+TEST(FluidChurn, SameTimestampBurstsCoalesceIntoOneResolve) {
+  ms::Engine engine;
+  ms::FluidNetwork net(engine);
+  const auto link = net.add_link({"l", 100.0, 0.0});
+  const int n = 32;
+  std::vector<double> finishes(n, -1.0);
+  for (int i = 0; i < n; ++i) {
+    engine.spawn(
+        timed_transfer(engine, net, {link}, 100.0, finishes[i]));
+  }
+  engine.run();
+  // All start at t=0 and, being identical, all complete at t=32 together.
+  for (double f : finishes) EXPECT_NEAR(f, 32.0, 1e-9);
+  // One solve for the start burst, one for the completion burst (plus at
+  // most one settling pass) — not one per flow.
+  EXPECT_LE(net.stats().resolves, 3u);
+  EXPECT_GE(net.stats().coalesced, static_cast<std::uint64_t>(n) - 2);
+  EXPECT_EQ(net.stats().resolve_requests, static_cast<std::uint64_t>(n) + 1);
+}
+
+// Disjoint components: churn on one pair of links must not grow the
+// resolve component beyond that pair.
+TEST(FluidChurn, DisjointComponentsStayLocal) {
+  ms::Engine engine;
+  ms::FluidNetwork net(engine);
+  const auto a0 = net.add_link({"a0", 100.0, 0.0});
+  const auto a1 = net.add_link({"a1", 100.0, 0.0});
+  const auto b0 = net.add_link({"b0", 100.0, 0.0});
+  const auto b1 = net.add_link({"b1", 100.0, 0.0});
+  double fa = -1.0, fb = -1.0;
+  engine.spawn(timed_transfer(engine, net, {a0, a1}, 400.0, fa));
+  engine.spawn(delayed_transfer(engine, net, 1.0, {b0, b1}, 100.0, fb));
+  engine.run();
+  EXPECT_NEAR(fa, 4.0, 1e-9);
+  EXPECT_NEAR(fb, 2.0, 1e-9);
+  // Each resolve touched only one two-link component, never all four.
+  const auto& st = net.stats();
+  EXPECT_EQ(st.full_resolves, 0u);
+  EXPECT_LE(st.links_resolved, 2 * st.resolves);
+}
+
+// start_flow/cancel_flow basics: partial delivery is accounted, the latch
+// fires, and rates of surviving flows rise after the cancel.
+TEST(FluidChurn, CancelReleasesBandwidthAndAccountsPartialBytes) {
+  ms::Engine engine;
+  ms::FluidNetwork net(engine);
+  const auto link = net.add_link({"l", 100.0, 0.0});
+  double other_finish = -1.0;
+  engine.spawn(timed_transfer(engine, net, {link}, 400.0, other_finish));
+  ms::FlowId id = ms::kInvalidFlow;
+  engine.schedule_callback(0.0, [&] {
+    id = net.start_flow({link}, 1000.0);
+  });
+  engine.schedule_callback(2.0, [&] { EXPECT_TRUE(net.cancel_flow(id)); });
+  engine.run();
+  // Shared 50/50 for 2 s (other delivers 100 B), then the survivor runs at
+  // full rate: 300 B at 100 B/s -> t = 5.
+  EXPECT_NEAR(other_finish, 5.0, 1e-9);
+  // Link moved 400 (completed) + 100 (cancelled partial) bytes.
+  EXPECT_NEAR(net.link_bytes_transferred(link), 500.0, 1e-6);
+  EXPECT_EQ(net.active_flow_count(), 0u);
+}
+
+TEST(FluidChurn, StartFlowValidatesArguments) {
+  ms::Engine engine;
+  ms::FluidNetwork net(engine);
+  const auto link = net.add_link({"l", 100.0, 0.0});
+  EXPECT_THROW((void)net.start_flow({}, 10.0), std::invalid_argument);
+  EXPECT_THROW((void)net.start_flow({link}, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)net.start_flow({static_cast<ms::LinkId>(99)}, 10.0),
+               std::invalid_argument);
+  EXPECT_FALSE(net.cancel_flow(ms::kInvalidFlow));
+}

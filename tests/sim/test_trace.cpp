@@ -25,6 +25,37 @@ TEST(Tracer, CollectsSpansAndInstants) {
   EXPECT_EQ(tracer.span_count(), 0u);
 }
 
+TEST(Tracer, CollectsCounters) {
+  ms::Tracer tracer;
+  tracer.add_counter("fluid", "rate_resolves", 0.0, 1.0);
+  tracer.add_counter("fluid", "rate_resolves", 1e-6, 2.0);
+  EXPECT_EQ(tracer.counter_count(), 2u);
+  const std::string json = tracer.chrome_trace_json();
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("rate_resolves"), std::string::npos);
+  EXPECT_NE(json.find("\"value\":2.000000"), std::string::npos);
+  tracer.clear();
+  EXPECT_EQ(tracer.counter_count(), 0u);
+}
+
+TEST(Tracer, FluidNetworkEmitsResolveCounters) {
+  ms::Engine engine;
+  ms::FluidNetwork net(engine);
+  ms::Tracer tracer;
+  net.set_tracer(&tracer);
+  const auto link = net.add_link({"l", 100.0, 0.0});
+  engine.spawn([](ms::FluidNetwork& n, ms::LinkId l) -> ms::Task<void> {
+    std::vector<ms::LinkId> route{l};
+    co_await n.transfer(std::move(route), 100.0);
+  }(net, link), "counted");
+  engine.run();
+  // Each resolve emits rate_resolves + resolved_flows samples.
+  EXPECT_GE(tracer.counter_count(), 2u);
+  const std::string json = tracer.chrome_trace_json();
+  EXPECT_NE(json.find("rate_resolves"), std::string::npos);
+  EXPECT_NE(json.find("resolved_flows"), std::string::npos);
+}
+
 TEST(Tracer, RejectsNegativeDuration) {
   ms::Tracer tracer;
   EXPECT_THROW(tracer.add_span("t", "x", 2.0, 1.0), std::invalid_argument);
