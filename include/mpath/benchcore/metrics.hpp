@@ -3,10 +3,12 @@
 // observed optimal performance").
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <utility>
 
 #include "mpath/model/configurator.hpp"
+#include "mpath/pipeline/channels.hpp"
 #include "mpath/topo/paths.hpp"
 
 namespace mpath::benchcore {
@@ -24,5 +26,34 @@ namespace mpath::benchcore {
 /// pairs. Returns 0 for empty input.
 [[nodiscard]] double mean_relative_error(
     std::span<const std::pair<double, double>> predicted_vs_observed);
+
+/// Summary of a run executed under fault injection: how much of the
+/// requested traffic was delivered, at what effective bandwidth, and how
+/// much recovery work the channel had to do to get there.
+struct DegradedRunMetrics {
+  std::uint64_t bytes_requested = 0;
+  std::uint64_t bytes_delivered = 0;
+  double elapsed_s = 0.0;
+  /// bytes_delivered / elapsed_s (0 when elapsed is 0).
+  double delivered_bandwidth = 0.0;
+  std::uint64_t path_timeouts = 0;
+  std::uint64_t replans = 0;
+  std::uint64_t transfers_recovered = 0;
+  std::uint64_t transfers_failed = 0;
+  /// Sim time spent between the first watchdog firing and completion,
+  /// summed over recovered transfers.
+  double recovery_time_s = 0.0;
+  /// True when every transfer in the run completed (possibly after
+  /// re-planning); false if any ended in TransferError.
+  bool completed = false;
+};
+
+/// Build degraded-run metrics from a channel's recovery counters plus the
+/// run's byte/elapsed accounting. `bytes_delivered` defaults to
+/// `bytes_requested` for fully-completed runs; pass the partial count from
+/// TransferError::info() when a transfer failed.
+[[nodiscard]] DegradedRunMetrics degraded_run_metrics(
+    const pipeline::RecoveryStats& stats, std::uint64_t bytes_requested,
+    std::uint64_t bytes_delivered, double elapsed_s);
 
 }  // namespace mpath::benchcore

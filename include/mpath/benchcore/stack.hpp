@@ -45,6 +45,9 @@ class SimStack {
     return *pipeline_;
   }
   [[nodiscard]] gpusim::DataChannel& channel() { return *channel_; }
+  /// The fluid network under the stack — the seam where fault injection
+  /// (sim::FaultInjector) degrades or severs links mid-run.
+  [[nodiscard]] sim::FluidNetwork& network() { return *network_; }
   [[nodiscard]] const topo::System& system() const { return *system_; }
 
  private:

@@ -5,12 +5,36 @@
 #pragma once
 
 #include <cstddef>
+#include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "mpath/gpusim/buffer.hpp"
 #include "mpath/sim/task.hpp"
 
 namespace mpath::gpusim {
+
+/// A transfer that could not be completed (all paths dead, retries
+/// exhausted, rendezvous timed out). Carries partial-progress accounting so
+/// callers can distinguish "nothing moved" from "died at 90%".
+class TransferError : public std::runtime_error {
+ public:
+  struct Info {
+    std::string detail;  ///< failing path / stage description
+    std::size_t bytes_requested = 0;
+    std::size_t bytes_delivered = 0;  ///< bytes visible at the destination
+    double elapsed_s = 0.0;           ///< sim time from issue to failure
+    int retries = 0;                  ///< re-plan / retry attempts made
+  };
+
+  TransferError(const std::string& what, Info info)
+      : std::runtime_error(what), info_(std::move(info)) {}
+
+  [[nodiscard]] const Info& info() const { return info_; }
+
+ private:
+  Info info_;
+};
 
 class DataChannel {
  public:

@@ -34,6 +34,38 @@ namespace mpath::gpusim {
 using StreamId = std::uint32_t;
 using EventId = std::uint32_t;
 
+/// Cooperative cancellation handle for in-flight copies. A token is shared
+/// between the issuer (e.g. a pipeline watchdog) and every memcpy_async it
+/// governs: cancel() aborts the governed copies' live fluid flows via
+/// FluidNetwork::cancel_flow and marks the token, after which governed ops
+/// that have not yet started drain without moving data. Single-simulation
+/// use only (no thread safety needed — the engine is single-threaded).
+class CancelToken {
+ public:
+  explicit CancelToken(sim::FluidNetwork& net) : net_(&net) {}
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Abort: cancels every governed fluid flow currently in flight. Later
+  /// governed copies become no-ops. Idempotent.
+  void cancel();
+  [[nodiscard]] bool cancelled() const { return cancelled_; }
+  /// Flows actually aborted mid-flight by cancel() (not merely skipped).
+  [[nodiscard]] std::size_t flows_cancelled() const {
+    return cancelled_ids_.size();
+  }
+
+ private:
+  friend class GpuRuntime;
+  [[nodiscard]] bool was_cancelled(sim::FlowId id) const;
+
+  sim::FluidNetwork* net_;
+  bool cancelled_ = false;
+  std::vector<sim::FlowId> in_flight_;      ///< flows currently streaming
+  std::vector<sim::FlowId> cancelled_ids_;  ///< flows aborted by cancel()
+};
+using CancelTokenPtr = std::shared_ptr<CancelToken>;
+
 class GpuRuntime {
  public:
   /// The runtime builds its own fluid network binding over `system`'s
@@ -46,14 +78,21 @@ class GpuRuntime {
   // -- object creation ------------------------------------------------------
   [[nodiscard]] StreamId create_stream(topo::DeviceId device);
   [[nodiscard]] EventId create_event();
+  /// Make a cancellation token bound to this runtime's fluid network.
+  [[nodiscard]] CancelTokenPtr make_cancel_token() const;
 
   // -- stream operations (enqueue, non-blocking) ----------------------------
   /// Copy `len` bytes between buffer regions along the topology route from
   /// src.device() to dst.device(). Payload bytes are copied at completion
-  /// time. Both buffers must outlive the operation.
+  /// time. Both buffers must outlive the operation. A non-null `token`
+  /// makes the copy abortable: token->cancel() kills the in-flight fluid
+  /// flow (partial link bytes stay accounted, payload is not copied) and
+  /// turns not-yet-started governed copies into no-ops, so a stream backed
+  /// by a severed link drains instead of stalling forever.
   void memcpy_async(DeviceBuffer& dst, std::size_t dst_offset,
                     const DeviceBuffer& src, std::size_t src_offset,
-                    std::size_t len, StreamId stream);
+                    std::size_t len, StreamId stream,
+                    CancelTokenPtr token = nullptr);
   /// Record `event` at the current tail of `stream` (CUDA semantics: a
   /// later wait_event observes this record).
   void record_event(EventId event, StreamId stream);
@@ -69,6 +108,9 @@ class GpuRuntime {
   [[nodiscard]] sim::Task<void> synchronize(StreamId stream);
   /// Complete when the most recent record of `event` has fired.
   [[nodiscard]] sim::Task<void> synchronize_event(EventId event);
+  /// True if the most recent record of `event` has fired (non-blocking
+  /// query, cudaEventQuery semantics). Never-recorded events read as fired.
+  [[nodiscard]] bool event_fired(EventId event) const;
   /// Complete when all streams are drained.
   [[nodiscard]] sim::Task<void> device_synchronize();
 
@@ -124,7 +166,8 @@ class GpuRuntime {
   [[nodiscard]] sim::Task<void> run_copy(
       std::shared_ptr<sim::Latch> prev, std::shared_ptr<sim::Latch> done,
       DeviceBuffer& dst, std::size_t dst_offset, const DeviceBuffer& src,
-      std::size_t src_offset, std::size_t len, StreamId stream);
+      std::size_t src_offset, std::size_t len, StreamId stream,
+      CancelTokenPtr token);
 
   [[nodiscard]] std::string stream_track(StreamId stream) const;
 

@@ -80,6 +80,15 @@ class PathConfigurator {
       topo::DeviceId src, topo::DeviceId dst, std::uint64_t bytes,
       std::span<const topo::PathPlan> paths);
 
+  /// Like configure(), but over an arbitrary non-empty path subset: the
+  /// first candidate plays the anchor role (absorbs the rounding remainder
+  /// and is never excluded by the theta solver) regardless of its kind.
+  /// Used by the recovery re-planner when the direct path itself is dead
+  /// and the remainder must be re-split over the surviving paths.
+  [[nodiscard]] const TransferConfig& configure_over(
+      topo::DeviceId src, topo::DeviceId dst, std::uint64_t bytes,
+      std::span<const topo::PathPlan> paths);
+
   [[nodiscard]] std::uint64_t cache_hits() const { return cache_hits_; }
   [[nodiscard]] std::uint64_t cache_misses() const { return cache_misses_; }
   void clear_cache() { cache_.clear(); }

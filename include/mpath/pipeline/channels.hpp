@@ -8,7 +8,11 @@
 //     by exhaustive search (the paper's "Static Path Distribution", [35]).
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "mpath/gpusim/channel.hpp"
 #include "mpath/model/configurator.hpp"
@@ -31,10 +35,34 @@ class SinglePathChannel final : public gpusim::DataChannel {
   PipelineEngine* engine_;
 };
 
+/// Degradation-aware recovery policy: every path of a transfer runs under a
+/// watchdog whose deadline is the model-predicted per-path time T_i times
+/// `slack`; on timeout the failed path is dropped from the candidate set,
+/// theta is re-solved over the survivors for the undelivered remainder, and
+/// the remainder is re-issued as a fresh ExecPlan. After `max_replans`
+/// failed attempts (or when no path survives) the transfer throws
+/// gpusim::TransferError with partial-progress accounting.
+struct RecoveryOptions {
+  bool enabled = false;
+  double slack = 4.0;          ///< deadline = slack * predicted T_i
+  double min_deadline_s = 1e-3;  ///< floor so noise cannot trip tiny shares
+  int max_replans = 3;
+};
+
+/// Monotonic counters describing recovery activity on a channel.
+struct RecoveryStats {
+  std::uint64_t path_timeouts = 0;      ///< watchdogs that fired
+  std::uint64_t replans = 0;            ///< remainder re-plans issued
+  std::uint64_t transfers_recovered = 0;  ///< completed after >= 1 re-plan
+  std::uint64_t transfers_failed = 0;   ///< ended in TransferError
+  double recovery_time_s = 0.0;  ///< sim time from first timeout to finish
+};
+
 struct ModelDrivenOptions {
   /// Transfers below this size skip the model and go direct (matching the
   /// runtime integration, which leaves small messages on the default path).
   std::size_t min_multipath_bytes = 256 * 1024;
+  RecoveryOptions recovery;
 };
 
 class ModelDrivenChannel final : public gpusim::DataChannel {
@@ -57,12 +85,22 @@ class ModelDrivenChannel final : public gpusim::DataChannel {
     return last_config_;
   }
   [[nodiscard]] const topo::PathPolicy& policy() const { return policy_; }
+  [[nodiscard]] const RecoveryStats& recovery_stats() const { return stats_; }
+  [[nodiscard]] const ModelDrivenOptions& options() const { return options_; }
 
  private:
+  [[nodiscard]] const std::vector<topo::PathPlan>& candidate_paths(
+      topo::DeviceId src, topo::DeviceId dst);
+  [[nodiscard]] sim::Task<void> transfer_with_recovery(
+      gpusim::DeviceBuffer& dst, std::size_t dst_offset,
+      const gpusim::DeviceBuffer& src, std::size_t src_offset,
+      std::size_t bytes);
+
   PipelineEngine* engine_;
   model::PathConfigurator* configurator_;
   topo::PathPolicy policy_;
   ModelDrivenOptions options_;
+  RecoveryStats stats_;
   std::optional<model::TransferConfig> last_config_;
   // Candidate path cache per (src, dst).
   std::map<std::pair<topo::DeviceId, topo::DeviceId>,

@@ -35,6 +35,31 @@ struct ExecPath {
 
 using ExecPlan = std::vector<ExecPath>;
 
+/// Watchdog spec for one path of a monitored transfer: a relative deadline
+/// measured from issue start. The model-driven caller derives it from the
+/// predicted per-path completion time T_i times a slack factor; <= 0
+/// disables monitoring for that path (legacy behaviour, no extra events).
+struct PathWatch {
+  double deadline_s = 0.0;
+};
+
+/// Per-path result of a monitored transfer (parallel to the input plan).
+struct PathOutcome {
+  std::uint64_t bytes = 0;           ///< slice length assigned to the path
+  std::uint64_t bytes_delivered = 0; ///< contiguous prefix visible at dst
+  bool timed_out = false;            ///< watchdog fired and aborted the path
+};
+
+struct TransferOutcome {
+  bool complete = true;  ///< no path timed out; all bytes delivered
+  std::vector<PathOutcome> paths;
+  [[nodiscard]] std::uint64_t delivered() const {
+    std::uint64_t sum = 0;
+    for (const PathOutcome& p : paths) sum += p.bytes_delivered;
+    return sum;
+  }
+};
+
 class PipelineEngine {
  public:
   explicit PipelineEngine(
@@ -51,6 +76,20 @@ class PipelineEngine {
                                         const gpusim::DeviceBuffer& src,
                                         std::size_t src_offset,
                                         ExecPlan plan);
+
+  /// Like execute(), but each path with `watch[i].deadline_s > 0` runs under
+  /// a watchdog: if the path has not delivered its slice by the deadline its
+  /// in-flight fluid flows are cancelled, no further chunks are issued on
+  /// it, and the outcome reports the delivered contiguous prefix — so a
+  /// transfer over a severed link returns (with partial-progress accounting)
+  /// instead of hanging. `watch` must be empty (no monitoring) or the same
+  /// length as `plan`. Monitored direct paths pay one extra event record per
+  /// chunk for progress accounting; unmonitored paths behave exactly as in
+  /// execute().
+  [[nodiscard]] sim::Task<TransferOutcome> execute_monitored(
+      gpusim::DeviceBuffer& dst, std::size_t dst_offset,
+      const gpusim::DeviceBuffer& src, std::size_t src_offset, ExecPlan plan,
+      std::vector<PathWatch> watch);
 
   [[nodiscard]] gpusim::GpuRuntime& runtime() { return *runtime_; }
   [[nodiscard]] std::uint64_t transfers_executed() const {
@@ -71,7 +110,8 @@ class PipelineEngine {
   /// Per-path issue state prepared before the interleaved issue loop.
   struct PathIssue {
     ExecPath spec;
-    std::size_t offset = 0;  // within the transfer
+    std::size_t offset = 0;      // within the transfer
+    std::size_t plan_index = 0;  // index into the caller's plan / watch
     gpusim::StreamId first_stream = 0;
     gpusim::StreamId second_stream = 0;
     StagingPool::Lease lease;
@@ -80,6 +120,7 @@ class PipelineEngine {
     std::vector<std::size_t> chunk_offsets;
     std::vector<std::size_t> chunk_sizes;
     bool staged = false;
+    bool monitored = false;
     double extra_sync_s = 0.0;  // host-staging per-chunk penalty
   };
 

@@ -61,6 +61,8 @@ class FluidNetwork {
     std::uint64_t links_resolved = 0;    ///< component link visits summed
     std::uint64_t timers_fired = 0;      ///< completion timers processed
     std::uint64_t timers_stale = 0;      ///< superseded timers discarded
+    std::uint64_t cancelled_flows = 0;   ///< flows aborted via cancel_flow
+    std::uint64_t capacity_changes = 0;  ///< set_link_capacity calls
   };
 
   explicit FluidNetwork(Engine& engine) : engine_(&engine) {}
@@ -73,6 +75,14 @@ class FluidNetwork {
 
   [[nodiscard]] const LinkSpec& link(LinkId id) const;
   [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+
+  /// Change a link's capacity mid-simulation (fault injection / dynamic
+  /// contention). `bps == 0` severs the link: flows traversing it stall at
+  /// rate 0 (they stay live and resume if capacity is restored; cancel them
+  /// via cancel_flow to abort). Only the connected component containing the
+  /// link is re-solved. Throws std::out_of_range on a bad id and
+  /// std::invalid_argument on a negative capacity.
+  void set_link_capacity(LinkId id, double bps);
 
   /// Move `bytes` across `route`. Pays the sum of the route's latencies
   /// once, then streams at the flow's max-min fair rate until done. A
@@ -99,6 +109,8 @@ class FluidNetwork {
   [[nodiscard]] std::size_t active_flow_count() const {
     return active_.size();
   }
+  /// Live flows currently pinned at rate 0 by a zero-capacity link.
+  [[nodiscard]] std::size_t stalled_flow_count() const;
 
   /// Select the rate solver (default kIncremental). kFull reproduces the
   /// original eager whole-network behaviour for baseline measurements.
@@ -139,6 +151,7 @@ class FluidNetwork {
     std::uint64_t visit_mark = 0;  ///< solver scratch (epoch-stamped)
     std::uint64_t frozen_mark = 0;  ///< solver scratch (epoch-stamped)
     bool live = false;
+    bool stalled = false;  ///< frozen at rate 0 by a severed link
   };
   struct LinkEntry {
     std::uint32_t flow;

@@ -25,6 +25,11 @@ struct TransportOptions {
   std::size_t eager_threshold = 64 * 1024;
   /// Host-side overhead of an eager message.
   double eager_overhead_s = 1.0e-6;
+  /// Rendezvous-sized send/recv operations that find no match within this
+  /// window are aborted with gpusim::TransferError instead of waiting
+  /// forever (a dead peer otherwise deadlocks the whole simulation).
+  /// 0 disables the timeout (legacy behaviour).
+  double rendezvous_timeout_s = 0.0;
 };
 
 class Worker;
@@ -53,6 +58,10 @@ class Fabric {
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_; }
   [[nodiscard]] std::uint64_t rendezvous_count() const { return rendezvous_; }
   [[nodiscard]] std::uint64_t eager_count() const { return eager_; }
+  /// Send/recv operations aborted by the rendezvous timeout.
+  [[nodiscard]] std::uint64_t rendezvous_timeouts() const {
+    return rendezvous_timeouts_;
+  }
 
  private:
   friend class Worker;
@@ -64,6 +73,7 @@ class Fabric {
   std::uint64_t bytes_ = 0;
   std::uint64_t rendezvous_ = 0;
   std::uint64_t eager_ = 0;
+  std::uint64_t rendezvous_timeouts_ = 0;
 };
 
 class Worker {
@@ -104,6 +114,7 @@ class Worker {
     std::size_t offset;
     topo::DeviceId src_device;
     sim::Latch* done;
+    std::uint64_t seq = 0;  ///< unique id for timeout cancellation
   };
   struct RecvEntry {
     int src_rank;  // kAnySource allowed
@@ -112,6 +123,7 @@ class Worker {
     gpusim::DeviceBuffer* buf;
     std::size_t offset;
     sim::Latch* done;
+    std::uint64_t seq = 0;  ///< unique id for timeout cancellation
   };
 
   /// Move the payload for a matched (send, recv) pair; runs on whichever
@@ -124,6 +136,7 @@ class Worker {
   topo::DeviceId device_;
   std::deque<SendEntry> unexpected_;  // sends awaiting a matching recv
   std::deque<RecvEntry> posted_;      // recvs awaiting a matching send
+  std::uint64_t next_seq_ = 0;        // parked-entry ids (timeouts)
 };
 
 }  // namespace mpath::transport

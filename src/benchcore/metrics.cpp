@@ -22,4 +22,23 @@ double mean_relative_error(
   return sum / static_cast<double>(predicted_vs_observed.size());
 }
 
+DegradedRunMetrics degraded_run_metrics(const pipeline::RecoveryStats& stats,
+                                        std::uint64_t bytes_requested,
+                                        std::uint64_t bytes_delivered,
+                                        double elapsed_s) {
+  DegradedRunMetrics m;
+  m.bytes_requested = bytes_requested;
+  m.bytes_delivered = bytes_delivered;
+  m.elapsed_s = elapsed_s;
+  m.delivered_bandwidth =
+      elapsed_s > 0.0 ? static_cast<double>(bytes_delivered) / elapsed_s : 0.0;
+  m.path_timeouts = stats.path_timeouts;
+  m.replans = stats.replans;
+  m.transfers_recovered = stats.transfers_recovered;
+  m.transfers_failed = stats.transfers_failed;
+  m.recovery_time_s = stats.recovery_time_s;
+  m.completed = stats.transfers_failed == 0;
+  return m;
+}
+
 }  // namespace mpath::benchcore

@@ -1,11 +1,28 @@
 #include "mpath/gpusim/runtime.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
 #include "mpath/util/units.hpp"
 
 namespace mpath::gpusim {
+
+void CancelToken::cancel() {
+  if (cancelled_) return;
+  cancelled_ = true;
+  for (sim::FlowId id : in_flight_) {
+    // A flow that completed in this same instant has a stale id; cancel_flow
+    // returns false and the copy counts as delivered.
+    if (net_->cancel_flow(id)) cancelled_ids_.push_back(id);
+  }
+  in_flight_.clear();
+}
+
+bool CancelToken::was_cancelled(sim::FlowId id) const {
+  return std::find(cancelled_ids_.begin(), cancelled_ids_.end(), id) !=
+         cancelled_ids_.end();
+}
 
 GpuRuntime::GpuRuntime(const topo::System& system, sim::Engine& engine,
                        sim::FluidNetwork& network, std::uint64_t seed)
@@ -29,6 +46,14 @@ EventId GpuRuntime::create_event() {
   return static_cast<EventId>(events_.size() - 1);
 }
 
+CancelTokenPtr GpuRuntime::make_cancel_token() const {
+  return std::make_shared<CancelToken>(*network_);
+}
+
+bool GpuRuntime::event_fired(EventId event) const {
+  return events_.at(event).latch->fired();
+}
+
 template <typename MakeOp>
 void GpuRuntime::enqueue(StreamId stream, MakeOp&& make_op) {
   Stream& s = streams_.at(stream);
@@ -43,31 +68,61 @@ sim::Task<void> GpuRuntime::run_copy(std::shared_ptr<sim::Latch> prev,
                                      DeviceBuffer& dst, std::size_t dst_offset,
                                      const DeviceBuffer& src,
                                      std::size_t src_offset, std::size_t len,
-                                     StreamId stream) {
+                                     StreamId stream, CancelTokenPtr token) {
   co_await prev->wait();
+  if (token && token->cancelled()) {
+    done->fire();  // drain without moving data or paying dispatch latency
+    co_return;
+  }
   const double trace_start = engine_->now();
   // Device-side dispatch latency for the copy engine.
   co_await engine_->delay(costs().op_launch_s *
                           rng_.jitter(costs().jitter_rel));
+  bool delivered = true;
   if (len > 0) {
     if (src.device() == dst.device()) {
       co_await engine_->delay(static_cast<double>(len) /
                               costs().local_copy_bps);
-    } else {
+    } else if (!token) {
       co_await network_->transfer(
           binding_.route_links(src.device(), dst.device()),
           static_cast<double>(len));
+    } else {
+      // Cancellable variant of FluidNetwork::transfer: the flow id is
+      // registered with the token while the bytes stream so that
+      // token->cancel() can abort it mid-flight.
+      std::vector<sim::LinkId> route =
+          binding_.route_links(src.device(), dst.device());
+      double latency = 0.0;
+      for (sim::LinkId l : route) latency += network_->link(l).latency_s;
+      if (latency > 0.0) co_await engine_->delay(latency);
+      if (token->cancelled()) {
+        delivered = false;
+      } else {
+        auto latch = std::make_unique<sim::Latch>(*engine_);
+        sim::Latch* lp = latch.get();
+        const sim::FlowId fid =
+            network_->start_flow(std::move(route), static_cast<double>(len),
+                                 latch.release());
+        token->in_flight_.push_back(fid);
+        co_await lp->wait();
+        std::erase(token->in_flight_, fid);
+        delivered = !token->was_cancelled(fid);
+      }
     }
-    // Payload lands at completion time; simulated buffers carry none.
-    if (dst.materialized() && src.materialized()) {
-      std::memcpy(dst.region(dst_offset, len).data(),
-                  src.region(src_offset, len).data(), len);
+    if (delivered) {
+      // Payload lands at completion time; simulated buffers carry none.
+      if (dst.materialized() && src.materialized()) {
+        std::memcpy(dst.region(dst_offset, len).data(),
+                    src.region(src_offset, len).data(), len);
+      }
+      bytes_copied_ += len;
     }
-    bytes_copied_ += len;
   }
   if (tracer_ != nullptr) {
     tracer_->add_span(stream_track(stream),
-                      "copy " + util::format_bytes(len) + " " +
+                      std::string(delivered ? "copy " : "copy(cancelled) ") +
+                          util::format_bytes(len) + " " +
                           topology().device(src.device()).name + "->" +
                           topology().device(dst.device()).name,
                       trace_start, engine_->now());
@@ -82,7 +137,8 @@ std::string GpuRuntime::stream_track(StreamId stream) const {
 
 void GpuRuntime::memcpy_async(DeviceBuffer& dst, std::size_t dst_offset,
                               const DeviceBuffer& src, std::size_t src_offset,
-                              std::size_t len, StreamId stream) {
+                              std::size_t len, StreamId stream,
+                              CancelTokenPtr token) {
   // Validate regions eagerly: misuse should fail at the call site, not at
   // some later simulated instant.
   dst.check_region(dst_offset, len);
@@ -91,7 +147,7 @@ void GpuRuntime::memcpy_async(DeviceBuffer& dst, std::size_t dst_offset,
                       std::shared_ptr<sim::Latch> prev,
                       std::shared_ptr<sim::Latch> done) {
     return run_copy(std::move(prev), std::move(done), dst, dst_offset, src,
-                    src_offset, len, stream);
+                    src_offset, len, stream, std::move(token));
   });
 }
 

@@ -34,12 +34,18 @@ std::uint64_t PathConfigurator::cache_key(
 const TransferConfig& PathConfigurator::configure(
     topo::DeviceId src, topo::DeviceId dst, std::uint64_t bytes,
     std::span<const topo::PathPlan> paths) {
-  if (paths.empty()) {
-    throw std::invalid_argument("PathConfigurator: no candidate paths");
-  }
-  if (paths.front().kind != topo::PathKind::Direct) {
+  if (!paths.empty() && paths.front().kind != topo::PathKind::Direct) {
     throw std::invalid_argument(
         "PathConfigurator: the direct path must be the first candidate");
+  }
+  return configure_over(src, dst, bytes, paths);
+}
+
+const TransferConfig& PathConfigurator::configure_over(
+    topo::DeviceId src, topo::DeviceId dst, std::uint64_t bytes,
+    std::span<const topo::PathPlan> paths) {
+  if (paths.empty()) {
+    throw std::invalid_argument("PathConfigurator: no candidate paths");
   }
   if (bytes == 0) {
     throw std::invalid_argument("PathConfigurator: zero-byte transfer");
@@ -111,7 +117,7 @@ TransferConfig PathConfigurator::compute(
   config.paths.resize(p);
 
   // Lines 25 + 27-29: integer byte shares; any rounding remainder goes to
-  // the direct path.
+  // the anchor (first) path.
   std::uint64_t assigned = 0;
   for (std::size_t i = 0; i < p; ++i) {
     PathShare& share = config.paths[i];

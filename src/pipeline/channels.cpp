@@ -1,7 +1,11 @@
 #include "mpath/pipeline/channels.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <span>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 namespace mpath::pipeline {
 
@@ -30,27 +34,36 @@ ModelDrivenChannel::ModelDrivenChannel(PipelineEngine& engine,
       policy_(policy),
       options_(options) {}
 
+const std::vector<topo::PathPlan>& ModelDrivenChannel::candidate_paths(
+    topo::DeviceId src, topo::DeviceId dst) {
+  const auto key = std::make_pair(src, dst);
+  auto it = path_cache_.find(key);
+  if (it == path_cache_.end()) {
+    it = path_cache_
+             .emplace(key, topo::enumerate_paths(engine_->runtime().topology(),
+                                                 src, dst, policy_))
+             .first;
+  }
+  return it->second;
+}
+
 sim::Task<void> ModelDrivenChannel::transfer(gpusim::DeviceBuffer& dst,
                                              std::size_t dst_offset,
                                              const gpusim::DeviceBuffer& src,
                                              std::size_t src_offset,
                                              std::size_t bytes) {
+  if (options_.recovery.enabled) {
+    co_await transfer_with_recovery(dst, dst_offset, src, src_offset, bytes);
+    co_return;
+  }
   if (bytes < options_.min_multipath_bytes) {
     co_await engine_->execute(dst, dst_offset, src, src_offset,
                               direct_plan(bytes));
     co_return;
   }
-  const auto key = std::make_pair(src.device(), dst.device());
-  auto it = path_cache_.find(key);
-  if (it == path_cache_.end()) {
-    it = path_cache_
-             .emplace(key, topo::enumerate_paths(
-                               engine_->runtime().topology(), src.device(),
-                               dst.device(), policy_))
-             .first;
-  }
+  const auto& paths = candidate_paths(src.device(), dst.device());
   const auto& config =
-      configurator_->configure(src.device(), dst.device(), bytes, it->second);
+      configurator_->configure(src.device(), dst.device(), bytes, paths);
   last_config_ = config;
   ExecPlan plan;
   plan.reserve(config.paths.size());
@@ -59,6 +72,110 @@ sim::Task<void> ModelDrivenChannel::transfer(gpusim::DeviceBuffer& dst,
   }
   co_await engine_->execute(dst, dst_offset, src, src_offset,
                             std::move(plan));
+}
+
+sim::Task<void> ModelDrivenChannel::transfer_with_recovery(
+    gpusim::DeviceBuffer& dst, std::size_t dst_offset,
+    const gpusim::DeviceBuffer& src, std::size_t src_offset,
+    std::size_t bytes) {
+  sim::Engine& eng = engine_->runtime().engine();
+  const topo::Topology& topo = engine_->runtime().topology();
+  const double t0 = eng.now();
+  const RecoveryOptions& rec = options_.recovery;
+
+  // Candidate set for this transfer; paths whose watchdog fires are
+  // removed, so re-plans only consider survivors.
+  std::vector<topo::PathPlan> alive =
+      candidate_paths(src.device(), dst.device());
+  std::vector<std::string> dead_names;
+
+  // Undelivered message segments (offsets relative to the transfer). The
+  // initial segment is the whole message; a partially delivered path
+  // contributes its undelivered suffix back to the queue.
+  struct Seg {
+    std::size_t off;
+    std::uint64_t bytes;
+  };
+  std::vector<Seg> todo{{0, bytes}};
+  int replans = 0;
+  double first_timeout = -1.0;
+
+  while (!todo.empty()) {
+    const Seg seg = todo.back();
+    todo.pop_back();
+    // Small segments stay single-path (on the preferred survivor), matching
+    // the non-recovery channel's min_multipath threshold.
+    const std::span<const topo::PathPlan> use =
+        seg.bytes >= options_.min_multipath_bytes
+            ? std::span<const topo::PathPlan>(alive)
+            : std::span<const topo::PathPlan>(alive.data(), 1);
+    const auto& config = configurator_->configure_over(
+        src.device(), dst.device(), seg.bytes, use);
+    last_config_ = config;
+    ExecPlan plan;
+    std::vector<PathWatch> watch;
+    plan.reserve(config.paths.size());
+    watch.reserve(config.paths.size());
+    for (const auto& share : config.paths) {
+      plan.push_back(ExecPath{share.plan, share.bytes, share.chunks});
+      // Watchdog deadline: model-predicted completion time of this share
+      // times the slack factor, floored so that noise on tiny shares
+      // cannot trip a healthy path.
+      watch.push_back(PathWatch{
+          share.bytes > 0
+              ? std::max(rec.min_deadline_s, rec.slack * share.predicted_time)
+              : 0.0});
+    }
+    const TransferOutcome out = co_await engine_->execute_monitored(
+        dst, dst_offset + seg.off, src, src_offset + seg.off, std::move(plan),
+        std::move(watch));
+    if (out.complete) continue;
+
+    if (first_timeout < 0.0) first_timeout = eng.now();
+    // Drop timed-out paths from the candidate set and queue the
+    // undelivered remainder of every path slice.
+    std::size_t path_off = seg.off;
+    for (std::size_t i = 0; i < out.paths.size(); ++i) {
+      const PathOutcome& po = out.paths[i];
+      const topo::PathPlan dead = config.paths[i].plan;
+      if (po.timed_out) {
+        ++stats_.path_timeouts;
+        dead_names.push_back(topo::describe(dead, topo));
+        std::erase_if(alive, [&dead](const topo::PathPlan& p) {
+          return p.kind == dead.kind && p.stage == dead.stage;
+        });
+      }
+      if (po.bytes_delivered < po.bytes) {
+        todo.push_back(Seg{path_off + po.bytes_delivered,
+                           po.bytes - po.bytes_delivered});
+      }
+      path_off += po.bytes;
+    }
+    ++replans;
+    if (alive.empty() || replans > rec.max_replans) {
+      ++stats_.transfers_failed;
+      std::uint64_t undelivered = 0;
+      for (const Seg& s : todo) undelivered += s.bytes;
+      std::string detail = "dead paths:";
+      for (const std::string& n : dead_names) detail += " " + n;
+      gpusim::TransferError::Info info;
+      info.detail = detail;
+      info.bytes_requested = bytes;
+      info.bytes_delivered = bytes - static_cast<std::size_t>(undelivered);
+      info.elapsed_s = eng.now() - t0;
+      info.retries = replans;
+      throw gpusim::TransferError(
+          "ModelDrivenChannel: transfer failed (" + detail + "; " +
+              std::to_string(info.bytes_delivered) + "/" +
+              std::to_string(bytes) + " bytes delivered)",
+          std::move(info));
+    }
+    ++stats_.replans;
+  }
+  if (first_timeout >= 0.0) {
+    ++stats_.transfers_recovered;
+    stats_.recovery_time_s += eng.now() - first_timeout;
+  }
 }
 
 StaticPlanChannel::StaticPlanChannel(PipelineEngine& engine, StaticPlan plan,

@@ -2,9 +2,66 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
+#include <memory>
 #include <stdexcept>
 
 namespace mpath::pipeline {
+
+namespace {
+
+// State shared between the executing coroutine and its watchdog callbacks.
+// Heap-held (shared_ptr) because a watchdog timer can fire after the
+// transfer completed and the coroutine frame is gone.
+struct MonitorState {
+  struct Entry {
+    gpusim::CancelTokenPtr token;
+    std::vector<gpusim::EventId> done_events;  ///< per-chunk completion
+    std::vector<std::size_t> chunk_sizes;
+    std::size_t records_issued = 0;  ///< completion records enqueued so far
+    std::uint64_t bytes = 0;
+    std::uint64_t delivered = 0;
+    bool finished = false;
+    bool timed_out = false;
+  };
+  gpusim::GpuRuntime* rt = nullptr;
+  std::vector<Entry> entries;  ///< parallel to the caller's plan
+
+  // Contiguous delivered prefix: streams are in-order, so chunk completions
+  // form a prefix; stop at the first unfired completion record. Only events
+  // whose record has been *enqueued* are consulted — a freshly created
+  // event reads as fired (CUDA never-recorded semantics) and must not count
+  // until record_event re-arms it.
+  [[nodiscard]] std::uint64_t delivered_prefix(std::size_t i) const {
+    const Entry& e = entries[i];
+    std::uint64_t sum = 0;
+    const std::size_t n = std::min(e.records_issued, e.done_events.size());
+    for (std::size_t c = 0; c < n; ++c) {
+      if (!rt->event_fired(e.done_events[c])) break;
+      sum += e.chunk_sizes[c];
+    }
+    return sum;
+  }
+
+  // Watchdog body for path `i`: snapshot progress *before* cancelling (the
+  // post-cancel drain fires the remaining completion records without moving
+  // data), then abort the path's in-flight flows.
+  void on_deadline(std::size_t i) {
+    Entry& e = entries[i];
+    if (e.finished || e.timed_out) return;
+    const std::uint64_t d = delivered_prefix(i);
+    if (d >= e.bytes) {  // raced with completion: path is effectively done
+      e.finished = true;
+      e.delivered = e.bytes;
+      return;
+    }
+    e.delivered = d;
+    e.timed_out = true;
+    e.token->cancel();
+  }
+};
+
+}  // namespace
 
 PipelineEngine::PipelineEngine(gpusim::GpuRuntime& runtime,
                                std::size_t staging_buffers_per_device,
@@ -37,6 +94,22 @@ sim::Task<void> PipelineEngine::execute(gpusim::DeviceBuffer& dst,
                                         const gpusim::DeviceBuffer& src,
                                         std::size_t src_offset,
                                         ExecPlan plan) {
+  (void)co_await execute_monitored(dst, dst_offset, src, src_offset,
+                                   std::move(plan), {});
+}
+
+sim::Task<TransferOutcome> PipelineEngine::execute_monitored(
+    gpusim::DeviceBuffer& dst, std::size_t dst_offset,
+    const gpusim::DeviceBuffer& src, std::size_t src_offset, ExecPlan plan,
+    std::vector<PathWatch> watch) {
+  if (!watch.empty() && watch.size() != plan.size()) {
+    throw std::invalid_argument(
+        "PipelineEngine: watch must be empty or match the plan size");
+  }
+  // Validate the *whole* plan before issuing anything: a malformed plan
+  // must not leak staging-slot reservations or partially issued operations.
+  // The sum is overflow-checked so a wrapped total cannot slip past the
+  // region bounds check and then throw mid-issuance.
   std::uint64_t total = 0;
   for (const ExecPath& p : plan) {
     if (p.chunks < 1) {
@@ -46,16 +119,26 @@ sim::Task<void> PipelineEngine::execute(gpusim::DeviceBuffer& dst,
         p.plan.stage == topo::kInvalidDevice) {
       throw std::invalid_argument("PipelineEngine: staged path without stage");
     }
+    if (p.bytes > std::numeric_limits<std::uint64_t>::max() - total) {
+      throw std::invalid_argument("PipelineEngine: plan byte total overflows");
+    }
     total += p.bytes;
   }
-  // Bounds check up front; memcpy enqueues would catch it later, but a
-  // malformed plan should fail before any operation is issued.
   src.check_region(src_offset, total);
   dst.check_region(dst_offset, total);
 
   const topo::DeviceId src_dev = src.device();
   const topo::DeviceId dst_dev = dst.device();
   const auto& costs = runtime_->costs();
+
+  bool any_watch = false;
+  for (const PathWatch& w : watch) any_watch |= w.deadline_s > 0.0;
+  std::shared_ptr<MonitorState> mon;
+  if (any_watch) {
+    mon = std::make_shared<MonitorState>();
+    mon->rt = runtime_;
+    mon->entries.resize(plan.size());
+  }
 
   // -- prepare per-path issue state -----------------------------------------
   std::vector<PathIssue> paths;
@@ -66,6 +149,8 @@ sim::Task<void> PipelineEngine::execute(gpusim::DeviceBuffer& dst,
     PathIssue pi;
     pi.spec = spec;
     pi.offset = offset;
+    pi.plan_index = i;
+    pi.monitored = mon != nullptr && watch[i].deadline_s > 0.0;
     offset += spec.bytes;
     // Never more chunks than bytes.
     const int k = static_cast<int>(std::min<std::uint64_t>(
@@ -101,8 +186,38 @@ sim::Task<void> PipelineEngine::execute(gpusim::DeviceBuffer& dst,
     } else {
       pi.first_stream = stream_for({src_dev, dst_dev, i, 0}, src_dev);
     }
+    if (pi.monitored) {
+      MonitorState::Entry& e = mon->entries[i];
+      e.token = runtime_->make_cancel_token();
+      e.bytes = spec.bytes;
+      e.chunk_sizes = pi.chunk_sizes;
+      if (pi.staged) {
+        // The backward record of chunk c fires once the chunk left the
+        // staging device, i.e. the chunk is visible at the destination.
+        e.done_events = pi.bwd_events;
+      } else {
+        for (int c = 0; c < pi.spec.chunks; ++c) {
+          e.done_events.push_back(runtime_->create_event());
+        }
+      }
+    }
     bytes_by_kind_[spec.plan.kind] += spec.bytes;
     paths.push_back(std::move(pi));
+  }
+
+  // -- arm watchdogs ----------------------------------------------------------
+  // Deadlines are relative to issue start (staging acquisition included in
+  // the prepare loop above is charged to the transfer, not the deadline).
+  // The callback holds the shared MonitorState, not the coroutine frame, so
+  // a timer firing after the transfer completed is a harmless no-op.
+  if (mon != nullptr) {
+    sim::Engine& engine = runtime_->engine();
+    for (const PathIssue& pi : paths) {
+      if (!pi.monitored) continue;
+      const std::size_t i = pi.plan_index;
+      engine.schedule_callback(engine.now() + watch[i].deadline_s,
+                               [mon, i] { mon->on_deadline(i); });
+    }
   }
 
   // -- interleaved issue loop -------------------------------------------------
@@ -116,14 +231,24 @@ sim::Task<void> PipelineEngine::execute(gpusim::DeviceBuffer& dst,
   for (int r = 0; r < max_rounds; ++r) {
     for (PathIssue& pi : paths) {
       if (r >= pi.spec.chunks) continue;
+      // Stop feeding a path whose watchdog already gave up on it.
+      if (pi.monitored && mon->entries[pi.plan_index].timed_out) continue;
+      gpusim::CancelTokenPtr token =
+          pi.monitored ? mon->entries[pi.plan_index].token : nullptr;
       const std::size_t c = static_cast<std::size_t>(r);
       const std::size_t sz = pi.chunk_sizes[c];
       const std::size_t src_at = src_offset + pi.offset + pi.chunk_offsets[c];
       const std::size_t dst_at = dst_offset + pi.offset + pi.chunk_offsets[c];
       if (!pi.staged) {
-        runtime_->memcpy_async(dst, dst_at, src, src_at, sz,
-                               pi.first_stream);
+        runtime_->memcpy_async(dst, dst_at, src, src_at, sz, pi.first_stream,
+                               token);
         co_await issue_cost();
+        if (pi.monitored) {
+          MonitorState::Entry& e = mon->entries[pi.plan_index];
+          runtime_->record_event(e.done_events[c], pi.first_stream);
+          ++e.records_issued;
+          co_await issue_cost();
+        }
         continue;
       }
       gpusim::DeviceBuffer& stage = pi.lease.buffer();
@@ -134,7 +259,7 @@ sim::Task<void> PipelineEngine::execute(gpusim::DeviceBuffer& dst,
         co_await issue_cost();
       }
       runtime_->memcpy_async(stage, slot_off, src, src_at, sz,
-                             pi.first_stream);
+                             pi.first_stream, token);
       co_await issue_cost();
       runtime_->record_event(pi.fwd_events[c], pi.first_stream);
       co_await issue_cost();
@@ -145,9 +270,10 @@ sim::Task<void> PipelineEngine::execute(gpusim::DeviceBuffer& dst,
         co_await issue_cost();
       }
       runtime_->memcpy_async(dst, dst_at, stage, slot_off, sz,
-                             pi.second_stream);
+                             pi.second_stream, token);
       co_await issue_cost();
       runtime_->record_event(pi.bwd_events[c], pi.second_stream);
+      if (pi.monitored) ++mon->entries[pi.plan_index].records_issued;
       co_await issue_cost();
     }
   }
@@ -155,15 +281,27 @@ sim::Task<void> PipelineEngine::execute(gpusim::DeviceBuffer& dst,
   // -- completion ---------------------------------------------------------------
   // Staged paths first: their staging lease returns to the pool the moment
   // their own streams drain, so windowed transfers never hold buffers
-  // hostage while waiting for an unrelated (direct) slice to finish.
+  // hostage while waiting for an unrelated (direct) slice to finish. A
+  // timed-out path's streams drain too: its cancelled copies skip the data
+  // movement, so the synchronize below returns promptly instead of hanging.
   for (PathIssue& pi : paths) {
     if (!pi.staged) continue;
     co_await runtime_->synchronize(pi.second_stream);
+    const bool timed_out =
+        pi.monitored && mon->entries[pi.plan_index].timed_out;
     if (src.materialized() && dst.materialized() &&
         !pi.lease.buffer().materialized()) {
-      std::memcpy(dst.region(dst_offset + pi.offset, pi.spec.bytes).data(),
-                  src.region(src_offset + pi.offset, pi.spec.bytes).data(),
-                  pi.spec.bytes);
+      // Simulated staging buffer between materialized endpoints: land the
+      // payload in bulk — but only the delivered prefix of a path that was
+      // aborted mid-flight.
+      const std::size_t land =
+          timed_out
+              ? static_cast<std::size_t>(mon->entries[pi.plan_index].delivered)
+              : static_cast<std::size_t>(pi.spec.bytes);
+      if (land > 0) {
+        std::memcpy(dst.region(dst_offset + pi.offset, land).data(),
+                    src.region(src_offset + pi.offset, land).data(), land);
+      }
     }
     pi.lease.release();
   }
@@ -172,6 +310,27 @@ sim::Task<void> PipelineEngine::execute(gpusim::DeviceBuffer& dst,
     co_await runtime_->synchronize(pi.first_stream);
   }
   ++transfers_;
+
+  // -- assemble the outcome ---------------------------------------------------
+  TransferOutcome out;
+  out.paths.resize(plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    out.paths[i].bytes = plan[i].bytes;
+    out.paths[i].bytes_delivered = plan[i].bytes;  // default: fully delivered
+  }
+  if (mon != nullptr) {
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      MonitorState::Entry& e = mon->entries[i];
+      if (e.timed_out) {
+        out.paths[i].timed_out = true;
+        out.paths[i].bytes_delivered = e.delivered;
+        out.complete = false;
+      } else {
+        e.finished = true;  // disarm any still-pending watchdog timer
+      }
+    }
+  }
+  co_return out;
   // Leases release on scope exit, returning staging buffers to the pool.
 }
 

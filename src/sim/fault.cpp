@@ -1,0 +1,98 @@
+#include "mpath/sim/fault.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "mpath/sim/trace.hpp"
+#include "mpath/util/rng.hpp"
+
+namespace mpath::sim {
+
+double FaultInjector::capture_baseline(LinkId link) {
+  const auto it = baseline_.find(link);
+  if (it != baseline_.end()) return it->second;
+  const double cap = net_->link(link).capacity_bps;  // validates the id
+  baseline_.emplace(link, cap);
+  return cap;
+}
+
+double FaultInjector::baseline(LinkId link) const {
+  const auto it = baseline_.find(link);
+  if (it != baseline_.end()) return it->second;
+  return net_->link(link).capacity_bps;
+}
+
+void FaultInjector::schedule(Time t, LinkId link, double bps) {
+  if (t < engine_->now()) {
+    throw std::invalid_argument("FaultInjector: event time is in the past");
+  }
+  if (bps < 0.0) {
+    throw std::invalid_argument("FaultInjector: capacity must be >= 0");
+  }
+  ++scheduled_;
+  engine_->schedule_callback(t, [this, link, bps] {
+    net_->set_link_capacity(link, bps);
+    applied_.push_back(Applied{engine_->now(), link, bps});
+    if (tracer_ != nullptr) {
+      tracer_->add_instant("faults",
+                           net_->link(link).name + " -> " +
+                               std::to_string(bps) + " B/s",
+                           engine_->now());
+    }
+  });
+}
+
+void FaultInjector::set_capacity_at(Time t, LinkId link, double bps) {
+  capture_baseline(link);
+  schedule(t, link, bps);
+}
+
+void FaultInjector::degrade_at(Time t, LinkId link, double factor) {
+  if (factor < 0.0) {
+    throw std::invalid_argument("FaultInjector: degrade factor must be >= 0");
+  }
+  schedule(t, link, capture_baseline(link) * factor);
+}
+
+void FaultInjector::sever_at(Time t, LinkId link) { degrade_at(t, link, 0.0); }
+
+void FaultInjector::restore_at(Time t, LinkId link) {
+  schedule(t, link, capture_baseline(link));
+}
+
+void FaultInjector::flap(LinkId link, Time first_down, Time down_for,
+                         Time up_for, int cycles) {
+  if (down_for <= 0.0 || up_for <= 0.0) {
+    throw std::invalid_argument("FaultInjector: flap periods must be > 0");
+  }
+  Time t = first_down;
+  for (int c = 0; c < cycles; ++c) {
+    sever_at(t, link);
+    restore_at(t + down_for, link);
+    t += down_for + up_for;
+  }
+}
+
+void FaultInjector::random_plan(std::span<const LinkId> links,
+                                const RandomPlanOptions& opts,
+                                std::uint64_t seed) {
+  if (links.empty()) {
+    throw std::invalid_argument("FaultInjector: random plan needs links");
+  }
+  util::Rng rng(seed);
+  for (int i = 0; i < opts.faults; ++i) {
+    const LinkId link =
+        links[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(links.size()) - 1))];
+    const Time t = opts.start + rng.uniform(0.0, opts.horizon);
+    const bool sever = rng.uniform(0.0, 1.0) < opts.sever_probability;
+    const double factor =
+        sever ? 0.0 : rng.uniform(opts.min_factor, opts.max_factor);
+    degrade_at(t, link, factor);
+    if (rng.uniform(0.0, 1.0) < opts.restore_probability) {
+      restore_at(t + rng.uniform(opts.min_duration, opts.max_duration), link);
+    }
+  }
+}
+
+}  // namespace mpath::sim

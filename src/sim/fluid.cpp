@@ -40,6 +40,42 @@ const LinkSpec& FluidNetwork::link(LinkId id) const {
   return links_.at(id).spec;
 }
 
+void FluidNetwork::set_link_capacity(LinkId id, double bps) {
+  if (id >= links_.size()) {
+    throw std::out_of_range("FluidNetwork::set_link_capacity: bad LinkId");
+  }
+  if (bps < 0.0) {
+    throw std::invalid_argument(
+        "FluidNetwork::set_link_capacity: capacity must be >= 0 (" +
+        links_[id].spec.name + ")");
+  }
+  // Credit bytes streamed at the old rates before the capacity changes,
+  // then let the usual dirty-component machinery re-solve: only the
+  // component containing this link is touched.
+  progress_to_now();
+  links_[id].spec.capacity_bps = bps;
+  ++stats_.capacity_changes;
+  if (tracer_ != nullptr) {
+    tracer_->add_instant("fluid",
+                         "set_capacity " + links_[id].spec.name + " " +
+                             std::to_string(bps),
+                         engine_->now());
+  }
+  // A capacity change with no flows on the link still updates `allocated`
+  // bookkeeping, and zero-capacity links need their flows stalled, so mark
+  // dirty unconditionally.
+  mark_link_dirty(id);
+  request_resolve();
+}
+
+std::size_t FluidNetwork::stalled_flow_count() const {
+  std::size_t n = 0;
+  for (std::uint32_t slot : active_) {
+    if (flows_[slot].stalled) ++n;
+  }
+  return n;
+}
+
 double FluidNetwork::link_allocated_rate(LinkId id) const {
   if (id >= links_.size()) throw std::out_of_range("bad LinkId");
   // A same-time resolve may still be pending (coalescing); settle it now so
@@ -176,6 +212,10 @@ void FluidNetwork::resolve_dirty() {
       if (f.frozen_mark == visit_epoch_) continue;
       f.frozen_mark = visit_epoch_;
       f.rate = best_share;
+      // A zero-capacity (severed) bottleneck freezes its flows at rate 0;
+      // they stay live but stalled until the link is restored or they are
+      // cancelled, and must not participate in completion scheduling.
+      f.stalled = best_share <= 0.0;
       for (std::size_t i = 0; i < f.links.size(); ++i) {
         LinkState& ls = links_[f.links[i]];
         ls.residual -= best_share * f.mult[i];
@@ -273,6 +313,7 @@ void FluidNetwork::schedule_next_completion() {
   double min_dt = std::numeric_limits<double>::infinity();
   for (std::uint32_t slot : active_) {
     const Flow& f = flows_[slot];
+    if (f.stalled && f.rate <= 0.0) continue;  // waits for restore or cancel
     if (f.rate <= 0.0) {
       // Rates are always re-solved before this point; a live flow with no
       // rate means the solver regressed. Fail loudly instead of leaving the
@@ -286,6 +327,7 @@ void FluidNetwork::schedule_next_completion() {
     }
     min_dt = std::min(min_dt, std::max(0.0, f.remaining) / f.rate);
   }
+  if (!std::isfinite(min_dt)) return;  // every live flow is stalled
   const std::uint64_t gen = ++timer_generation_;
   engine_->schedule_callback(engine_->now() + min_dt,
                              [this, gen] { on_completion_timer(gen); });
@@ -395,6 +437,7 @@ std::uint32_t FluidNetwork::allocate_flow(const std::vector<LinkId>& route,
   f.bytes_total = bytes;
   f.done_eps = completion_eps(bytes);
   f.rate = 0.0;
+  f.stalled = false;
   f.done = std::move(owned);
   f.live = true;
   f.active_pos = static_cast<std::uint32_t>(active_.size());
@@ -431,6 +474,14 @@ bool FluidNetwork::cancel_flow(FlowId id) {
   Flow& f = flows_[slot];
   if (!f.live || f.gen != static_cast<std::uint32_t>(id >> 32)) return false;
   progress_to_now();  // account bytes delivered up to the cancel point
+  ++stats_.cancelled_flows;
+  if (tracer_ != nullptr) {
+    const Time now = engine_->now();
+    tracer_->add_instant("fluid", "cancel_flow slot=" + std::to_string(slot),
+                         now);
+    tracer_->add_counter("fluid", "cancelled_flows", now,
+                         static_cast<double>(stats_.cancelled_flows));
+  }
   if (f.done) f.done->fire();
   detach_flow(slot);  // marks the flow's links dirty
   request_resolve();

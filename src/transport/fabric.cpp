@@ -1,6 +1,7 @@
 #include "mpath/transport/fabric.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace mpath::transport {
 
@@ -60,10 +61,44 @@ sim::Task<void> Worker::send(int dst_rank, const gpusim::DeviceBuffer& buf,
   }
 
   // No recv posted yet: park in the receiver's unexpected queue.
-  sim::Latch done(fabric_->runtime_->engine());
+  sim::Engine& engine = fabric_->runtime_->engine();
+  sim::Latch done(engine);
   entry.done = &done;
+  entry.seq = ++receiver.next_seq_;
   receiver.unexpected_.push_back(entry);
+  // Rendezvous watchdog: a peer that never posts the matching recv would
+  // otherwise park this coroutine forever. The timer resolves the entry by
+  // its unique seq; if the entry already matched, the callback finds
+  // nothing and must not touch the (then dead) stack frame.
+  const double timeout = fabric_->options_.rendezvous_timeout_s;
+  bool timed_out = false;
+  if (timeout > 0.0 && bytes > fabric_->options_.eager_threshold) {
+    Worker* r = &receiver;
+    const std::uint64_t seq = entry.seq;
+    engine.schedule_callback(engine.now() + timeout,
+                             [r, seq, &done, &timed_out] {
+      for (auto it = r->unexpected_.begin(); it != r->unexpected_.end();
+           ++it) {
+        if (it->seq != seq) continue;
+        r->unexpected_.erase(it);
+        timed_out = true;
+        done.fire();
+        return;
+      }
+    });
+  }
   co_await done.wait();
+  if (timed_out) {
+    ++fabric_->rendezvous_timeouts_;
+    gpusim::TransferError::Info info;
+    info.detail = "rendezvous send to rank " + std::to_string(dst_rank) +
+                  " tag " + std::to_string(tag) + ": no matching recv";
+    info.bytes_requested = bytes;
+    info.bytes_delivered = 0;
+    info.elapsed_s = timeout;
+    throw gpusim::TransferError("Worker::send: rendezvous timeout",
+                                std::move(info));
+  }
 }
 
 sim::Task<void> Worker::recv(int src_rank, gpusim::DeviceBuffer& buf,
@@ -83,10 +118,38 @@ sim::Task<void> Worker::recv(int src_rank, gpusim::DeviceBuffer& buf,
     co_return;
   }
 
-  sim::Latch done(fabric_->runtime_->engine());
+  sim::Engine& engine = fabric_->runtime_->engine();
+  sim::Latch done(engine);
   entry.done = &done;
+  entry.seq = ++next_seq_;
   posted_.push_back(entry);
+  const double timeout = fabric_->options_.rendezvous_timeout_s;
+  bool timed_out = false;
+  if (timeout > 0.0 && bytes > fabric_->options_.eager_threshold) {
+    const std::uint64_t seq = entry.seq;
+    engine.schedule_callback(engine.now() + timeout,
+                             [this, seq, &done, &timed_out] {
+      for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+        if (it->seq != seq) continue;
+        posted_.erase(it);
+        timed_out = true;
+        done.fire();
+        return;
+      }
+    });
+  }
   co_await done.wait();
+  if (timed_out) {
+    ++fabric_->rendezvous_timeouts_;
+    gpusim::TransferError::Info info;
+    info.detail = "rendezvous recv from rank " + std::to_string(src_rank) +
+                  " tag " + std::to_string(tag) + ": no matching send";
+    info.bytes_requested = bytes;
+    info.bytes_delivered = 0;
+    info.elapsed_s = timeout;
+    throw gpusim::TransferError("Worker::recv: rendezvous timeout",
+                                std::move(info));
+  }
 }
 
 sim::Task<void> Worker::do_transfer(const SendEntry& send,

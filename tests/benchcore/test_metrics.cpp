@@ -34,3 +34,25 @@ TEST(Metrics, PredictedBandwidthMatchesConfigurator) {
       mt::PathPolicy::direct_only());
   EXPECT_NEAR(direct, gbps(46), 0.05 * gbps(46));
 }
+
+TEST(Metrics, DegradedRunMetricsSummarizesRecovery) {
+  mpath::pipeline::RecoveryStats st;
+  st.path_timeouts = 2;
+  st.replans = 1;
+  st.transfers_recovered = 1;
+  st.recovery_time_s = 0.25;
+  const auto m = bc::degraded_run_metrics(st, 1000, 1000, 2.0);
+  EXPECT_EQ(m.bytes_requested, 1000u);
+  EXPECT_EQ(m.bytes_delivered, 1000u);
+  EXPECT_DOUBLE_EQ(m.delivered_bandwidth, 500.0);
+  EXPECT_EQ(m.path_timeouts, 2u);
+  EXPECT_EQ(m.replans, 1u);
+  EXPECT_DOUBLE_EQ(m.recovery_time_s, 0.25);
+  EXPECT_TRUE(m.completed);
+
+  st.transfers_failed = 1;
+  const auto failed = bc::degraded_run_metrics(st, 1000, 400, 0.0);
+  EXPECT_FALSE(failed.completed);
+  EXPECT_EQ(failed.bytes_delivered, 400u);
+  EXPECT_DOUBLE_EQ(failed.delivered_bandwidth, 0.0);  // no elapsed time
+}

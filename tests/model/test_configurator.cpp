@@ -227,3 +227,48 @@ TEST(Configurator, ContentionFactorAppliesOnlyAboveThreshold) {
       cfg_clean.configure(g.gpus[0], g.gpus[1], big, paths);
   EXPECT_LT(with_big.paths[1].bytes, clean_big.paths[1].bytes);
 }
+
+// configure_over: the recovery re-planner's entry point. It accepts any
+// candidate ordering — in particular a staged-only survivor set after the
+// direct path died — anchors the rounding remainder on the first candidate,
+// and still assigns every byte.
+TEST(Configurator, ConfigureOverAcceptsStagedOnlySurvivors) {
+  Fixture f;
+  mm::PathConfigurator cfg(f.reg);
+  const auto all = f.paths(mt::PathPolicy::three_gpus_with_host());
+  // Drop the direct path, as the recovery policy does after its watchdog
+  // fires; survivors start with a staged path.
+  std::vector<mt::PathPlan> survivors(all.begin() + 1, all.end());
+  ASSERT_NE(survivors.front().kind, mt::PathKind::Direct);
+  // configure() refuses this ordering; configure_over() embraces it.
+  EXPECT_THROW(
+      (void)cfg.configure(f.gpus[0], f.gpus[1], 64u << 20, survivors),
+      std::invalid_argument);
+  const auto& c =
+      cfg.configure_over(f.gpus[0], f.gpus[1], 64u << 20, survivors);
+  EXPECT_EQ(sum_bytes(c), 64u << 20);
+  EXPECT_GT(c.paths.front().bytes, 0u);
+  for (const auto& share : c.paths) {
+    EXPECT_EQ(share.plan.kind == mt::PathKind::Direct, false);
+  }
+  EXPECT_GT(c.predicted_time, 0.0);
+}
+
+// configure() and configure_over() share one cache; distinct candidate
+// subsets must never collide on a cache entry.
+TEST(Configurator, ConfigureOverSubsetsDoNotCollideInCache) {
+  Fixture f;
+  mm::PathConfigurator cfg(f.reg);
+  const auto all = f.paths(mt::PathPolicy::three_gpus());
+  const std::uint64_t n = 32u << 20;
+  const auto& full = cfg.configure(f.gpus[0], f.gpus[1], n, all);
+  const auto full_direct_bytes = full.paths[0].bytes;
+  std::vector<mt::PathPlan> survivors(all.begin() + 1, all.end());
+  const auto& reduced = cfg.configure_over(f.gpus[0], f.gpus[1], n, survivors);
+  EXPECT_EQ(reduced.paths.size(), survivors.size());
+  EXPECT_EQ(sum_bytes(reduced), n);
+  // Re-request the full set: the cached entry is intact, not clobbered.
+  const auto& again = cfg.configure(f.gpus[0], f.gpus[1], n, all);
+  EXPECT_EQ(again.paths[0].bytes, full_direct_bytes);
+  EXPECT_EQ(again.paths.size(), all.size());
+}

@@ -1,0 +1,139 @@
+// Rendezvous watchdog: a large send or recv whose peer never shows up must
+// abort with gpusim::TransferError instead of parking its coroutine forever
+// (which would deadlock the simulation), while matched operations must never
+// be disturbed by their stale timers.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "mpath/pipeline/channels.hpp"
+#include "mpath/topo/system.hpp"
+#include "mpath/transport/fabric.hpp"
+#include "mpath/util/units.hpp"
+
+namespace mg = mpath::gpusim;
+namespace mp = mpath::pipeline;
+namespace ms = mpath::sim;
+namespace mt = mpath::topo;
+namespace mx = mpath::transport;
+using namespace mpath::util::literals;
+
+namespace {
+
+struct Fixture {
+  mt::System sys = [] {
+    auto s = mt::make_beluga();
+    s.costs.jitter_rel = 0;
+    return s;
+  }();
+  ms::Engine engine;
+  ms::FluidNetwork net{engine};
+  mg::GpuRuntime rt{sys, engine, net};
+  mp::PipelineEngine pipe{rt};
+  mp::SinglePathChannel channel{pipe};
+  mx::Fabric fabric;
+  std::vector<mt::DeviceId> gpus = sys.topology.gpus();
+
+  explicit Fixture(double timeout_s)
+      : fabric(rt, channel, [timeout_s] {
+          mx::TransportOptions o;
+          o.rendezvous_timeout_s = timeout_s;
+          return o;
+        }()) {
+    fabric.add_worker(0, gpus[0]);
+    fabric.add_worker(1, gpus[1]);
+  }
+};
+
+/// Run `op`, capturing a TransferError if it throws one.
+ms::Task<void> capture(ms::Task<void> op,
+                       std::optional<mg::TransferError::Info>& out) {
+  try {
+    co_await std::move(op);
+  } catch (const mg::TransferError& e) {
+    out = e.info();
+  }
+}
+
+}  // namespace
+
+TEST(Timeouts, UnmatchedRendezvousSendAborts) {
+  Fixture f(/*timeout_s=*/0.01);
+  mg::DeviceBuffer src(f.gpus[0], 4_MiB);
+  std::optional<mg::TransferError::Info> err;
+  f.engine.spawn(capture(f.fabric.worker(0).send(1, src, 0, 4_MiB, 3), err),
+                 "send");
+  f.engine.run();
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->bytes_requested, 4_MiB);
+  EXPECT_EQ(err->bytes_delivered, 0u);
+  EXPECT_NEAR(err->elapsed_s, 0.01, 1e-9);
+  EXPECT_EQ(f.fabric.rendezvous_timeouts(), 1u);
+  // The parked entry is gone: a recv posted afterwards must not match it.
+  EXPECT_EQ(f.fabric.worker(1).unexpected_count(), 0u);
+  EXPECT_NEAR(f.engine.now(), 0.01, 1e-9);
+}
+
+TEST(Timeouts, UnmatchedRendezvousRecvAborts) {
+  Fixture f(/*timeout_s=*/0.02);
+  mg::DeviceBuffer dst(f.gpus[1], 4_MiB);
+  std::optional<mg::TransferError::Info> err;
+  f.engine.spawn(capture(f.fabric.worker(1).recv(0, dst, 0, 4_MiB, 3), err),
+                 "recv");
+  f.engine.run();
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->bytes_requested, 4_MiB);
+  EXPECT_EQ(err->bytes_delivered, 0u);
+  EXPECT_EQ(f.fabric.rendezvous_timeouts(), 1u);
+  EXPECT_EQ(f.fabric.worker(1).posted_count(), 0u);
+}
+
+// A match that lands before the deadline completes normally; the stale
+// timer later finds nothing to cancel and must not disturb anything.
+TEST(Timeouts, MatchedBeforeDeadlineIsUndisturbed) {
+  Fixture f(/*timeout_s=*/0.5);
+  mg::DeviceBuffer src(f.gpus[0], 4_MiB), dst(f.gpus[1], 4_MiB);
+  src.fill_pattern(33);
+  std::optional<mg::TransferError::Info> send_err, recv_err;
+  f.engine.spawn(capture(f.fabric.worker(0).send(1, src, 0, 4_MiB, 9),
+                         send_err),
+                 "send");
+  f.engine.spawn([](Fixture& fx, mg::DeviceBuffer& d,
+                    std::optional<mg::TransferError::Info>& e)
+                     -> ms::Task<void> {
+    co_await fx.engine.delay(0.01);  // recv arrives well inside the window
+    co_await capture(fx.fabric.worker(1).recv(0, d, 0, 4_MiB, 9), e);
+  }(f, dst, recv_err), "recv");
+  f.engine.run();
+  EXPECT_FALSE(send_err.has_value());
+  EXPECT_FALSE(recv_err.has_value());
+  EXPECT_TRUE(dst.same_content(src));
+  EXPECT_EQ(f.fabric.rendezvous_timeouts(), 0u);
+  // The stale timer still had to fire before the engine went quiet.
+  EXPECT_GE(f.engine.now(), 0.5 - 1e-9);
+}
+
+// Eager-sized messages are exempt: the timeout applies only to rendezvous
+// traffic, so a small unmatched send still parks (legacy deadlock
+// detection reports it rather than a spurious timeout abort).
+TEST(Timeouts, EagerMessagesAreExempt) {
+  Fixture f(/*timeout_s=*/0.01);
+  mg::DeviceBuffer src(f.gpus[0], 1_KiB);
+  std::optional<mg::TransferError::Info> err;
+  f.engine.spawn(capture(f.fabric.worker(0).send(1, src, 0, 1_KiB, 3), err),
+                 "send");
+  EXPECT_THROW(f.engine.run(), ms::SimError);
+  EXPECT_FALSE(err.has_value());
+  EXPECT_EQ(f.fabric.rendezvous_timeouts(), 0u);
+}
+
+TEST(Timeouts, ZeroTimeoutKeepsLegacyBehaviour) {
+  Fixture f(/*timeout_s=*/0.0);
+  mg::DeviceBuffer src(f.gpus[0], 4_MiB);
+  std::optional<mg::TransferError::Info> err;
+  f.engine.spawn(capture(f.fabric.worker(0).send(1, src, 0, 4_MiB, 3), err),
+                 "send");
+  EXPECT_THROW(f.engine.run(), ms::SimError);  // deadlock, not TransferError
+  EXPECT_FALSE(err.has_value());
+  EXPECT_EQ(f.fabric.rendezvous_timeouts(), 0u);
+}
