@@ -1,0 +1,106 @@
+// End-to-end churn through the pipeline engine: W concurrent workers each
+// push a stream of multi-path chunked transfers (direct + GPU-staged) over
+// a shared topology. Unlike BM_FluidSharedLinkChurn this pays the full
+// stack — host issue costs, stream/event machinery, watchdog monitoring,
+// fluid re-solves — so it measures what callback batching actually buys a
+// collective-sized workload.
+//
+//   items_per_second    == transfers/s end to end
+//   counters["events"]  == engine events processed per transfer (the
+//                          batching win shows up here)
+//   counters["resolves"]== fluid rate re-solves per transfer
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mpath/pipeline/engine.hpp"
+#include "mpath/topo/system.hpp"
+#include "mpath/util/units.hpp"
+
+namespace mg = mpath::gpusim;
+namespace mp = mpath::pipeline;
+namespace ms = mpath::sim;
+namespace mt = mpath::topo;
+using namespace mpath::util::literals;
+
+namespace {
+
+ms::FluidNetwork::SolverMode mode_arg(const benchmark::State& state) {
+  return state.range(1) == 0 ? ms::FluidNetwork::SolverMode::kFull
+                             : ms::FluidNetwork::SolverMode::kIncremental;
+}
+
+ms::Task<void> worker_loop(mp::PipelineEngine& pipe, mg::DeviceBuffer& dst,
+                           const mg::DeviceBuffer& src, mt::DeviceId stage,
+                           int repeats, bool monitored) {
+  for (int r = 0; r < repeats; ++r) {
+    mp::ExecPlan plan{
+        mp::ExecPath{{mt::PathKind::Direct, mt::kInvalidDevice}, 2_MiB, 8},
+        mp::ExecPath{{mt::PathKind::GpuStaged, stage}, 2_MiB, 8},
+    };
+    std::vector<mp::PathWatch> watch;
+    if (monitored) watch = {{/*deadline_s=*/10.0}, {/*deadline_s=*/10.0}};
+    (void)co_await pipe.execute_monitored(dst, 0, src, 0, std::move(plan),
+                                          std::move(watch));
+  }
+}
+
+}  // namespace
+
+// range(0) = concurrent workers, range(1) = solver mode, range(2) = whether
+// paths run under (never-firing) watchdogs — the monitored variant is the
+// recovery-enabled configuration, where per-chunk progress accounting used
+// to cost extra events.
+static void BM_PipelineChurn(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  const bool monitored = state.range(2) != 0;
+  const int repeats = 4;
+  std::uint64_t transfers = 0, events = 0;
+  ms::FluidNetwork::SolverStats last{};
+  for (auto _ : state) {
+    mt::System sys = mt::make_beluga();
+    sys.costs.jitter_rel = 0;
+    ms::Engine engine;
+    ms::FluidNetwork net(engine);
+    net.set_solver_mode(mode_arg(state));
+    mg::GpuRuntime rt(sys, engine, net);
+    mp::PipelineEngine pipe(rt, /*staging_buffers_per_device=*/64,
+                            mg::Payload::Simulated);
+    const std::vector<mt::DeviceId> gpus = sys.topology.gpus();
+    const int n = static_cast<int>(gpus.size());
+    std::vector<std::unique_ptr<mg::DeviceBuffer>> bufs;
+    for (int w = 0; w < workers; ++w) {
+      const mt::DeviceId s = gpus[w % n];
+      const mt::DeviceId d = gpus[(w + 1) % n];
+      const mt::DeviceId stage = gpus[(w + 2) % n];
+      bufs.push_back(std::make_unique<mg::DeviceBuffer>(
+          s, 4_MiB, mg::Payload::Simulated));
+      bufs.push_back(std::make_unique<mg::DeviceBuffer>(
+          d, 4_MiB, mg::Payload::Simulated));
+      auto& src = *bufs[bufs.size() - 2];
+      auto& dst = *bufs[bufs.size() - 1];
+      engine.spawn(worker_loop(pipe, dst, src, stage, repeats, monitored),
+                   "worker");
+    }
+    events += engine.run();
+    transfers += static_cast<std::uint64_t>(workers) * repeats;
+    last = net.stats();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(transfers));
+  state.SetLabel(std::string(state.range(1) == 0 ? "mode:full" : "mode:incr") +
+                 (monitored ? " monitored" : " plain"));
+  state.counters["events"] =
+      static_cast<double>(events) / static_cast<double>(transfers);
+  state.counters["resolves"] = static_cast<double>(last.resolves);
+  state.counters["coalesced"] = static_cast<double>(last.coalesced);
+}
+BENCHMARK(BM_PipelineChurn)
+    ->Args({8, 1, 0})
+    ->Args({8, 1, 1})
+    ->Args({32, 0, 1})
+    ->Args({32, 1, 0})
+    ->Args({32, 1, 1});
+
+BENCHMARK_MAIN();

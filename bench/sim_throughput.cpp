@@ -86,6 +86,8 @@ static void BM_FluidConcurrentFlows(benchmark::State& state) {
 BENCHMARK(BM_FluidConcurrentFlows)
     ->Args({16, 0})
     ->Args({16, 1})
+    ->Args({128, 0})
+    ->Args({128, 1})
     ->Args({256, 0})
     ->Args({256, 1});
 

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -82,17 +83,24 @@ class GpuRuntime {
   [[nodiscard]] CancelTokenPtr make_cancel_token() const;
 
   // -- stream operations (enqueue, non-blocking) ----------------------------
+  /// Completion hook for memcpy_async: runs at the simulated instant the
+  /// copy finishes, with `delivered == false` when the copy was cancelled
+  /// (drained without moving data). Lets callers observe per-chunk progress
+  /// passively instead of enqueueing an extra event record per chunk.
+  using DoneHook = std::function<void(bool delivered)>;
+
   /// Copy `len` bytes between buffer regions along the topology route from
   /// src.device() to dst.device(). Payload bytes are copied at completion
   /// time. Both buffers must outlive the operation. A non-null `token`
   /// makes the copy abortable: token->cancel() kills the in-flight fluid
   /// flow (partial link bytes stay accounted, payload is not copied) and
   /// turns not-yet-started governed copies into no-ops, so a stream backed
-  /// by a severed link drains instead of stalling forever.
+  /// by a severed link drains instead of stalling forever. A non-null
+  /// `on_done` is invoked once at copy completion (delivered or drained).
   void memcpy_async(DeviceBuffer& dst, std::size_t dst_offset,
                     const DeviceBuffer& src, std::size_t src_offset,
                     std::size_t len, StreamId stream,
-                    CancelTokenPtr token = nullptr);
+                    CancelTokenPtr token = nullptr, DoneHook on_done = {});
   /// Record `event` at the current tail of `stream` (CUDA semantics: a
   /// later wait_event observes this record).
   void record_event(EventId event, StreamId stream);
@@ -167,7 +175,7 @@ class GpuRuntime {
       std::shared_ptr<sim::Latch> prev, std::shared_ptr<sim::Latch> done,
       DeviceBuffer& dst, std::size_t dst_offset, const DeviceBuffer& src,
       std::size_t src_offset, std::size_t len, StreamId stream,
-      CancelTokenPtr token);
+      CancelTokenPtr token, DoneHook on_done);
 
   [[nodiscard]] std::string stream_track(StreamId stream) const;
 

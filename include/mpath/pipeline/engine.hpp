@@ -83,9 +83,9 @@ class PipelineEngine {
   /// it, and the outcome reports the delivered contiguous prefix — so a
   /// transfer over a severed link returns (with partial-progress accounting)
   /// instead of hanging. `watch` must be empty (no monitoring) or the same
-  /// length as `plan`. Monitored direct paths pay one extra event record per
-  /// chunk for progress accounting; unmonitored paths behave exactly as in
-  /// execute().
+  /// length as `plan`. Progress accounting is passive (per-chunk completion
+  /// hooks on direct paths, the existing backward event records on staged
+  /// paths), so monitoring does not change a path's completion time.
   [[nodiscard]] sim::Task<TransferOutcome> execute_monitored(
       gpusim::DeviceBuffer& dst, std::size_t dst_offset,
       const gpusim::DeviceBuffer& src, std::size_t src_offset, ExecPlan plan,

@@ -16,7 +16,10 @@
 // Re-solves triggered within one simulated timestamp are additionally
 // coalesced into a single pass: a burst of k same-time chunk completions or
 // starts (the pipeline engine's common case at large chunk counts) costs one
-// rate solve instead of k. The original whole-network solver is retained as
+// rate solve instead of k. Within a pass, bottleneck selection runs over a
+// lazily-invalidated min-heap keyed by (fair share, LinkId) instead of a
+// linear rescan, so a component of n links water-fills in O(n log n) rather
+// than O(n^2). The original whole-network solver is retained as
 // `SolverMode::kFull` — both a behavioural baseline for benchmarks and a
 // reference oracle (`set_self_check`) that property tests compare against.
 #pragma once
@@ -59,6 +62,8 @@ class FluidNetwork {
     std::uint64_t full_resolves = 0;     ///< passes that visited every link
     std::uint64_t flows_resolved = 0;    ///< flow-rate assignments summed
     std::uint64_t links_resolved = 0;    ///< component link visits summed
+    std::uint64_t heap_pushes = 0;   ///< bottleneck-heap entries pushed
+    std::uint64_t heap_reinserts = 0;  ///< stale keys re-queued on pop
     std::uint64_t timers_fired = 0;      ///< completion timers processed
     std::uint64_t timers_stale = 0;      ///< superseded timers discarded
     std::uint64_t cancelled_flows = 0;   ///< flows aborted via cancel_flow
@@ -192,9 +197,18 @@ class FluidNetwork {
   std::vector<Flow> flows_;                  ///< slot-addressed storage
   std::vector<std::uint32_t> free_slots_;
   std::vector<std::uint32_t> active_;        ///< dense list of live slots
+  /// Bottleneck-selection heap entry: the link's fair share at push time.
+  /// Keys only ever grow as flows freeze, so stale entries are detected by
+  /// recomputing the share on pop (lazy invalidation).
+  struct HeapEntry {
+    double share;
+    LinkId link;
+  };
+
   std::vector<LinkId> dirty_links_;
   std::vector<LinkId> comp_links_;           ///< resolve scratch
   std::vector<std::uint32_t> comp_flows_;    ///< resolve scratch
+  std::vector<HeapEntry> heap_;              ///< bottleneck-selection scratch
   std::uint64_t dirty_epoch_ = 1;  ///< bumps when dirty_links_ drains
   std::uint64_t visit_epoch_ = 0;  ///< bumps per resolve pass
   bool resolve_pending_ = false;

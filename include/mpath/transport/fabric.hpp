@@ -7,7 +7,10 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "mpath/gpusim/channel.hpp"
@@ -62,18 +65,51 @@ class Fabric {
   [[nodiscard]] std::uint64_t rendezvous_timeouts() const {
     return rendezvous_timeouts_;
   }
+  /// NACK control messages emitted by timed-out rendezvous operations.
+  [[nodiscard]] std::uint64_t nacks_sent() const { return nacks_sent_; }
+  /// NACKs that arrived after their channel already re-matched (no-ops).
+  [[nodiscard]] std::uint64_t nacks_stale() const { return nacks_stale_; }
+  /// Distinct wakeup deadlines that got their own engine event.
+  [[nodiscard]] std::uint64_t wakeups_scheduled() const {
+    return wakeups_scheduled_;
+  }
+  /// Wakeups absorbed into an already-scheduled same-deadline event.
+  [[nodiscard]] std::uint64_t wakeups_coalesced() const {
+    return wakeups_coalesced_;
+  }
 
  private:
   friend class Worker;
+
+  /// Same-deadline coalescing slot: every eager delivery, rendezvous
+  /// handshake delay, and watchdog deadline that lands on the same absolute
+  /// time shares one engine event. Waiters park on the (lazily created)
+  /// latch; callbacks queue in `fns`.
+  struct Wake {
+    std::shared_ptr<sim::Latch> latch;
+    std::vector<std::function<void()>> fns;
+  };
+  Wake& wake_slot(double t);
+  /// Suspend until absolute time `t`, sharing the event with every other
+  /// waiter on the same deadline.
+  [[nodiscard]] sim::Task<void> wake_at(double t);
+  /// Invoke `fn` at absolute time `t`, coalesced per distinct deadline.
+  void call_at(double t, std::function<void()> fn);
+
   gpusim::GpuRuntime* runtime_;
   gpusim::DataChannel* channel_;
   TransportOptions options_;
   std::vector<std::unique_ptr<Worker>> workers_;
+  std::map<double, Wake> wakes_;
   std::uint64_t messages_ = 0;
   std::uint64_t bytes_ = 0;
   std::uint64_t rendezvous_ = 0;
   std::uint64_t eager_ = 0;
   std::uint64_t rendezvous_timeouts_ = 0;
+  std::uint64_t nacks_sent_ = 0;
+  std::uint64_t nacks_stale_ = 0;
+  std::uint64_t wakeups_scheduled_ = 0;
+  std::uint64_t wakeups_coalesced_ = 0;
 };
 
 class Worker {
@@ -104,8 +140,14 @@ class Worker {
     return unexpected_.size();
   }
   [[nodiscard]] std::size_t posted_count() const { return posted_.size(); }
+  /// NACK records currently waiting to fail a future matching operation.
+  [[nodiscard]] std::size_t pending_nack_count() const {
+    return nacks_.size();
+  }
 
  private:
+  friend class Fabric;
+
   struct SendEntry {
     int src_rank;
     int tag;
@@ -114,7 +156,8 @@ class Worker {
     std::size_t offset;
     topo::DeviceId src_device;
     sim::Latch* done;
-    std::uint64_t seq = 0;  ///< unique id for timeout cancellation
+    std::uint64_t seq = 0;    ///< unique id for timeout / NACK resolution
+    bool* nacked = nullptr;   ///< set before fire() when killed by a NACK
   };
   struct RecvEntry {
     int src_rank;  // kAnySource allowed
@@ -123,8 +166,31 @@ class Worker {
     gpusim::DeviceBuffer* buf;
     std::size_t offset;
     sim::Latch* done;
-    std::uint64_t seq = 0;  ///< unique id for timeout cancellation
+    std::uint64_t seq = 0;    ///< unique id for timeout / NACK resolution
+    bool* nacked = nullptr;   ///< set before fire() when killed by a NACK
   };
+
+  /// Control message making a rendezvous timeout symmetric: when one side
+  /// of a channel aborts, the peer's side of the same (src, tag) channel
+  /// must observe the same failure. All state for the channel S->R lives at
+  /// the receiver-side worker R (both parked sends and parked recvs queue
+  /// there), so NACKs are delivered to R regardless of which side died.
+  struct Nack {
+    int src_rank;        ///< sender rank of the failed channel (concrete)
+    int tag;             ///< failed op's tag (concrete)
+    std::uint64_t seq;   ///< dead entry's id in this worker's seq space
+    bool from_send;      ///< true: a parked send died (fails the recv side);
+                         ///< false: a parked recv died (fails future sends)
+  };
+
+  /// A successful match on channel (src, tag) advances the high-water mark
+  /// and purges NACK records it supersedes: a NACK whose seq is at or below
+  /// the mark refers to an already-resolved exchange and must be a no-op.
+  void note_matched(int src, int tag, std::uint64_t seq);
+  [[nodiscard]] bool nack_is_stale(const Nack& n) const;
+  /// Deliver a NACK at this worker: kill a matching parked entry if one
+  /// exists, otherwise record it to fail the next matching operation.
+  void deliver_nack(Nack n);
 
   /// Move the payload for a matched (send, recv) pair; runs on whichever
   /// side arrived second.
@@ -136,7 +202,10 @@ class Worker {
   topo::DeviceId device_;
   std::deque<SendEntry> unexpected_;  // sends awaiting a matching recv
   std::deque<RecvEntry> posted_;      // recvs awaiting a matching send
-  std::uint64_t next_seq_ = 0;        // parked-entry ids (timeouts)
+  std::deque<Nack> nacks_;            // undelivered peer-failure records
+  // Highest parked-entry seq completed per concrete (src, tag) channel.
+  std::map<std::pair<int, int>, std::uint64_t> matched_hwm_;
+  std::uint64_t next_seq_ = 0;        // parked-entry ids (timeouts/NACKs)
 };
 
 }  // namespace mpath::transport

@@ -68,9 +68,11 @@ sim::Task<void> GpuRuntime::run_copy(std::shared_ptr<sim::Latch> prev,
                                      DeviceBuffer& dst, std::size_t dst_offset,
                                      const DeviceBuffer& src,
                                      std::size_t src_offset, std::size_t len,
-                                     StreamId stream, CancelTokenPtr token) {
+                                     StreamId stream, CancelTokenPtr token,
+                                     DoneHook on_done) {
   co_await prev->wait();
   if (token && token->cancelled()) {
+    if (on_done) on_done(false);
     done->fire();  // drain without moving data or paying dispatch latency
     co_return;
   }
@@ -127,6 +129,7 @@ sim::Task<void> GpuRuntime::run_copy(std::shared_ptr<sim::Latch> prev,
                           topology().device(dst.device()).name,
                       trace_start, engine_->now());
   }
+  if (on_done) on_done(delivered);
   done->fire();
 }
 
@@ -138,7 +141,7 @@ std::string GpuRuntime::stream_track(StreamId stream) const {
 void GpuRuntime::memcpy_async(DeviceBuffer& dst, std::size_t dst_offset,
                               const DeviceBuffer& src, std::size_t src_offset,
                               std::size_t len, StreamId stream,
-                              CancelTokenPtr token) {
+                              CancelTokenPtr token, DoneHook on_done) {
   // Validate regions eagerly: misuse should fail at the call site, not at
   // some later simulated instant.
   dst.check_region(dst_offset, len);
@@ -147,7 +150,8 @@ void GpuRuntime::memcpy_async(DeviceBuffer& dst, std::size_t dst_offset,
                       std::shared_ptr<sim::Latch> prev,
                       std::shared_ptr<sim::Latch> done) {
     return run_copy(std::move(prev), std::move(done), dst, dst_offset, src,
-                    src_offset, len, stream, std::move(token));
+                    src_offset, len, stream, std::move(token),
+                    std::move(on_done));
   });
 }
 

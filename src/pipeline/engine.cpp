@@ -20,20 +20,24 @@ struct MonitorState {
     std::vector<std::size_t> chunk_sizes;
     std::size_t records_issued = 0;  ///< completion records enqueued so far
     std::uint64_t bytes = 0;
-    std::uint64_t delivered = 0;
+    std::uint64_t delivered = 0;  ///< direct: running total fed by DoneHooks
+    bool staged = false;
     bool finished = false;
     bool timed_out = false;
   };
   gpusim::GpuRuntime* rt = nullptr;
   std::vector<Entry> entries;  ///< parallel to the caller's plan
 
-  // Contiguous delivered prefix: streams are in-order, so chunk completions
-  // form a prefix; stop at the first unfired completion record. Only events
-  // whose record has been *enqueued* are consulted — a freshly created
-  // event reads as fired (CUDA never-recorded semantics) and must not count
-  // until record_event re-arms it.
+  // Contiguous delivered prefix. Direct paths accumulate it passively: each
+  // chunk's memcpy_async carries a DoneHook that adds the chunk size on
+  // delivery (streams are in-order, so the sum is always a prefix), costing
+  // no extra events. Staged paths poll the backward event records; only
+  // events whose record has been *enqueued* are consulted — a freshly
+  // created event reads as fired (CUDA never-recorded semantics) and must
+  // not count until record_event re-arms it.
   [[nodiscard]] std::uint64_t delivered_prefix(std::size_t i) const {
     const Entry& e = entries[i];
+    if (!e.staged) return e.delivered;
     std::uint64_t sum = 0;
     const std::size_t n = std::min(e.records_issued, e.done_events.size());
     for (std::size_t c = 0; c < n; ++c) {
@@ -191,15 +195,14 @@ sim::Task<TransferOutcome> PipelineEngine::execute_monitored(
       e.token = runtime_->make_cancel_token();
       e.bytes = spec.bytes;
       e.chunk_sizes = pi.chunk_sizes;
+      e.staged = pi.staged;
       if (pi.staged) {
         // The backward record of chunk c fires once the chunk left the
         // staging device, i.e. the chunk is visible at the destination.
         e.done_events = pi.bwd_events;
-      } else {
-        for (int c = 0; c < pi.spec.chunks; ++c) {
-          e.done_events.push_back(runtime_->create_event());
-        }
       }
+      // Direct paths need no events at all: each chunk's copy reports its
+      // own completion through a DoneHook (see the issue loop below).
     }
     bytes_by_kind_[spec.plan.kind] += spec.bytes;
     paths.push_back(std::move(pi));
@@ -240,15 +243,17 @@ sim::Task<TransferOutcome> PipelineEngine::execute_monitored(
       const std::size_t src_at = src_offset + pi.offset + pi.chunk_offsets[c];
       const std::size_t dst_at = dst_offset + pi.offset + pi.chunk_offsets[c];
       if (!pi.staged) {
-        runtime_->memcpy_async(dst, dst_at, src, src_at, sz, pi.first_stream,
-                               token);
-        co_await issue_cost();
+        // Progress accounting rides the copy's own completion instead of an
+        // extra per-chunk event record: monitoring a direct path is free.
+        gpusim::GpuRuntime::DoneHook hook;
         if (pi.monitored) {
-          MonitorState::Entry& e = mon->entries[pi.plan_index];
-          runtime_->record_event(e.done_events[c], pi.first_stream);
-          ++e.records_issued;
-          co_await issue_cost();
+          hook = [mon, i = pi.plan_index, sz](bool delivered) {
+            if (delivered) mon->entries[i].delivered += sz;
+          };
         }
+        runtime_->memcpy_async(dst, dst_at, src, src_at, sz, pi.first_stream,
+                               token, std::move(hook));
+        co_await issue_cost();
         continue;
       }
       gpusim::DeviceBuffer& stage = pi.lease.buffer();

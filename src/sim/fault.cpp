@@ -1,7 +1,9 @@
 #include "mpath/sim/fault.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
+#include <vector>
 
 #include "mpath/sim/trace.hpp"
 #include "mpath/util/rng.hpp"
@@ -79,19 +81,58 @@ void FaultInjector::random_plan(std::span<const LinkId> links,
   if (links.empty()) {
     throw std::invalid_argument("FaultInjector: random plan needs links");
   }
-  util::Rng rng(seed);
+  if (opts.idle_weight <= 0.0) {
+    throw std::invalid_argument("FaultInjector: idle_weight must be > 0");
+  }
+  if (opts.min_factor < 0.0 || opts.max_factor < opts.min_factor) {
+    throw std::invalid_argument("FaultInjector: bad degrade factor range");
+  }
+  if (opts.min_duration < 0.0 || opts.max_duration < opts.min_duration) {
+    throw std::invalid_argument("FaultInjector: bad restore duration range");
+  }
+  for (LinkId l : links) capture_baseline(l);  // validates ids at call time
+  // Fault *times* are fixed up front by the seed, but each fault's *target*
+  // is drawn only when it fires, weighted by the links' utilization
+  // (allocated/capacity) at that instant plus a floor of idle_weight — so
+  // soaks preferentially stress the links actually carrying traffic while
+  // idle links stay reachable. The RNG is shared across the plan's
+  // callbacks and consumed in deterministic event order, so one seed still
+  // yields one schedule.
+  auto rng = std::make_shared<util::Rng>(seed);
+  auto targets = std::make_shared<std::vector<LinkId>>(links.begin(),
+                                                       links.end());
   for (int i = 0; i < opts.faults; ++i) {
-    const LinkId link =
-        links[static_cast<std::size_t>(rng.uniform_int(
-            0, static_cast<std::int64_t>(links.size()) - 1))];
-    const Time t = opts.start + rng.uniform(0.0, opts.horizon);
-    const bool sever = rng.uniform(0.0, 1.0) < opts.sever_probability;
-    const double factor =
-        sever ? 0.0 : rng.uniform(opts.min_factor, opts.max_factor);
-    degrade_at(t, link, factor);
-    if (rng.uniform(0.0, 1.0) < opts.restore_probability) {
-      restore_at(t + rng.uniform(opts.min_duration, opts.max_duration), link);
+    const Time t = opts.start + rng->uniform(0.0, opts.horizon);
+    if (t < engine_->now()) {
+      throw std::invalid_argument("FaultInjector: event time is in the past");
     }
+    engine_->schedule_callback(t, [this, rng, targets, opts] {
+      double total = 0.0;
+      std::vector<double> cumulative;
+      cumulative.reserve(targets->size());
+      for (LinkId l : *targets) {
+        const double cap = net_->link(l).capacity_bps;
+        const double util =
+            cap > 0.0 ? net_->link_allocated_rate(l) / cap : 0.0;
+        total += opts.idle_weight + util;
+        cumulative.push_back(total);
+      }
+      const double draw = rng->uniform(0.0, total);
+      std::size_t pick = static_cast<std::size_t>(
+          std::lower_bound(cumulative.begin(), cumulative.end(), draw) -
+          cumulative.begin());
+      if (pick >= targets->size()) pick = targets->size() - 1;
+      const LinkId link = (*targets)[pick];
+      const bool sever = rng->uniform(0.0, 1.0) < opts.sever_probability;
+      const double factor =
+          sever ? 0.0 : rng->uniform(opts.min_factor, opts.max_factor);
+      degrade_at(engine_->now(), link, factor);
+      if (rng->uniform(0.0, 1.0) < opts.restore_probability) {
+        restore_at(
+            engine_->now() + rng->uniform(opts.min_duration, opts.max_duration),
+            link);
+      }
+    });
   }
 }
 

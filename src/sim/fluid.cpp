@@ -186,28 +186,50 @@ void FluidNetwork::resolve_dirty() {
       links_[f.links[i]].unfrozen_mult += f.mult[i];
     }
   }
+  // Bottleneck selection runs over a min-heap keyed by (fair share, LinkId)
+  // instead of rescanning every component link per round, so a component of
+  // n links water-fills in O(n log n) rather than O(n^2). Keys are lazily
+  // invalidated: freezing a bottleneck's flows at share s can only *raise*
+  // a surviving link's share ((r - s*m) / (u - m) >= r/u whenever
+  // s <= r/u), so a popped entry whose stored key is below the link's
+  // current share is stale — re-queue it under the fresh key and pop again.
+  // The LinkId tie-break freezes equal-share bottlenecks in the same
+  // ascending order as the kFull oracle's linear scan, keeping freeze order
+  // (and therefore floating-point rate arithmetic) aligned across modes.
+  const auto heap_later = [](const HeapEntry& a, const HeapEntry& b) {
+    if (a.share != b.share) return a.share > b.share;
+    return a.link > b.link;
+  };
+  heap_.clear();
+  for (LinkId l : comp_links_) {
+    const LinkState& ls = links_[l];
+    if (ls.unfrozen_mult <= 0.0) continue;
+    heap_.push_back(HeapEntry{ls.residual / ls.unfrozen_mult, l});
+  }
+  std::make_heap(heap_.begin(), heap_.end(), heap_later);
+  stats_.heap_pushes += heap_.size();
   std::size_t unfrozen = comp_flows_.size();
   while (unfrozen > 0) {
-    // Bottleneck link: smallest fair share among links that still carry
-    // unfrozen flows (links outside the component are never scanned).
-    double best_share = std::numeric_limits<double>::infinity();
-    LinkId best = static_cast<LinkId>(links_.size());
-    for (LinkId l : comp_links_) {
-      const LinkState& ls = links_[l];
-      if (ls.unfrozen_mult <= 0.0) continue;
-      const double share = ls.residual / ls.unfrozen_mult;
-      if (share < best_share) {
-        best_share = share;
-        best = l;
-      }
-    }
-    if (best >= links_.size()) {
+    if (heap_.empty()) {
       throw std::logic_error(
           "FluidNetwork: water-filling found no bottleneck for " +
           std::to_string(unfrozen) + " unfrozen flow(s)");
     }
+    std::pop_heap(heap_.begin(), heap_.end(), heap_later);
+    const HeapEntry top = heap_.back();
+    heap_.pop_back();
+    LinkState& bls = links_[top.link];
+    if (bls.unfrozen_mult <= 0.0) continue;  // fully frozen since pushed
+    const double best_share = bls.residual / bls.unfrozen_mult;
+    if (best_share > top.share) {
+      heap_.push_back(HeapEntry{best_share, top.link});
+      std::push_heap(heap_.begin(), heap_.end(), heap_later);
+      ++stats_.heap_pushes;
+      ++stats_.heap_reinserts;
+      continue;
+    }
     // Freeze every unfrozen flow through the bottleneck at its fair share.
-    for (const LinkEntry& e : links_[best].entries) {
+    for (const LinkEntry& e : bls.entries) {
       Flow& f = flows_[e.flow];
       if (f.frozen_mark == visit_epoch_) continue;
       f.frozen_mark = visit_epoch_;

@@ -123,6 +123,38 @@ TEST(Engine, UnjoinedFailureSurfacesAtRun) {
   EXPECT_THROW(e.run(), ms::SimError);
 }
 
+// Firing a latch with many waiters resumes them all from ONE engine event
+// (batched callback), not one event per waiter — and the batching must not
+// change what the waiters observe: same wake time, same FIFO order.
+TEST(Engine, LatchFireBatchesWaitersIntoOneEvent) {
+  ms::Engine e;
+  ms::Latch latch(e);
+  const int n = 16;
+  std::vector<double> woke_at;
+  std::vector<int> order;
+  for (int i = 0; i < n; ++i) {
+    e.spawn([](ms::Engine& eng, ms::Latch& l, std::vector<double>& at,
+               std::vector<int>& ord, int id) -> ms::Task<void> {
+      co_await l.wait();
+      at.push_back(eng.now());
+      ord.push_back(id);
+    }(e, latch, woke_at, order, i), "waiter");
+  }
+  e.spawn([](ms::Engine& eng, ms::Latch& l) -> ms::Task<void> {
+    co_await eng.delay(1.0);
+    l.fire();
+  }(e, latch), "firer");
+  const std::uint64_t events = e.run();
+  ASSERT_EQ(woke_at.size(), static_cast<std::size_t>(n));
+  for (double t : woke_at) EXPECT_DOUBLE_EQ(t, 1.0);
+  std::vector<int> expected(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) expected[static_cast<std::size_t>(i)] = i;
+  EXPECT_EQ(order, expected);
+  // n+1 spawn events, one delay, ONE batched resume. Unbatched wakeups
+  // would cost an event per waiter (~2n+2 total).
+  EXPECT_LE(events, static_cast<std::uint64_t>(n) + 4);
+}
+
 TEST(Engine, DeadlockDetected) {
   ms::Engine e;
   auto latch = std::make_unique<ms::Latch>(e);

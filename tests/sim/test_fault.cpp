@@ -279,6 +279,42 @@ TEST(FaultInjector, RandomPlanIsDeterministicPerSeed) {
   EXPECT_TRUE(differs);
 }
 
+// Target selection is utilization-weighted: with one link saturated and the
+// rest idle, the busy link (weight idle_weight + 1) must draw far more
+// faults than any idle link (weight idle_weight).
+TEST(FaultInjector, RandomPlanPrefersUtilizedLinks) {
+  ms::Engine engine;
+  ms::FluidNetwork net(engine);
+  std::vector<ms::LinkId> links;
+  for (int l = 0; l < 4; ++l) {
+    links.push_back(net.add_link({"l" + std::to_string(l), 100.0, 0.0}));
+  }
+  ms::FaultInjector inj(engine, net);
+  ms::FaultInjector::RandomPlanOptions opts;
+  opts.faults = 60;
+  opts.horizon = 5.0;
+  opts.sever_probability = 0.0;
+  opts.min_factor = 0.5;  // keep the busy link's utilization at 1
+  opts.max_factor = 0.5;
+  opts.restore_probability = 0.0;  // applied() holds exactly the degrades
+  inj.random_plan(links, opts, 17);
+  // One flow saturates links[0] for the whole horizon; the others stay idle.
+  double finish = -1.0;
+  engine.spawn(timed_transfer(engine, net, {links[0]}, 5000.0, finish));
+  engine.run();
+  ASSERT_EQ(inj.applied().size(), 60u);
+  std::vector<int> hits(links.size(), 0);
+  for (const auto& a : inj.applied()) {
+    ++hits[static_cast<std::size_t>(a.link)];
+  }
+  for (std::size_t l = 1; l < links.size(); ++l) {
+    EXPECT_GT(hits[0], hits[l]) << "idle link " << l << " out-drew the busy"
+                                << " one (" << hits[l] << " vs " << hits[0]
+                                << ")";
+  }
+  EXPECT_GT(hits[0], 30);  // expected share is 1.25/2.0 of 60 draws
+}
+
 TEST(FaultInjector, ValidatesArguments) {
   ms::Engine engine;
   ms::FluidNetwork net(engine);
@@ -422,30 +458,24 @@ TEST(FaultSoak, NightlyChurnWithRandomFaults) {
                                   std::move(route), rng.uniform(1.0, 500.0),
                                   finishes[static_cast<std::size_t>(i)]));
   }
-  // 400 fault events spread across components; severs always restore.
-  for (int i = 0; i < 400; ++i) {
-    const auto c = static_cast<std::size_t>(
-        rng.uniform_int(0, ncomponents - 1));
-    const auto l = static_cast<std::size_t>(
-        rng.uniform_int(0, links_per_comp - 1));
-    const double t = rng.uniform(0.0, 120.0);
-    if (rng.uniform(0.0, 1.0) < 0.25) {
-      engine.schedule_callback(t, [&net, &comps, c, l] {
-        net.set_link_capacity(comps[c][l], 0.0);
-      });
-      engine.schedule_callback(t + rng.uniform(0.05, 1.0),
-                               [&net, &comps, &base, c, l] {
-                                 net.set_link_capacity(comps[c][l],
-                                                       base[c][l]);
-                               });
-    } else {
-      const double factor = rng.uniform(0.05, 1.0);
-      engine.schedule_callback(t, [&net, &comps, &base, c, l, factor] {
-        net.set_link_capacity(comps[c][l], base[c][l] * factor);
-      });
-    }
+  // 400 utilization-weighted fault events (100 per component) so the soak
+  // preferentially hits the links carrying traffic; every fault restores.
+  ms::FaultInjector inj(engine, net);
+  ms::FaultInjector::RandomPlanOptions opts;
+  opts.horizon = 120.0;
+  opts.faults = 100;
+  opts.min_factor = 0.05;
+  opts.max_factor = 1.0;
+  opts.sever_probability = 0.25;
+  opts.restore_probability = 1.0;
+  opts.min_duration = 0.05;
+  opts.max_duration = 1.0;
+  for (int c = 0; c < ncomponents; ++c) {
+    inj.random_plan(comps[static_cast<std::size_t>(c)], opts,
+                    31337u + static_cast<std::uint64_t>(c));
   }
   engine.run();
+  EXPECT_EQ(inj.applied().size(), 800u);  // every fault paired with a restore
   EXPECT_EQ(net.active_flow_count(), 0u);
   EXPECT_EQ(net.stalled_flow_count(), 0u);
   for (double f : finishes) EXPECT_GE(f, 0.0);

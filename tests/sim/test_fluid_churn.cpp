@@ -7,6 +7,7 @@
 #include <cmath>
 #include <vector>
 
+#include "mpath/sim/fault.hpp"
 #include "mpath/sim/fluid.hpp"
 #include "mpath/util/rng.hpp"
 
@@ -185,6 +186,106 @@ TEST(FluidChurn, ModesProduceIdenticalCompletionTimes) {
   for (std::size_t i = 0; i < full.size(); ++i) {
     EXPECT_NEAR(full[i], incr[i], 1e-9) << "flow " << i;
   }
+}
+
+// Exact-tie workload: symmetric power-of-two capacities make every link
+// bottleneck at exactly the same share, so the heap's (share, LinkId)
+// tie-break must mirror the oracle's ascending-id scan — the self-check
+// audits every solve. Completion times must match across solver modes
+// bit-for-bit (EXPECT_EQ, not NEAR: exact arithmetic, no tolerance).
+TEST(FluidChurn, ExactTiesResolveIdenticallyAcrossModes) {
+  auto run_mode = [](ms::FluidNetwork::SolverMode mode) {
+    ms::Engine engine;
+    ms::FluidNetwork net(engine);
+    net.set_solver_mode(mode);
+    net.set_self_check(true);
+    const int nlinks = 8;
+    std::vector<ms::LinkId> links;
+    for (int l = 0; l < nlinks; ++l) {
+      links.push_back(net.add_link({"l" + std::to_string(l), 128.0, 0.0}));
+    }
+    std::vector<double> finishes(3 * nlinks, -1.0);
+    for (int i = 0; i < nlinks; ++i) {
+      // Ring flow over a link pair, a single-link flow, and a delayed
+      // second wave — all sizes powers of two so shares tie exactly.
+      engine.spawn(timed_transfer(engine, net,
+                                  {links[static_cast<std::size_t>(i)],
+                                   links[static_cast<std::size_t>(
+                                       (i + 1) % nlinks)]},
+                                  1024.0, finishes[static_cast<std::size_t>(
+                                              3 * i)]));
+      engine.spawn(timed_transfer(engine, net,
+                                  {links[static_cast<std::size_t>(i)]},
+                                  2048.0, finishes[static_cast<std::size_t>(
+                                              3 * i + 1)]));
+      engine.spawn(delayed_transfer(engine, net, 8.0,
+                                    {links[static_cast<std::size_t>(i)]},
+                                    512.0, finishes[static_cast<std::size_t>(
+                                               3 * i + 2)]));
+    }
+    engine.run();
+    return finishes;
+  };
+  const auto full = run_mode(ms::FluidNetwork::SolverMode::kFull);
+  const auto incr = run_mode(ms::FluidNetwork::SolverMode::kIncremental);
+  ASSERT_EQ(full.size(), incr.size());
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    ASSERT_GT(incr[i], 0.0) << "flow " << i << " never finished";
+    EXPECT_EQ(full[i], incr[i]) << "flow " << i;
+  }
+}
+
+// Same cross-mode equivalence under a seeded random fault plan: capacity
+// churn exercises the heap's lazy-invalidation path (stale keys from
+// freeze-time decrements), and both solver modes must still agree. Also
+// pins down that the heap actually ran and lazily reinserted stale keys.
+TEST(FluidChurn, ModesAgreeUnderFaultPlan) {
+  mpath::util::Rng rng(4242);
+  const int nlinks = 6;
+  const auto specs = make_workload(rng, nlinks, 150, /*with_cancels=*/false);
+  auto run_mode = [&](ms::FluidNetwork::SolverMode mode,
+                      ms::FluidNetwork::SolverStats& stats_out) {
+    mpath::util::Rng cap_rng(42);
+    ms::Engine engine;
+    ms::FluidNetwork net(engine);
+    net.set_solver_mode(mode);
+    std::vector<ms::LinkId> links;
+    for (int l = 0; l < nlinks; ++l) {
+      links.push_back(net.add_link(
+          {"l" + std::to_string(l), cap_rng.uniform(50.0, 500.0), 1e-5 * l}));
+    }
+    ms::FaultInjector inj(engine, net);
+    ms::FaultInjector::RandomPlanOptions opts;
+    opts.faults = 16;
+    opts.horizon = 20.0;
+    opts.min_factor = 0.1;
+    opts.max_factor = 0.8;
+    opts.restore_probability = 1.0;  // flows must still drain
+    inj.random_plan(links, opts, 7);
+    std::vector<double> finishes(specs.size(), -1.0);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      engine.spawn(delayed_transfer(engine, net, specs[i].start,
+                                    specs[i].route, specs[i].bytes,
+                                    finishes[i]));
+    }
+    engine.run();
+    stats_out = net.stats();
+    return finishes;
+  };
+  ms::FluidNetwork::SolverStats full_stats{}, incr_stats{};
+  const auto full = run_mode(ms::FluidNetwork::SolverMode::kFull, full_stats);
+  const auto incr =
+      run_mode(ms::FluidNetwork::SolverMode::kIncremental, incr_stats);
+  ASSERT_EQ(full.size(), incr.size());
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    ASSERT_GT(incr[i], 0.0) << "flow " << i << " never finished";
+    EXPECT_NEAR(full[i], incr[i], 1e-9) << "flow " << i;
+  }
+  // Both modes run the heap water-filler (kFull additionally re-solves
+  // everything eagerly); capacity churn must have forced lazy reinserts.
+  EXPECT_GT(incr_stats.heap_pushes, 0u);
+  EXPECT_GT(incr_stats.heap_reinserts, 0u);
+  EXPECT_GT(full_stats.heap_pushes, incr_stats.heap_pushes);
 }
 
 // A same-timestamp burst of starts (and later of completions) must share

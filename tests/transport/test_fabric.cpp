@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "mpath/pipeline/channels.hpp"
 #include "mpath/topo/system.hpp"
 #include "mpath/util/units.hpp"
@@ -151,6 +154,64 @@ TEST(Fabric, SecondLargeSendReusesIpcHandle) {
   f.engine.run();
   // First transfer pays the IPC open (~140us on Beluga).
   EXPECT_GT(t1, t2 + 100e-6);
+}
+
+// A same-instant burst of eager sends shares delivery wake-gates: the
+// fabric schedules one engine callback per distinct deadline instead of one
+// per message. The shared wake must not skew timing: every payload copy
+// starts at the same instant, so with max-min fair bandwidth sharing the
+// whole burst completes simultaneously — and no earlier than a lone send,
+// which pays the same eager overhead but keeps the channel to itself.
+TEST(Fabric, EagerBurstCoalescesWakeupsWithoutTimingDrift) {
+  auto lone = [] {
+    Fixture f;
+    mg::DeviceBuffer src(f.gpus[0], 1_KiB), dst(f.gpus[1], 1_KiB);
+    src.fill_pattern(40);
+    double done = -1.0;
+    f.engine.spawn(f.fabric.worker(0).send(1, src, 0, 1_KiB, 0), "s");
+    f.engine.spawn([](Fixture& fx, mg::DeviceBuffer& d,
+                      double& out) -> ms::Task<void> {
+      co_await fx.fabric.worker(1).recv(0, d, 0, 1_KiB, 0);
+      out = fx.engine.now();
+    }(f, dst, done), "r");
+    f.engine.run();
+    return done;
+  }();
+  ASSERT_GT(lone, 0.0);
+
+  const int n = 8;
+  Fixture f;
+  std::vector<std::unique_ptr<mg::DeviceBuffer>> srcs, dsts;
+  std::vector<double> done(static_cast<std::size_t>(n), -1.0);
+  for (int i = 0; i < n; ++i) {
+    srcs.push_back(std::make_unique<mg::DeviceBuffer>(f.gpus[0], 1_KiB));
+    dsts.push_back(std::make_unique<mg::DeviceBuffer>(f.gpus[1], 1_KiB));
+    srcs.back()->fill_pattern(static_cast<std::uint64_t>(41 + i));
+  }
+  for (int i = 0; i < n; ++i) {
+    f.engine.spawn(f.fabric.worker(0).send(1, *srcs[static_cast<std::size_t>(
+                                               i)],
+                                           0, 1_KiB, i),
+                   "s");
+    f.engine.spawn([](Fixture& fx, mg::DeviceBuffer& d, int tag,
+                      double& out) -> ms::Task<void> {
+      co_await fx.fabric.worker(1).recv(0, d, 0, 1_KiB, tag);
+      out = fx.engine.now();
+    }(f, *dsts[static_cast<std::size_t>(i)], i, done[static_cast<std::size_t>(
+                                                    i)]),
+                   "r");
+  }
+  f.engine.run();
+  for (int i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(done[static_cast<std::size_t>(i)], done[0])
+        << "recv " << i;
+    EXPECT_GE(done[static_cast<std::size_t>(i)], lone) << "recv " << i;
+    EXPECT_TRUE(dsts[static_cast<std::size_t>(i)]->same_content(
+        *srcs[static_cast<std::size_t>(i)]));
+  }
+  EXPECT_GE(f.fabric.wakeups_coalesced(),
+            static_cast<std::uint64_t>(n) - 1);
+  EXPECT_LE(f.fabric.wakeups_scheduled(), 3u);
 }
 
 TEST(Fabric, TruncationIsAnError) {

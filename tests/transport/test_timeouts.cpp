@@ -71,7 +71,13 @@ TEST(Timeouts, UnmatchedRendezvousSendAborts) {
   EXPECT_EQ(f.fabric.rendezvous_timeouts(), 1u);
   // The parked entry is gone: a recv posted afterwards must not match it.
   EXPECT_EQ(f.fabric.worker(1).unexpected_count(), 0u);
-  EXPECT_NEAR(f.engine.now(), 0.01, 1e-9);
+  // The abort NACKs the peer: the clock runs until the control message
+  // lands at the receiver (one eager overhead past the deadline), where it
+  // is recorded for any future matching recv.
+  EXPECT_NEAR(f.engine.now(), 0.01 + f.fabric.options().eager_overhead_s,
+              1e-9);
+  EXPECT_EQ(f.fabric.nacks_sent(), 1u);
+  EXPECT_EQ(f.fabric.worker(1).pending_nack_count(), 1u);
 }
 
 TEST(Timeouts, UnmatchedRendezvousRecvAborts) {
@@ -125,6 +131,121 @@ TEST(Timeouts, EagerMessagesAreExempt) {
   EXPECT_THROW(f.engine.run(), ms::SimError);
   EXPECT_FALSE(err.has_value());
   EXPECT_EQ(f.fabric.rendezvous_timeouts(), 0u);
+}
+
+// Symmetric failure, send side dies first: the send times out, the NACK is
+// recorded at the receiver, and a recv posted later on the same channel
+// fails immediately instead of parking through a full timeout of its own —
+// both ranks observe a TransferError for the one failed exchange.
+TEST(Timeouts, SendTimeoutNacksLateRecv) {
+  Fixture f(/*timeout_s=*/0.01);
+  mg::DeviceBuffer src(f.gpus[0], 4_MiB), dst(f.gpus[1], 4_MiB);
+  std::optional<mg::TransferError::Info> send_err, recv_err;
+  double recv_failed_at = -1;
+  f.engine.spawn(capture(f.fabric.worker(0).send(1, src, 0, 4_MiB, 3),
+                         send_err),
+                 "send");
+  f.engine.spawn([](Fixture& fx, mg::DeviceBuffer& d,
+                    std::optional<mg::TransferError::Info>& e,
+                    double& at) -> ms::Task<void> {
+    co_await fx.engine.delay(0.02);  // well after the NACK landed
+    co_await capture(fx.fabric.worker(1).recv(0, d, 0, 4_MiB, 3), e);
+    at = fx.engine.now();
+  }(f, dst, recv_err, recv_failed_at), "recv");
+  f.engine.run();
+  ASSERT_TRUE(send_err.has_value());
+  ASSERT_TRUE(recv_err.has_value());
+  EXPECT_EQ(recv_err->bytes_requested, 4_MiB);
+  EXPECT_EQ(recv_err->bytes_delivered, 0u);
+  EXPECT_NEAR(recv_failed_at, 0.02, 1e-9);  // failed fast, no second wait
+  EXPECT_EQ(f.fabric.nacks_sent(), 1u);
+  EXPECT_EQ(f.fabric.nacks_stale(), 0u);
+  EXPECT_EQ(f.fabric.worker(1).pending_nack_count(), 0u);  // consumed
+}
+
+// A recv that parks inside the NACK's delivery window (after the timeout
+// fired, before the control message landed) is killed by the delivery
+// itself rather than by a fail-fast record.
+TEST(Timeouts, SendTimeoutNacksParkedRecv) {
+  Fixture f(/*timeout_s=*/0.01);
+  mg::DeviceBuffer src(f.gpus[0], 4_MiB), dst(f.gpus[1], 4_MiB);
+  std::optional<mg::TransferError::Info> send_err, recv_err;
+  f.engine.spawn(capture(f.fabric.worker(0).send(1, src, 0, 4_MiB, 3),
+                         send_err),
+                 "send");
+  f.engine.spawn([](Fixture& fx, mg::DeviceBuffer& d,
+                    std::optional<mg::TransferError::Info>& e)
+                     -> ms::Task<void> {
+    // Past the 0.01 deadline but before the NACK lands at 0.01 + 1e-6.
+    co_await fx.engine.delay(0.0100005);
+    co_await capture(fx.fabric.worker(1).recv(0, d, 0, 4_MiB, 3), e);
+  }(f, dst, recv_err), "recv");
+  f.engine.run();
+  ASSERT_TRUE(send_err.has_value());
+  ASSERT_TRUE(recv_err.has_value());
+  EXPECT_NEAR(recv_err->elapsed_s, 0.0000005, 1e-9);  // killed at delivery
+  EXPECT_EQ(f.fabric.worker(1).posted_count(), 0u);
+  EXPECT_EQ(f.fabric.worker(1).pending_nack_count(), 0u);
+}
+
+// Symmetric failure, recv side dies first: the sender's later matching send
+// fails fast off the recorded NACK.
+TEST(Timeouts, RecvTimeoutNacksLateSend) {
+  Fixture f(/*timeout_s=*/0.01);
+  mg::DeviceBuffer src(f.gpus[0], 4_MiB), dst(f.gpus[1], 4_MiB);
+  std::optional<mg::TransferError::Info> send_err, recv_err;
+  f.engine.spawn(capture(f.fabric.worker(1).recv(0, dst, 0, 4_MiB, 7),
+                         recv_err),
+                 "recv");
+  f.engine.spawn([](Fixture& fx, mg::DeviceBuffer& s,
+                    std::optional<mg::TransferError::Info>& e)
+                     -> ms::Task<void> {
+    co_await fx.engine.delay(0.05);
+    co_await capture(fx.fabric.worker(0).send(1, s, 0, 4_MiB, 7), e);
+  }(f, src, send_err), "send");
+  f.engine.run();
+  ASSERT_TRUE(recv_err.has_value());
+  ASSERT_TRUE(send_err.has_value());
+  EXPECT_EQ(send_err->bytes_requested, 4_MiB);
+  EXPECT_EQ(f.fabric.nacks_sent(), 1u);
+  EXPECT_EQ(f.fabric.worker(1).pending_nack_count(), 0u);
+}
+
+// Stale NACK: the channel re-matched (a newer send completed the exchange)
+// between the timeout firing and the control message landing. The NACK
+// must be dropped, not kill the healthy operation.
+TEST(Timeouts, StaleNackIsIgnored) {
+  Fixture f(/*timeout_s=*/0.01);
+  mg::DeviceBuffer src1(f.gpus[0], 4_MiB), src2(f.gpus[0], 4_MiB);
+  mg::DeviceBuffer dst(f.gpus[1], 4_MiB);
+  src2.fill_pattern(77);
+  std::optional<mg::TransferError::Info> err1, err2, recv_err;
+  f.engine.spawn(capture(f.fabric.worker(0).send(1, src1, 0, 4_MiB, 3),
+                         err1),
+                 "send1");
+  f.engine.spawn([](Fixture& fx, mg::DeviceBuffer& s,
+                    std::optional<mg::TransferError::Info>& e)
+                     -> ms::Task<void> {
+    co_await fx.engine.delay(0.005);  // parks behind send1 (same channel)
+    co_await capture(fx.fabric.worker(0).send(1, s, 0, 4_MiB, 3), e);
+  }(f, src2, err2), "send2");
+  f.engine.spawn([](Fixture& fx, mg::DeviceBuffer& d,
+                    std::optional<mg::TransferError::Info>& e)
+                     -> ms::Task<void> {
+    // Arrives after send1's timeout (0.01) but before its NACK lands
+    // (0.01 + 1e-6); matches send2, advancing the channel's high-water
+    // mark past the NACK's seq.
+    co_await fx.engine.delay(0.0100005);
+    co_await capture(fx.fabric.worker(1).recv(0, d, 0, 4_MiB, 3), e);
+  }(f, dst, recv_err), "recv");
+  f.engine.run();
+  ASSERT_TRUE(err1.has_value());  // send1 timed out
+  EXPECT_FALSE(err2.has_value());  // send2 completed
+  EXPECT_FALSE(recv_err.has_value());
+  EXPECT_TRUE(dst.same_content(src2));
+  EXPECT_EQ(f.fabric.nacks_sent(), 1u);
+  EXPECT_EQ(f.fabric.nacks_stale(), 1u);
+  EXPECT_EQ(f.fabric.worker(1).pending_nack_count(), 0u);
 }
 
 TEST(Timeouts, ZeroTimeoutKeepsLegacyBehaviour) {
