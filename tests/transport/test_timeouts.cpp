@@ -258,3 +258,33 @@ TEST(Timeouts, ZeroTimeoutKeepsLegacyBehaviour) {
   EXPECT_FALSE(err.has_value());
   EXPECT_EQ(f.fabric.rendezvous_timeouts(), 0u);
 }
+
+// TEMP REVIEW TEST: a wildcard recv posted after an unrelated sender's
+// timeout NACK was recorded -- does it get killed?
+TEST(Timeouts, ReviewWildcardRecvVsNack) {
+  Fixture f(/*timeout_s=*/0.01);
+  f.fabric.add_worker(2, f.gpus[2]);
+  mg::DeviceBuffer src(f.gpus[0], 4_MiB), src2(f.gpus[2], 4_MiB);
+  mg::DeviceBuffer dst(f.gpus[1], 4_MiB);
+  src2.fill_pattern(55);
+  std::optional<mg::TransferError::Info> send_err, send2_err, recv_err;
+  f.engine.spawn(capture(f.fabric.worker(0).send(1, src, 0, 4_MiB, 3),
+                         send_err), "send-dies");
+  f.engine.spawn([](Fixture& fx, mg::DeviceBuffer& d,
+                    std::optional<mg::TransferError::Info>& e)
+                     -> ms::Task<void> {
+    co_await fx.engine.delay(0.02);  // after the NACK landed
+    co_await capture(fx.fabric.worker(1).recv(mx::kAnySource, d, 0, 4_MiB, 3),
+                     e);
+  }(f, dst, recv_err), "wild-recv");
+  f.engine.spawn([](Fixture& fx, mg::DeviceBuffer& s,
+                    std::optional<mg::TransferError::Info>& e)
+                     -> ms::Task<void> {
+    co_await fx.engine.delay(0.021);  // rank 2 would satisfy the wildcard
+    co_await capture(fx.fabric.worker(2).send(1, s, 0, 4_MiB, 3), e);
+  }(f, src2, send2_err), "send-healthy");
+  f.engine.run();
+  printf("REVIEW: recv_err=%d send2_err=%d dst_ok=%d\n",
+         recv_err.has_value(), send2_err.has_value(),
+         dst.same_content(src2));
+}
