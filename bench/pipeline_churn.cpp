@@ -9,12 +9,17 @@
 //   counters["events"]  == engine events processed per transfer (the
 //                          batching win shows up here)
 //   counters["resolves"]== fluid rate re-solves per transfer
+//   counters["allocs_per_transfer"] == global operator-new calls per
+//                          transfer in steady state (after one warmup
+//                          round on the same stack) — 0 when the
+//                          zero-allocation hot path holds
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "mpath/benchcore/alloc_hook.hpp"
 #include "mpath/pipeline/engine.hpp"
 #include "mpath/topo/system.hpp"
 #include "mpath/util/units.hpp"
@@ -40,7 +45,7 @@ ms::Task<void> worker_loop(mp::PipelineEngine& pipe, mg::DeviceBuffer& dst,
         mp::ExecPath{{mt::PathKind::Direct, mt::kInvalidDevice}, 2_MiB, 8},
         mp::ExecPath{{mt::PathKind::GpuStaged, stage}, 2_MiB, 8},
     };
-    std::vector<mp::PathWatch> watch;
+    mp::PathWatchList watch;
     if (monitored) watch = {{/*deadline_s=*/10.0}, {/*deadline_s=*/10.0}};
     (void)co_await pipe.execute_monitored(dst, 0, src, 0, std::move(plan),
                                           std::move(watch));
@@ -95,6 +100,44 @@ static void BM_PipelineChurn(benchmark::State& state) {
       static_cast<double>(events) / static_cast<double>(transfers);
   state.counters["resolves"] = static_cast<double>(last.resolves);
   state.counters["coalesced"] = static_cast<double>(last.coalesced);
+
+  // Steady-state allocation count, measured outside the timing loop: one
+  // warmup round fills the event/flow/frame pools and the container
+  // high-water marks, then a second round on the same stack is counted.
+  {
+    mt::System sys = mt::make_beluga();
+    sys.costs.jitter_rel = 0;
+    ms::Engine engine;
+    ms::FluidNetwork net(engine);
+    net.set_solver_mode(mode_arg(state));
+    mg::GpuRuntime rt(sys, engine, net);
+    mp::PipelineEngine pipe(rt, /*staging_buffers_per_device=*/64,
+                            mg::Payload::Simulated);
+    const std::vector<mt::DeviceId> gpus = sys.topology.gpus();
+    const int n = static_cast<int>(gpus.size());
+    std::vector<std::unique_ptr<mg::DeviceBuffer>> bufs;
+    for (int w = 0; w < workers; ++w) {
+      bufs.push_back(std::make_unique<mg::DeviceBuffer>(
+          gpus[w % n], 4_MiB, mg::Payload::Simulated));
+      bufs.push_back(std::make_unique<mg::DeviceBuffer>(
+          gpus[(w + 1) % n], 4_MiB, mg::Payload::Simulated));
+    }
+    const auto spawn_round = [&] {
+      for (int w = 0; w < workers; ++w) {
+        engine.spawn(worker_loop(pipe, *bufs[2 * w + 1], *bufs[2 * w],
+                                 gpus[(w + 2) % n], repeats, monitored),
+                     "worker");
+      }
+    };
+    spawn_round();
+    engine.run();  // warmup: pools and capacities reach steady state
+    const mpath::benchcore::AllocScope scope;
+    spawn_round();
+    engine.run();
+    state.counters["allocs_per_transfer"] =
+        static_cast<double>(scope.delta()) /
+        static_cast<double>(workers * repeats);
+  }
 }
 BENCHMARK(BM_PipelineChurn)
     ->Args({8, 1, 0})

@@ -26,6 +26,11 @@ int main() {
   sim::Tracer tracer;
   runtime.set_tracer(&tracer);
   network.set_tracer(&tracer);  // adds rate-solver counter tracks
+  // Queue-depth / stream-occupancy counter tracks; stride 1 samples every
+  // event — fine for a single traced transfer, use the default (256) when
+  // tracing churn workloads.
+  engine.set_tracer(&tracer, /*sample_stride=*/1);
+  runtime.set_counter_stride(1);
 
   pipeline::PipelineEngine pipeline_engine(runtime);
   pipeline::ModelDrivenChannel channel(pipeline_engine, configurator,

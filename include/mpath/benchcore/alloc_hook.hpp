@@ -1,0 +1,39 @@
+// Global-allocation counting for allocation-regression benchmarks/tests.
+//
+// Linking the companion static library (mpath_alloc_hook) replaces the
+// global operator new/delete with counting wrappers. Only link it into
+// binaries that *measure* allocations (bench/pipeline_churn, the alloc
+// regression test) — it is deliberately kept out of mpath::mpath so normal
+// builds keep the toolchain allocator untouched.
+//
+// Note: the simulator's own thread-local pool (mpath/sim/pool.hpp) sits in
+// front of operator new, so after warmup a zero delta here means the hot
+// path neither missed the pool nor grew any container.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mpath::benchcore {
+
+/// Number of successful global operator new calls since process start.
+/// Defined by mpath_alloc_hook — binaries that call this must link it.
+[[nodiscard]] std::uint64_t alloc_count();
+
+/// Number of global operator delete calls since process start.
+[[nodiscard]] std::uint64_t free_count();
+
+/// True when the counting operator new/delete replacement is linked in.
+[[nodiscard]] bool alloc_hook_active();
+
+/// Convenience: allocation delta across a scope.
+class AllocScope {
+ public:
+  AllocScope() : start_(alloc_count()) {}
+  [[nodiscard]] std::uint64_t delta() const { return alloc_count() - start_; }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace mpath::benchcore

@@ -16,7 +16,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -25,10 +24,13 @@
 #include "mpath/gpusim/buffer.hpp"
 #include "mpath/sim/engine.hpp"
 #include "mpath/sim/fluid.hpp"
+#include "mpath/sim/inline_fn.hpp"
+#include "mpath/sim/pool.hpp"
 #include "mpath/sim/trace.hpp"
 #include "mpath/topo/binding.hpp"
 #include "mpath/topo/system.hpp"
 #include "mpath/util/rng.hpp"
+#include "mpath/util/small_vec.hpp"
 
 namespace mpath::gpusim {
 
@@ -62,8 +64,10 @@ class CancelToken {
 
   sim::FluidNetwork* net_;
   bool cancelled_ = false;
-  std::vector<sim::FlowId> in_flight_;      ///< flows currently streaming
-  std::vector<sim::FlowId> cancelled_ids_;  ///< flows aborted by cancel()
+  // A token typically governs the chunks of one path (a handful in flight
+  // at once); inline storage keeps the cancellable-copy path off the heap.
+  util::SmallVec<sim::FlowId, 4> in_flight_;      ///< flows streaming now
+  util::SmallVec<sim::FlowId, 4> cancelled_ids_;  ///< aborted by cancel()
 };
 using CancelTokenPtr = std::shared_ptr<CancelToken>;
 
@@ -87,7 +91,9 @@ class GpuRuntime {
   /// copy finishes, with `delivered == false` when the copy was cancelled
   /// (drained without moving data). Lets callers observe per-chunk progress
   /// passively instead of enqueueing an extra event record per chunk.
-  using DoneHook = std::function<void(bool delivered)>;
+  /// Inline-storage callable: hooks are enqueued per chunk, so a capture
+  /// that allocated would undo the zero-allocation hot path.
+  using DoneHook = sim::InlineFn<void(bool delivered), 48>;
 
   /// Copy `len` bytes between buffer regions along the topology route from
   /// src.device() to dst.device(). Payload bytes are copied at completion
@@ -152,9 +158,16 @@ class GpuRuntime {
   [[nodiscard]] std::uint64_t ops_issued() const { return ops_issued_; }
 
   /// Attach an activity tracer (nullptr detaches). While attached, every
-  /// stream operation emits a span on the track "streamN (device)".
+  /// stream operation emits a span on the track "streamN (device)", and a
+  /// "streams_busy" occupancy counter ("ph":"C") is sampled on track
+  /// "gpusim" once every `counter_stride` enqueues.
   void set_tracer(sim::Tracer* tracer) { tracer_ = tracer; }
   [[nodiscard]] sim::Tracer* tracer() const { return tracer_; }
+  /// Stride (in enqueued ops) between stream-occupancy counter samples.
+  void set_counter_stride(std::uint64_t stride) {
+    counter_stride_ = stride > 0 ? stride : 1;
+    ops_until_sample_ = counter_stride_;
+  }
 
  private:
   struct Stream {
@@ -190,6 +203,8 @@ class GpuRuntime {
   std::uint64_t bytes_copied_ = 0;
   std::uint64_t ops_issued_ = 0;
   sim::Tracer* tracer_ = nullptr;
+  std::uint64_t counter_stride_ = 256;
+  std::uint64_t ops_until_sample_ = 256;
 };
 
 }  // namespace mpath::gpusim

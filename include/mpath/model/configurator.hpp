@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -43,6 +44,11 @@ struct ConfiguratorOptions {
   /// ignored.
   std::uint64_t omega_override_min_bytes = 16u << 20;
   bool cache_enabled = true;
+  /// Maximum number of cached configurations; least-recently-used entries
+  /// are evicted past this. 0 (default) means unbounded — the legacy
+  /// behaviour, fine for steady workloads but a slow leak for long-running
+  /// processes with high request diversity (fault-driven re-plans).
+  std::size_t cache_capacity = 0;
 };
 
 /// One path's slice of the transfer.
@@ -91,7 +97,15 @@ class PathConfigurator {
 
   [[nodiscard]] std::uint64_t cache_hits() const { return cache_hits_; }
   [[nodiscard]] std::uint64_t cache_misses() const { return cache_misses_; }
-  void clear_cache() { cache_.clear(); }
+  /// Entries dropped by the LRU bound (always 0 with cache_capacity == 0).
+  [[nodiscard]] std::uint64_t cache_evictions() const {
+    return cache_evictions_;
+  }
+  [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
+  void clear_cache() {
+    cache_.clear();
+    lru_.clear();
+  }
 
   [[nodiscard]] const ConfiguratorOptions& options() const { return options_; }
 
@@ -104,11 +118,19 @@ class PathConfigurator {
       topo::DeviceId src, topo::DeviceId dst, std::uint64_t bytes,
       std::span<const topo::PathPlan> paths);
 
+  struct CacheEntry {
+    TransferConfig config;
+    /// Position in lru_ (most-recent at the front).
+    std::list<std::uint64_t>::iterator recency;
+  };
+
   const ModelRegistry* registry_;
   ConfiguratorOptions options_;
-  std::unordered_map<std::uint64_t, TransferConfig> cache_;
+  std::unordered_map<std::uint64_t, CacheEntry> cache_;
+  std::list<std::uint64_t> lru_;  ///< keys, most-recently-used first
   std::uint64_t cache_hits_ = 0;
   std::uint64_t cache_misses_ = 0;
+  std::uint64_t cache_evictions_ = 0;
 };
 
 }  // namespace mpath::model

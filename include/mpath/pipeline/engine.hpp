@@ -23,6 +23,7 @@
 #include "mpath/gpusim/runtime.hpp"
 #include "mpath/pipeline/staging.hpp"
 #include "mpath/topo/paths.hpp"
+#include "mpath/util/small_vec.hpp"
 
 namespace mpath::pipeline {
 
@@ -33,7 +34,9 @@ struct ExecPath {
   int chunks = 1;           ///< pipeline depth k_i (staged paths)
 };
 
-using ExecPlan = std::vector<ExecPath>;
+/// A transfer's path assignments. Small-vector: the paper's plans use at
+/// most 3–4 paths, so building and passing a plan never heap-allocates.
+using ExecPlan = util::SmallVec<ExecPath, 4>;
 
 /// Watchdog spec for one path of a monitored transfer: a relative deadline
 /// measured from issue start. The model-driven caller derives it from the
@@ -42,6 +45,9 @@ using ExecPlan = std::vector<ExecPath>;
 struct PathWatch {
   double deadline_s = 0.0;
 };
+
+/// Watchdog specs, parallel to an ExecPlan (same inline capacity).
+using PathWatchList = util::SmallVec<PathWatch, 4>;
 
 /// Per-path result of a monitored transfer (parallel to the input plan).
 struct PathOutcome {
@@ -52,7 +58,7 @@ struct PathOutcome {
 
 struct TransferOutcome {
   bool complete = true;  ///< no path timed out; all bytes delivered
-  std::vector<PathOutcome> paths;
+  util::SmallVec<PathOutcome, 4> paths;  ///< parallel to the input plan
   [[nodiscard]] std::uint64_t delivered() const {
     std::uint64_t sum = 0;
     for (const PathOutcome& p : paths) sum += p.bytes_delivered;
@@ -89,7 +95,7 @@ class PipelineEngine {
   [[nodiscard]] sim::Task<TransferOutcome> execute_monitored(
       gpusim::DeviceBuffer& dst, std::size_t dst_offset,
       const gpusim::DeviceBuffer& src, std::size_t src_offset, ExecPlan plan,
-      std::vector<PathWatch> watch);
+      PathWatchList watch);
 
   [[nodiscard]] gpusim::GpuRuntime& runtime() { return *runtime_; }
   [[nodiscard]] std::uint64_t transfers_executed() const {
@@ -108,6 +114,9 @@ class PipelineEngine {
   };
 
   /// Per-path issue state prepared before the interleaved issue loop.
+  /// Per-chunk arrays are small-vectors sized for the common pipeline depth
+  /// (k <= 16); deeper pipelines spill once and the capacity is then moved
+  /// along with the PathIssue.
   struct PathIssue {
     ExecPath spec;
     std::size_t offset = 0;      // within the transfer
@@ -115,10 +124,10 @@ class PipelineEngine {
     gpusim::StreamId first_stream = 0;
     gpusim::StreamId second_stream = 0;
     StagingPool::Lease lease;
-    std::vector<gpusim::EventId> fwd_events;
-    std::vector<gpusim::EventId> bwd_events;
-    std::vector<std::size_t> chunk_offsets;
-    std::vector<std::size_t> chunk_sizes;
+    util::SmallVec<gpusim::EventId, 16> fwd_events;
+    util::SmallVec<gpusim::EventId, 16> bwd_events;
+    util::SmallVec<std::size_t, 16> chunk_offsets;
+    util::SmallVec<std::size_t, 16> chunk_sizes;
     bool staged = false;
     bool monitored = false;
     double extra_sync_s = 0.0;  // host-staging per-chunk penalty
@@ -126,12 +135,19 @@ class PipelineEngine {
 
   gpusim::StreamId stream_for(const StreamKey& key, topo::DeviceId device);
   [[nodiscard]] sim::Engine::DelayAwaiter issue_cost();
+  /// Recycled gpusim event: pop from the pool or create a fresh one.
+  [[nodiscard]] gpusim::EventId acquire_event();
 
   gpusim::GpuRuntime* runtime_;
   StagingPool staging_;
   std::map<StreamKey, gpusim::StreamId> streams_;
   std::uint64_t transfers_ = 0;
   std::map<topo::PathKind, std::uint64_t> bytes_by_kind_;
+  /// gpusim events recycled across transfers. Safe because every consumer
+  /// of an event captures its latch when the op is *enqueued*, and
+  /// record_event re-arms the event synchronously at enqueue — a released
+  /// id can therefore never be observed through a stale latch.
+  std::vector<gpusim::EventId> event_pool_;
 };
 
 }  // namespace mpath::pipeline

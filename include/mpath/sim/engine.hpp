@@ -4,24 +4,46 @@
 // coroutines over one Engine. Time only advances between events, so a whole
 // OSU-style bandwidth sweep executes deterministically in milliseconds of
 // wall time.
+//
+// The hot path is allocation-free in steady state: events are a compact
+// 16-byte {time, seq|slot} binary heap over a recycled slab of payloads
+// (coroutine handle or inline-storage callback — no std::function), and
+// spawned-process state comes from an intrusive free-list slab instead of
+// make_shared. See DESIGN.md, "Allocation & pooling".
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
+#include <deque>
+#include <exception>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "mpath/sim/inline_fn.hpp"
+#include "mpath/sim/pool.hpp"
 #include "mpath/sim/task.hpp"
+#include "mpath/util/small_vec.hpp"
 
 namespace mpath::sim {
 
 using Time = double;  ///< simulated seconds
 
 class Engine;
+class Tracer;
+
+/// Error thrown by Engine::run on deadlock or unobserved process failure,
+/// and by Engine::delay on invalid (NaN/negative) durations.
+class SimError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Event callback type: inline storage only, so scheduling can never
+/// heap-allocate. Captures larger than the SBO budget fail to compile —
+/// bundle state behind a single pointer instead.
+using EventFn = InlineFn<void()>;
 
 /// One-shot broadcast event. fire() releases every current and future
 /// waiter; waiting on an already-fired latch does not suspend.
@@ -31,14 +53,41 @@ class Latch {
   Latch(const Latch&) = delete;
   Latch& operator=(const Latch&) = delete;
 
+  // Latches are created per stream-op / transfer on the hot path; recycle
+  // their storage through the simulator pool.
+  static void* operator new(std::size_t n) { return detail::pool_alloc(n); }
+  static void operator delete(void* p, std::size_t n) noexcept {
+    detail::pool_free(p, n);
+  }
+
   void fire();
   [[nodiscard]] bool fired() const { return fired_; }
 
+  /// Return to the unfired state with no waiters (slab recycling only;
+  /// must not be called while waiters are suspended on the latch).
+  void reset() {
+    fired_ = false;
+    head_ = nullptr;
+    tail_ = nullptr;
+  }
+
+  /// Waiters form an intrusive FIFO list threaded through the awaiters
+  /// themselves. A suspended awaiter lives in its coroutine's frame, which
+  /// stays alive until the handle is resumed — so any number of waiters
+  /// park on a latch without the latch allocating node storage.
   struct Awaiter {
-    Latch* latch;
+    Latch* latch = nullptr;
+    std::coroutine_handle<> handle{};
+    Awaiter* next = nullptr;
     bool await_ready() const noexcept { return latch->fired_; }
-    void await_suspend(std::coroutine_handle<> h) {
-      latch->waiters_.push_back(h);
+    void await_suspend(std::coroutine_handle<> h) noexcept {
+      handle = h;
+      if (latch->tail_ != nullptr) {
+        latch->tail_->next = this;
+      } else {
+        latch->head_ = this;
+      }
+      latch->tail_ = this;
     }
     void await_resume() const noexcept {}
   };
@@ -47,16 +96,93 @@ class Latch {
  private:
   Engine* engine_;
   bool fired_ = false;
-  std::vector<std::coroutine_handle<>> waiters_;
+  Awaiter* head_ = nullptr;
+  Awaiter* tail_ = nullptr;
 };
 
 namespace detail {
+
+struct ProcSlab;
+
+/// Completion state of a spawned process. Pool-recycled: lives in a
+/// ProcSlab and is handed back when the last ProcRef drops.
 struct ProcState {
   explicit ProcState(Engine& engine) : done(engine) {}
   Latch done;
   std::exception_ptr exception;
+  ProcSlab* slab = nullptr;
+  ProcState* next_free = nullptr;
+  std::uint32_t refs = 0;
   bool observed = false;  ///< true once join() delivered the exception
 };
+
+/// Free-list slab of ProcStates. The Engine owns one; if Process handles
+/// outlive the engine, the slab is orphaned and the last reference frees
+/// it. std::deque gives stable addresses across growth.
+struct ProcSlab {
+  std::deque<ProcState> states;
+  ProcState* free_head = nullptr;
+  std::size_t checked_out = 0;
+  bool orphaned = false;
+
+  ProcState* acquire(Engine& engine) {
+    ProcState* st;
+    if (free_head != nullptr) {
+      st = free_head;
+      free_head = st->next_free;
+      st->next_free = nullptr;
+    } else {
+      st = &states.emplace_back(engine);
+      st->slab = this;
+    }
+    ++checked_out;
+    return st;
+  }
+
+  /// Called when a state's refcount hits zero.
+  void recycle(ProcState* st) {
+    st->exception = nullptr;
+    st->observed = false;
+    st->done.reset();
+    st->next_free = free_head;
+    free_head = st;
+    --checked_out;
+    if (orphaned && checked_out == 0) delete this;
+  }
+};
+
+/// Intrusive refcounted handle to a pooled ProcState (single-threaded; the
+/// engine and everything on it run on one thread).
+class ProcRef {
+ public:
+  ProcRef() = default;
+  explicit ProcRef(ProcState* st) : st_(st) {
+    if (st_ != nullptr) ++st_->refs;
+  }
+  ProcRef(const ProcRef& o) : st_(o.st_) {
+    if (st_ != nullptr) ++st_->refs;
+  }
+  ProcRef(ProcRef&& o) noexcept : st_(std::exchange(o.st_, nullptr)) {}
+  ProcRef& operator=(ProcRef o) noexcept {
+    std::swap(st_, o.st_);
+    return *this;
+  }
+  ~ProcRef() { release(); }
+
+  [[nodiscard]] ProcState* get() const noexcept { return st_; }
+  ProcState* operator->() const noexcept { return st_; }
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return st_ != nullptr;
+  }
+
+ private:
+  void release() noexcept {
+    if (st_ != nullptr && --st_->refs == 0) st_->slab->recycle(st_);
+    st_ = nullptr;
+  }
+  ProcState* st_ = nullptr;
+};
+
 }  // namespace detail
 
 /// Handle to a detached coroutine started with Engine::spawn. Join is
@@ -64,17 +190,20 @@ struct ProcState {
 class Process {
  public:
   Process() = default;
-  explicit Process(std::shared_ptr<detail::ProcState> state)
-      : state_(std::move(state)) {}
+  explicit Process(detail::ProcRef state) : state_(std::move(state)) {}
 
   [[nodiscard]] bool valid() const { return bool(state_); }
   [[nodiscard]] bool done() const { return state_ && state_->done.fired(); }
 
   struct Joiner {
-    std::shared_ptr<detail::ProcState> state;
+    detail::ProcRef state;
+    // The latch chain links the awaiter node itself, so it must live here
+    // (in the awaiting coroutine's frame), not in a temporary.
+    Latch::Awaiter aw{};
     bool await_ready() const noexcept { return state->done.fired(); }
     void await_suspend(std::coroutine_handle<> h) {
-      state->done.wait().await_suspend(h);
+      aw.latch = &state->done;
+      aw.await_suspend(h);
     }
     void await_resume() const {
       state->observed = true;
@@ -85,7 +214,7 @@ class Process {
   [[nodiscard]] Joiner join() const { return Joiner{state_}; }
 
  private:
-  std::shared_ptr<detail::ProcState> state_;
+  detail::ProcRef state_;
 };
 
 class Engine {
@@ -100,12 +229,12 @@ class Engine {
   /// Resume `h` at absolute simulated time `t` (>= now).
   void schedule_handle(Time t, std::coroutine_handle<> h);
   /// Invoke `fn` at absolute simulated time `t` (>= now).
-  void schedule_callback(Time t, std::function<void()> fn);
+  void schedule_callback(Time t, EventFn fn);
   /// Same-time batching: invoke `fn` at the *current* timestamp, after
   /// every event already queued at this time (FIFO by sequence) but before
   /// any event queued afterwards. Lets modules coalesce a burst of
   /// same-time updates (e.g. k chunk completions) into one pass.
-  void defer(std::function<void()> fn);
+  void defer(EventFn fn);
 
   struct DelayAwaiter {
     Engine* engine;
@@ -116,9 +245,14 @@ class Engine {
     }
     void await_resume() const noexcept {}
   };
-  /// Suspend the calling coroutine for `dt` simulated seconds (>= 0).
+  /// Suspend the calling coroutine for `dt` simulated seconds. Throws
+  /// SimError on NaN or negative `dt` — callers must not rely on clamping.
   [[nodiscard]] DelayAwaiter delay(Time dt) {
-    return DelayAwaiter{this, now_ + (dt > 0 ? dt : 0)};
+    if (!(dt >= 0.0)) {  // also catches NaN
+      throw SimError("Engine::delay: dt must be >= 0 and not NaN (got " +
+                     std::to_string(dt) + ") at t=" + std::to_string(now_));
+    }
+    return DelayAwaiter{this, now_ + dt};
   }
 
   /// Start a detached coroutine. The engine owns its frame until it
@@ -130,47 +264,69 @@ class Engine {
   /// or if a spawned process failed and was never joined.
   std::uint64_t run();
 
-  /// Run until the event queue drains or `t_limit` is reached; the clock
-  /// stops at min(t_limit, last event time). Returns events processed.
+  /// Run until the event queue drains or `t_limit` is reached; events
+  /// scheduled exactly at `t_limit` are processed, and the clock stops at
+  /// min(t_limit, last event time). Returns events processed.
   std::uint64_t run_until(Time t_limit);
 
   [[nodiscard]] std::size_t live_process_count() const { return live_roots_; }
+  [[nodiscard]] std::size_t queued_event_count() const { return heap_.size(); }
+
+  /// Emit "event_queue_depth" counter samples on tracer track "engine",
+  /// one every `sample_stride` processed events (nullptr detaches).
+  void set_tracer(Tracer* tracer, std::uint64_t sample_stride = 256) {
+    tracer_ = tracer;
+    trace_stride_ = sample_stride > 0 ? sample_stride : 1;
+    trace_countdown_ = trace_stride_;
+  }
 
  private:
-  struct Event {
+  // The priority queue is split into a compact binary heap of
+  // {t, seq|slot} records and a slab of payloads addressed by slot, so
+  // sift operations move 16 bytes instead of a ~72-byte struct with a
+  // std::function, and payload storage is recycled. `seq` keeps the upper
+  // 40 bits of the key: same-time events compare by it alone (slot bits
+  // can never tie-break since seq is unique), preserving the exact FIFO
+  // ordering of the previous single-struct queue.
+  static constexpr int kSlotBits = 24;
+  static constexpr std::uint64_t kSlotMask = (1ull << kSlotBits) - 1;
+  struct HeapEntry {
     Time t;
-    std::uint64_t seq;
-    std::coroutine_handle<> handle;     // one of handle/callback is set
-    std::function<void()> callback;
+    std::uint64_t key;  ///< (seq << kSlotBits) | payload slot
   };
   struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
       if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
+      return a.key > b.key;
     }
+  };
+  struct EventSlot {
+    std::coroutine_handle<> handle;  // set for handle events
+    EventFn callback;                // set for callback events
   };
   struct Root {
     Task<void> task;
-    std::shared_ptr<detail::ProcState> state;
+    detail::ProcRef state;
     std::string name;
   };
 
+  void push_event(Time t, std::coroutine_handle<> h, EventFn fn);
   std::uint64_t run_impl(Time t_limit, bool bounded);
   void sweep_completed_roots();
   void check_quiescence() const;
 
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::vector<HeapEntry> heap_;
+  std::vector<EventSlot> slots_;
+  std::vector<std::uint32_t> free_slots_;
   std::vector<Root> roots_;
+  detail::ProcSlab* proc_slab_ = nullptr;
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::size_t live_roots_ = 0;
   std::size_t sweep_watermark_ = 1024;
-};
-
-/// Error thrown by Engine::run on deadlock or unobserved process failure.
-class SimError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
+  Tracer* tracer_ = nullptr;
+  std::uint64_t trace_stride_ = 256;
+  std::uint64_t trace_countdown_ = 256;
 };
 
 /// Spawn all tasks concurrently and await their completion. The first

@@ -25,12 +25,15 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "mpath/sim/engine.hpp"
 #include "mpath/sim/task.hpp"
+#include "mpath/util/small_vec.hpp"
 
 namespace mpath::sim {
 
@@ -40,6 +43,11 @@ using LinkId = std::uint32_t;
 /// Opaque handle to an in-flight flow (valid until completion/cancel).
 using FlowId = std::uint64_t;
 inline constexpr FlowId kInvalidFlow = 0;
+
+/// A route through the link graph. Every shipped topology's paths are at
+/// most 3 edges (direct peer, host-staged up/down), so 4 inline slots keep
+/// route handling off the heap; longer synthetic routes spill transparently.
+using Route = util::SmallVec<LinkId, 4>;
 
 struct LinkSpec {
   std::string name;
@@ -93,14 +101,27 @@ class FluidNetwork {
   /// once, then streams at the flow's max-min fair rate until done. A
   /// route may traverse the same link more than once (each traversal
   /// consumes a share). An empty route completes after zero time.
-  [[nodiscard]] Task<void> transfer(std::vector<LinkId> route, double bytes);
+  [[nodiscard]] Task<void> transfer(Route route, double bytes);
+  /// Convenience overload for contiguous containers (vectors, arrays): the
+  /// route is copied into inline Route storage, so it stays allocation-free
+  /// for routes of <= 4 links.
+  [[nodiscard]] Task<void> transfer(std::span<const LinkId> route,
+                                    double bytes) {
+    return transfer(Route(route), bytes);
+  }
 
-  /// Start a flow immediately (no latency leg, no coroutine). Ownership of
-  /// `done` (may be null) transfers to the network; it fires on completion
-  /// or cancellation. Throws std::invalid_argument on an empty route,
-  /// non-positive bytes, or a bad link id.
-  FlowId start_flow(std::vector<LinkId> route, double bytes,
+  /// Start a flow immediately (no latency leg, no coroutine). The route is
+  /// copied into the flow's (inline-capacity, slot-recycled) storage.
+  /// Ownership of `done` (may be null) transfers to the network; it fires
+  /// on completion or cancellation. Throws std::invalid_argument on an
+  /// empty route, non-positive bytes, or a bad link id.
+  FlowId start_flow(std::span<const LinkId> route, double bytes,
                     Latch* done = nullptr);
+  FlowId start_flow(std::initializer_list<LinkId> route, double bytes,
+                    Latch* done = nullptr) {
+    return start_flow(std::span<const LinkId>(route.begin(), route.size()),
+                      bytes, done);
+  }
 
   /// Abort an in-flight flow: undelivered bytes are dropped, its completion
   /// latch fires at the current time, and rates re-solve. Returns false if
@@ -143,9 +164,11 @@ class FluidNetwork {
     // Route normalised to distinct links with traversal multiplicity; a
     // double traversal consumes two shares but the flow still gets one
     // bottleneck share as its rate (matching the per-traversal solver).
-    std::vector<LinkId> links;
-    std::vector<double> mult;
-    std::vector<std::uint32_t> pos;  ///< index into links_[l].entries
+    // Inline small-vectors: slot recycling keeps any spilled capacity, so
+    // steady-state flow churn never touches the allocator.
+    util::SmallVec<LinkId, 4> links;
+    util::SmallVec<double, 4> mult;
+    util::SmallVec<std::uint32_t, 4> pos;  ///< index into links_[l].entries
     double remaining = 0.0;
     double rate = 0.0;
     double bytes_total = 0.0;
@@ -189,7 +212,7 @@ class FluidNetwork {
   /// Detach `slot` from links/active lists and release its slot. Marks the
   /// flow's links dirty. Does not fire the latch.
   void detach_flow(std::uint32_t slot);
-  std::uint32_t allocate_flow(const std::vector<LinkId>& route, double bytes,
+  std::uint32_t allocate_flow(std::span<const LinkId> route, double bytes,
                               Latch* done);
 
   Engine* engine_;
@@ -209,6 +232,7 @@ class FluidNetwork {
   std::vector<LinkId> comp_links_;           ///< resolve scratch
   std::vector<std::uint32_t> comp_flows_;    ///< resolve scratch
   std::vector<HeapEntry> heap_;              ///< bottleneck-selection scratch
+  std::vector<std::uint32_t> completed_scratch_;  ///< timer-drain scratch
   std::uint64_t dirty_epoch_ = 1;  ///< bumps when dirty_links_ drains
   std::uint64_t visit_epoch_ = 0;  ///< bumps per resolve pass
   bool resolve_pending_ = false;

@@ -14,6 +14,8 @@
 #include <optional>
 #include <utility>
 
+#include "mpath/sim/pool.hpp"
+
 namespace mpath::sim {
 
 template <typename T = void>
@@ -24,6 +26,13 @@ namespace detail {
 struct TaskPromiseBase {
   std::coroutine_handle<> continuation = std::noop_coroutine();
   std::exception_ptr exception;
+
+  // Coroutine frames are the dominant steady-state allocation (one per
+  // stream op / transfer); recycle them through the simulator pool.
+  static void* operator new(std::size_t n) { return pool_alloc(n); }
+  static void operator delete(void* p, std::size_t n) noexcept {
+    pool_free(p, n);
+  }
 
   std::suspend_always initial_suspend() noexcept { return {}; }
 

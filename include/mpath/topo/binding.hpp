@@ -21,11 +21,11 @@ class NetworkBinding {
   [[nodiscard]] sim::FluidNetwork& network() const { return *net_; }
 
   [[nodiscard]] sim::LinkId link_for_edge(EdgeId edge) const;
-  [[nodiscard]] std::vector<sim::LinkId> links_for_route(
-      std::span<const EdgeId> route) const;
+  /// Returned routes use sim::Route's inline storage — building one does
+  /// not allocate for the ≤3-edge paths every shipped topology produces.
+  [[nodiscard]] sim::Route links_for_route(std::span<const EdgeId> route) const;
   /// Fluid links for a DMA from `from`'s memory to `to`'s memory.
-  [[nodiscard]] std::vector<sim::LinkId> route_links(DeviceId from,
-                                                     DeviceId to) const;
+  [[nodiscard]] sim::Route route_links(DeviceId from, DeviceId to) const;
 
  private:
   const Topology* topo_;

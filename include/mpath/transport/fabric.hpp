@@ -87,14 +87,14 @@ class Fabric {
   /// latch; callbacks queue in `fns`.
   struct Wake {
     std::shared_ptr<sim::Latch> latch;
-    std::vector<std::function<void()>> fns;
+    util::SmallVec<sim::EventFn, 2> fns;
   };
   Wake& wake_slot(double t);
   /// Suspend until absolute time `t`, sharing the event with every other
   /// waiter on the same deadline.
   [[nodiscard]] sim::Task<void> wake_at(double t);
   /// Invoke `fn` at absolute time `t`, coalesced per distinct deadline.
-  void call_at(double t, std::function<void()> fn);
+  void call_at(double t, sim::EventFn fn);
 
   gpusim::GpuRuntime* runtime_;
   gpusim::DataChannel* channel_;

@@ -1,0 +1,202 @@
+// Small-buffer vector: the first N elements live inline (no heap), larger
+// sizes spill to the heap like std::vector. clear() destroys elements but
+// keeps whatever capacity was reached, so recycled containers (flow slots,
+// event arrays) stop touching the allocator once a workload's high-water
+// mark is reached — the core of the zero-allocation steady state.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <iterator>
+#include <memory>
+#include <new>
+#include <span>
+#include <type_traits>
+#include <utility>
+
+namespace mpath::util {
+
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(N > 0, "SmallVec needs at least one inline slot");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVec() noexcept : data_(inline_ptr()) {}
+  SmallVec(std::initializer_list<T> init) : SmallVec() {
+    reserve(init.size());
+    for (const T& v : init) emplace_back(v);
+  }
+  /// Copy from any contiguous view (vectors, arrays, other SmallVecs).
+  SmallVec(std::span<const T> src) : SmallVec() {  // NOLINT(runtime/explicit)
+    reserve(src.size());
+    for (const T& v : src) emplace_back(v);
+  }
+
+  SmallVec(const SmallVec& other) : SmallVec() {
+    reserve(other.size_);
+    for (const T& v : other) emplace_back(v);
+  }
+  SmallVec(SmallVec&& other) noexcept : SmallVec() { steal(other); }
+
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) {
+      clear();
+      reserve(other.size_);
+      for (const T& v : other) emplace_back(v);
+    }
+    return *this;
+  }
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) {
+      release();
+      steal(other);
+    }
+    return *this;
+  }
+
+  ~SmallVec() { release(); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
+  [[nodiscard]] bool inlined() const noexcept { return data_ == inline_ptr(); }
+
+  T* data() noexcept { return data_; }
+  const T* data() const noexcept { return data_; }
+  iterator begin() noexcept { return data_; }
+  iterator end() noexcept { return data_ + size_; }
+  const_iterator begin() const noexcept { return data_; }
+  const_iterator end() const noexcept { return data_ + size_; }
+
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+  T& front() noexcept { return data_[0]; }
+  const T& front() const noexcept { return data_[0]; }
+  T& back() noexcept { return data_[size_ - 1]; }
+  const T& back() const noexcept { return data_[size_ - 1]; }
+
+  void reserve(std::size_t want) {
+    if (want > cap_) grow_to(want);
+  }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == cap_) grow_to(cap_ * 2);
+    T* p = ::new (static_cast<void*>(data_ + size_))
+        T(std::forward<Args>(args)...);
+    ++size_;
+    return *p;
+  }
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  void pop_back() noexcept {
+    --size_;
+    data_[size_].~T();
+  }
+
+  /// Remove the element at `pos`, shifting later elements left (stable
+  /// order, like std::vector::erase).
+  iterator erase(iterator pos) noexcept {
+    std::move(pos + 1, end(), pos);
+    pop_back();
+    return pos;
+  }
+
+  /// Insert a single element before `pos` (std::vector::insert analogue).
+  iterator insert(iterator pos, T v) {
+    const std::size_t idx = static_cast<std::size_t>(pos - begin());
+    emplace_back(std::move(v));  // may grow, invalidating pos
+    std::rotate(begin() + idx, end() - 1, end());
+    return begin() + idx;
+  }
+
+  /// Destroys elements; keeps the current (inline or heap) capacity.
+  void clear() noexcept {
+    std::destroy_n(data_, size_);
+    size_ = 0;
+  }
+
+  void resize(std::size_t n) {
+    if (n < size_) {
+      std::destroy_n(data_ + n, size_ - n);
+      size_ = n;
+      return;
+    }
+    reserve(n);
+    while (size_ < n) emplace_back();
+  }
+
+  operator std::span<const T>() const noexcept { return {data_, size_}; }
+  operator std::span<T>() noexcept { return {data_, size_}; }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+
+ private:
+  T* inline_ptr() noexcept { return reinterpret_cast<T*>(inline_); }
+  const T* inline_ptr() const noexcept {
+    return reinterpret_cast<const T*>(inline_);
+  }
+
+  void grow_to(std::size_t want) {
+    const std::size_t new_cap = std::max<std::size_t>(want, 2 * cap_);
+    T* fresh = static_cast<T*>(
+        ::operator new(new_cap * sizeof(T), std::align_val_t(alignof(T))));
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(fresh + i)) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    if (!inlined()) {
+      ::operator delete(data_, std::align_val_t(alignof(T)));
+    }
+    data_ = fresh;
+    cap_ = new_cap;
+  }
+
+  /// Move contents out of `other`, leaving it empty with inline capacity.
+  void steal(SmallVec& other) noexcept {
+    static_assert(std::is_nothrow_move_constructible_v<T>,
+                  "SmallVec elements must be nothrow-movable");
+    if (other.inlined()) {
+      data_ = inline_ptr();
+      cap_ = N;
+      size_ = other.size_;
+      for (std::size_t i = 0; i < size_; ++i) {
+        ::new (static_cast<void*>(data_ + i)) T(std::move(other.data_[i]));
+        other.data_[i].~T();
+      }
+      other.size_ = 0;
+    } else {
+      data_ = other.data_;
+      cap_ = other.cap_;
+      size_ = other.size_;
+      other.data_ = other.inline_ptr();
+      other.cap_ = N;
+      other.size_ = 0;
+    }
+  }
+
+  /// Destroy elements and free heap storage (used by dtor / move-assign).
+  void release() noexcept {
+    clear();
+    if (!inlined()) {
+      ::operator delete(data_, std::align_val_t(alignof(T)));
+      data_ = inline_ptr();
+      cap_ = N;
+    }
+  }
+
+  T* data_;
+  std::size_t size_ = 0;
+  std::size_t cap_ = N;
+  alignas(T) std::byte inline_[N * sizeof(T)];
+};
+
+}  // namespace mpath::util

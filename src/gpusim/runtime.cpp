@@ -24,6 +24,14 @@ bool CancelToken::was_cancelled(sim::FlowId id) const {
          cancelled_ids_.end();
 }
 
+namespace {
+/// Order-stable removal (SmallVec analogue of std::erase on a vector).
+void erase_flow(util::SmallVec<sim::FlowId, 4>& v, sim::FlowId id) {
+  const auto it = std::find(v.begin(), v.end(), id);
+  if (it != v.end()) v.erase(it);
+}
+}  // namespace
+
 GpuRuntime::GpuRuntime(const topo::System& system, sim::Engine& engine,
                        sim::FluidNetwork& network, std::uint64_t seed)
     : system_(&system),
@@ -33,21 +41,21 @@ GpuRuntime::GpuRuntime(const topo::System& system, sim::Engine& engine,
       rng_(seed) {}
 
 StreamId GpuRuntime::create_stream(topo::DeviceId device) {
-  auto tail = std::make_shared<sim::Latch>(*engine_);
+  auto tail = sim::make_pooled<sim::Latch>(*engine_);
   tail->fire();  // empty stream is drained
   streams_.push_back(Stream{device, std::move(tail)});
   return static_cast<StreamId>(streams_.size() - 1);
 }
 
 EventId GpuRuntime::create_event() {
-  auto latch = std::make_shared<sim::Latch>(*engine_);
+  auto latch = sim::make_pooled<sim::Latch>(*engine_);
   latch->fire();  // never-recorded events do not block (CUDA semantics)
   events_.push_back(Event{std::move(latch)});
   return static_cast<EventId>(events_.size() - 1);
 }
 
 CancelTokenPtr GpuRuntime::make_cancel_token() const {
-  return std::make_shared<CancelToken>(*network_);
+  return sim::make_pooled<CancelToken>(*network_);
 }
 
 bool GpuRuntime::event_fired(EventId event) const {
@@ -57,10 +65,19 @@ bool GpuRuntime::event_fired(EventId event) const {
 template <typename MakeOp>
 void GpuRuntime::enqueue(StreamId stream, MakeOp&& make_op) {
   Stream& s = streams_.at(stream);
-  auto done = std::make_shared<sim::Latch>(*engine_);
+  auto done = sim::make_pooled<sim::Latch>(*engine_);
   engine_->spawn(make_op(s.tail, done), "gpusim-op");
   s.tail = std::move(done);
   ++ops_issued_;
+  if (tracer_ != nullptr && --ops_until_sample_ == 0) {
+    ops_until_sample_ = counter_stride_;
+    std::size_t busy = 0;
+    for (const Stream& st : streams_) {
+      if (!st.tail->fired()) ++busy;
+    }
+    tracer_->add_counter("gpusim", "streams_busy", engine_->now(),
+                         static_cast<double>(busy));
+  }
 }
 
 sim::Task<void> GpuRuntime::run_copy(std::shared_ptr<sim::Latch> prev,
@@ -93,8 +110,7 @@ sim::Task<void> GpuRuntime::run_copy(std::shared_ptr<sim::Latch> prev,
       // Cancellable variant of FluidNetwork::transfer: the flow id is
       // registered with the token while the bytes stream so that
       // token->cancel() can abort it mid-flight.
-      std::vector<sim::LinkId> route =
-          binding_.route_links(src.device(), dst.device());
+      const sim::Route route = binding_.route_links(src.device(), dst.device());
       double latency = 0.0;
       for (sim::LinkId l : route) latency += network_->link(l).latency_s;
       if (latency > 0.0) co_await engine_->delay(latency);
@@ -103,12 +119,11 @@ sim::Task<void> GpuRuntime::run_copy(std::shared_ptr<sim::Latch> prev,
       } else {
         auto latch = std::make_unique<sim::Latch>(*engine_);
         sim::Latch* lp = latch.get();
-        const sim::FlowId fid =
-            network_->start_flow(std::move(route), static_cast<double>(len),
-                                 latch.release());
+        const sim::FlowId fid = network_->start_flow(
+            route, static_cast<double>(len), latch.release());
         token->in_flight_.push_back(fid);
         co_await lp->wait();
-        std::erase(token->in_flight_, fid);
+        erase_flow(token->in_flight_, fid);
         delivered = !token->was_cancelled(fid);
       }
     }
@@ -156,7 +171,7 @@ void GpuRuntime::memcpy_async(DeviceBuffer& dst, std::size_t dst_offset,
 }
 
 void GpuRuntime::record_event(EventId event, StreamId stream) {
-  auto recorded = std::make_shared<sim::Latch>(*engine_);
+  auto recorded = sim::make_pooled<sim::Latch>(*engine_);
   events_.at(event).latch = recorded;
   enqueue(stream, [this, recorded](std::shared_ptr<sim::Latch> prev,
                                    std::shared_ptr<sim::Latch> done)

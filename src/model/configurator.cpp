@@ -54,14 +54,31 @@ const TransferConfig& PathConfigurator::configure_over(
   if (options_.cache_enabled) {
     if (auto it = cache_.find(key); it != cache_.end()) {
       ++cache_hits_;
-      return it->second;
+      // Refresh recency: splice the key to the MRU end without touching
+      // the stored config.
+      lru_.splice(lru_.begin(), lru_, it->second.recency);
+      return it->second.config;
     }
   }
   ++cache_misses_;
   auto [it, inserted] = cache_.insert_or_assign(
-      key, compute(src, dst, bytes, paths));
-  (void)inserted;
-  return it->second;
+      key, CacheEntry{compute(src, dst, bytes, paths), lru_.end()});
+  if (inserted) {
+    lru_.push_front(key);
+  } else {
+    lru_.splice(lru_.begin(), lru_, it->second.recency);
+  }
+  it->second.recency = lru_.begin();
+  // Bounded cache: drop least-recently-used entries beyond capacity. The
+  // entry just inserted is at the front, so with capacity >= 1 the
+  // returned reference always survives eviction.
+  while (options_.cache_capacity > 0 &&
+         cache_.size() > options_.cache_capacity) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+    ++cache_evictions_;
+  }
+  return it->second.config;
 }
 
 TransferConfig PathConfigurator::compute(

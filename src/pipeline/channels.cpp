@@ -113,7 +113,7 @@ sim::Task<void> ModelDrivenChannel::transfer_with_recovery(
         src.device(), dst.device(), seg.bytes, use);
     last_config_ = config;
     ExecPlan plan;
-    std::vector<PathWatch> watch;
+    PathWatchList watch;
     plan.reserve(config.paths.size());
     watch.reserve(config.paths.size());
     for (const auto& share : config.paths) {

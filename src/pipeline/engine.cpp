@@ -11,13 +11,13 @@ namespace mpath::pipeline {
 namespace {
 
 // State shared between the executing coroutine and its watchdog callbacks.
-// Heap-held (shared_ptr) because a watchdog timer can fire after the
-// transfer completed and the coroutine frame is gone.
+// Heap-held (shared_ptr, pool-recycled) because a watchdog timer can fire
+// after the transfer completed and the coroutine frame is gone.
 struct MonitorState {
   struct Entry {
     gpusim::CancelTokenPtr token;
-    std::vector<gpusim::EventId> done_events;  ///< per-chunk completion
-    std::vector<std::size_t> chunk_sizes;
+    util::SmallVec<gpusim::EventId, 16> done_events;  ///< per-chunk completion
+    util::SmallVec<std::size_t, 16> chunk_sizes;
     std::size_t records_issued = 0;  ///< completion records enqueued so far
     std::uint64_t bytes = 0;
     std::uint64_t delivered = 0;  ///< direct: running total fed by DoneHooks
@@ -26,7 +26,7 @@ struct MonitorState {
     bool timed_out = false;
   };
   gpusim::GpuRuntime* rt = nullptr;
-  std::vector<Entry> entries;  ///< parallel to the caller's plan
+  util::SmallVec<Entry, 4> entries;  ///< parallel to the caller's plan
 
   // Contiguous delivered prefix. Direct paths accumulate it passively: each
   // chunk's memcpy_async carries a DoneHook that adds the chunk size on
@@ -102,10 +102,19 @@ sim::Task<void> PipelineEngine::execute(gpusim::DeviceBuffer& dst,
                                    std::move(plan), {});
 }
 
+gpusim::EventId PipelineEngine::acquire_event() {
+  if (!event_pool_.empty()) {
+    const gpusim::EventId ev = event_pool_.back();
+    event_pool_.pop_back();
+    return ev;
+  }
+  return runtime_->create_event();
+}
+
 sim::Task<TransferOutcome> PipelineEngine::execute_monitored(
     gpusim::DeviceBuffer& dst, std::size_t dst_offset,
     const gpusim::DeviceBuffer& src, std::size_t src_offset, ExecPlan plan,
-    std::vector<PathWatch> watch) {
+    PathWatchList watch) {
   if (!watch.empty() && watch.size() != plan.size()) {
     throw std::invalid_argument(
         "PipelineEngine: watch must be empty or match the plan size");
@@ -139,13 +148,13 @@ sim::Task<TransferOutcome> PipelineEngine::execute_monitored(
   for (const PathWatch& w : watch) any_watch |= w.deadline_s > 0.0;
   std::shared_ptr<MonitorState> mon;
   if (any_watch) {
-    mon = std::make_shared<MonitorState>();
+    mon = sim::make_pooled<MonitorState>();
     mon->rt = runtime_;
     mon->entries.resize(plan.size());
   }
 
   // -- prepare per-path issue state -----------------------------------------
-  std::vector<PathIssue> paths;
+  util::SmallVec<PathIssue, 4> paths;
   std::size_t offset = 0;
   for (std::size_t i = 0; i < plan.size(); ++i) {
     const ExecPath& spec = plan[i];
@@ -184,8 +193,8 @@ sim::Task<TransferOutcome> PipelineEngine::execute_monitored(
       pi.lease =
           co_await staging_.acquire(spec.plan.stage, 2 * max_chunk, src_dev);
       for (int c = 0; c < k; ++c) {
-        pi.fwd_events.push_back(runtime_->create_event());
-        pi.bwd_events.push_back(runtime_->create_event());
+        pi.fwd_events.push_back(acquire_event());
+        pi.bwd_events.push_back(acquire_event());
       }
     } else {
       pi.first_stream = stream_for({src_dev, dst_dev, i, 0}, src_dev);
@@ -315,6 +324,15 @@ sim::Task<TransferOutcome> PipelineEngine::execute_monitored(
     co_await runtime_->synchronize(pi.first_stream);
   }
   ++transfers_;
+
+  // Recycle this transfer's events. All records have fired (streams are
+  // drained above), every waiter captured its latch at enqueue time, and
+  // late watchdog timers bail out on finished/timed-out entries before
+  // consulting events — so a reused id can never alias stale state.
+  for (PathIssue& pi : paths) {
+    for (gpusim::EventId ev : pi.fwd_events) event_pool_.push_back(ev);
+    for (gpusim::EventId ev : pi.bwd_events) event_pool_.push_back(ev);
+  }
 
   // -- assemble the outcome ---------------------------------------------------
   TransferOutcome out;

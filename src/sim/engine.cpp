@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "mpath/sim/trace.hpp"
 #include "mpath/util/log.hpp"
 
 namespace mpath::sim {
@@ -13,49 +14,88 @@ void Latch::fire() {
   // Resume via the event queue (at the current time) rather than inline, so
   // that firing a latch from deep inside another coroutine cannot reenter
   // arbitrary user state.
-  if (waiters_.empty()) return;
-  if (waiters_.size() == 1) {
-    engine_->schedule_handle(engine_->now(), waiters_.front());
-  } else {
-    // Batch multi-waiter wakeups into one queue event. Scheduling the
-    // waiters individually would hand them consecutive sequence numbers, so
-    // nothing could interleave between their resumptions anyway — resuming
-    // them back-to-back from a single event is observably identical while
-    // costing one queue operation instead of k.
-    engine_->schedule_callback(engine_->now(),
-                               [ws = std::move(waiters_)]() {
-                                 for (auto h : ws) h.resume();
-                               });
+  Awaiter* head = head_;
+  head_ = nullptr;
+  tail_ = nullptr;
+  if (head == nullptr) return;
+  if (head->next == nullptr) {
+    engine_->schedule_handle(engine_->now(), head->handle);
+    return;
   }
-  waiters_.clear();
+  // Batch multi-waiter wakeups into one queue event. Scheduling the
+  // waiters individually would hand them consecutive sequence numbers, so
+  // nothing could interleave between their resumptions anyway — resuming
+  // them back-to-back from a single event is observably identical while
+  // costing one queue operation instead of k. The chain nodes are the
+  // suspended awaiters themselves, so read `next` before resuming: resume
+  // may destroy the node's coroutine frame.
+  engine_->schedule_callback(engine_->now(), [head]() {
+    Awaiter* p = head;
+    while (p != nullptr) {
+      Awaiter* n = p->next;
+      p->handle.resume();
+      p = n;
+    }
+  });
 }
 
 Engine::~Engine() {
   // Destroy any still-suspended root frames. Their Task destructors handle
   // frame destruction; the queue may still hold handles into those frames,
   // but it is destroyed without resuming anything.
-  while (!queue_.empty()) queue_.pop();
+  heap_.clear();
+  slots_.clear();
+  roots_.clear();
+  if (proc_slab_ != nullptr) {
+    // Process handles may outlive the engine; the last one frees the slab.
+    if (proc_slab_->checked_out == 0) {
+      delete proc_slab_;
+    } else {
+      proc_slab_->orphaned = true;
+    }
+  }
+}
+
+void Engine::push_event(Time t, std::coroutine_handle<> h, EventFn fn) {
+  assert(t >= now_ && "cannot schedule in the past");
+  if (t < now_) t = now_;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot].handle = h;
+    slots_[slot].callback = std::move(fn);
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    if (slot > kSlotMask) {
+      throw SimError("Engine: event payload slots exhausted (2^24 in flight)");
+    }
+    slots_.push_back(EventSlot{h, std::move(fn)});
+  }
+  const std::uint64_t seq = next_seq_++;
+  if (seq >= (1ull << (64 - kSlotBits))) {
+    throw SimError("Engine: event sequence numbers exhausted");
+  }
+  heap_.push_back(HeapEntry{t, (seq << kSlotBits) | slot});
+  std::push_heap(heap_.begin(), heap_.end(), EventLater{});
 }
 
 void Engine::schedule_handle(Time t, std::coroutine_handle<> h) {
-  assert(t >= now_ && "cannot schedule in the past");
-  queue_.push(Event{t < now_ ? now_ : t, next_seq_++, h, nullptr});
+  push_event(t, h, EventFn{});
 }
 
-void Engine::schedule_callback(Time t, std::function<void()> fn) {
-  assert(t >= now_ && "cannot schedule in the past");
-  queue_.push(Event{t < now_ ? now_ : t, next_seq_++, nullptr, std::move(fn)});
+void Engine::schedule_callback(Time t, EventFn fn) {
+  push_event(t, nullptr, std::move(fn));
 }
 
-void Engine::defer(std::function<void()> fn) {
+void Engine::defer(EventFn fn) {
   // Monotone sequence numbers order same-time events FIFO, so this runs
   // after everything already queued at now() and before later arrivals.
-  queue_.push(Event{now_, next_seq_++, nullptr, std::move(fn)});
+  push_event(now_, nullptr, std::move(fn));
 }
 
 namespace {
-Task<void> run_root(Task<void> inner,
-                    std::shared_ptr<detail::ProcState> state) {
+Task<void> run_root(Task<void> inner, detail::ProcRef state) {
   try {
     co_await std::move(inner);
   } catch (...) {
@@ -73,7 +113,8 @@ Process Engine::spawn(Task<void> task, std::string name) {
     sweep_completed_roots();
     sweep_watermark_ = std::max<std::size_t>(1024, 2 * roots_.size());
   }
-  auto state = std::make_shared<detail::ProcState>(*this);
+  if (proc_slab_ == nullptr) proc_slab_ = new detail::ProcSlab;
+  detail::ProcRef state(proc_slab_->acquire(*this));
   Task<void> root = run_root(std::move(task), state);
   const auto handle = root.raw_handle();
   roots_.push_back(Root{std::move(root), state, std::move(name)});
@@ -126,20 +167,36 @@ void Engine::check_quiescence() const {
 
 std::uint64_t Engine::run_impl(Time t_limit, bool bounded) {
   std::uint64_t processed = 0;
-  while (!queue_.empty()) {
-    if (bounded && queue_.top().t > t_limit) {
-      now_ = t_limit;
+  while (!heap_.empty()) {
+    if (bounded && heap_.front().t > t_limit) {
+      // Advance to the bound, but never move the clock backwards (a limit
+      // in the past of the clock is a no-op).
+      if (t_limit > now_) now_ = t_limit;
       return processed;
     }
-    Event ev = queue_.top();
-    queue_.pop();
+    std::pop_heap(heap_.begin(), heap_.end(), EventLater{});
+    const HeapEntry ev = heap_.back();
+    heap_.pop_back();
     now_ = ev.t;
-    if (ev.handle) {
-      ev.handle.resume();
+    const auto slot = static_cast<std::uint32_t>(ev.key & kSlotMask);
+    // Move the payload out and recycle the slot *before* invoking: the
+    // event may schedule new work, which can then reuse this slot.
+    const std::coroutine_handle<> handle = slots_[slot].handle;
+    EventFn callback = std::move(slots_[slot].callback);
+    slots_[slot].handle = nullptr;
+    slots_[slot].callback.reset();
+    free_slots_.push_back(slot);
+    if (handle) {
+      handle.resume();
     } else {
-      ev.callback();
+      callback();
     }
     ++processed;
+    if (tracer_ != nullptr && --trace_countdown_ == 0) {
+      trace_countdown_ = trace_stride_;
+      tracer_->add_counter("engine", "event_queue_depth", now_,
+                           static_cast<double>(heap_.size()));
+    }
   }
   sweep_completed_roots();
   check_quiescence();

@@ -98,39 +98,50 @@ void FaultInjector::random_plan(std::span<const LinkId> links,
   // idle links stay reachable. The RNG is shared across the plan's
   // callbacks and consumed in deterministic event order, so one seed still
   // yields one schedule.
-  auto rng = std::make_shared<util::Rng>(seed);
-  auto targets = std::make_shared<std::vector<LinkId>>(links.begin(),
-                                                       links.end());
+  // The plan state is bundled behind one shared_ptr so each fault callback
+  // captures {this, ctx} and stays inside EventFn's inline-storage budget.
+  struct PlanCtx {
+    util::Rng rng;
+    std::vector<LinkId> targets;
+    RandomPlanOptions opts;
+    std::vector<double> cumulative;  // scratch, reused across faults
+  };
+  auto ctx = std::make_shared<PlanCtx>(
+      PlanCtx{util::Rng(seed),
+              std::vector<LinkId>(links.begin(), links.end()), opts, {}});
   for (int i = 0; i < opts.faults; ++i) {
-    const Time t = opts.start + rng->uniform(0.0, opts.horizon);
+    const Time t = opts.start + ctx->rng.uniform(0.0, opts.horizon);
     if (t < engine_->now()) {
       throw std::invalid_argument("FaultInjector: event time is in the past");
     }
-    engine_->schedule_callback(t, [this, rng, targets, opts] {
+    engine_->schedule_callback(t, [this, ctx] {
       double total = 0.0;
-      std::vector<double> cumulative;
-      cumulative.reserve(targets->size());
-      for (LinkId l : *targets) {
+      ctx->cumulative.clear();
+      ctx->cumulative.reserve(ctx->targets.size());
+      for (LinkId l : ctx->targets) {
         const double cap = net_->link(l).capacity_bps;
         const double util =
             cap > 0.0 ? net_->link_allocated_rate(l) / cap : 0.0;
-        total += opts.idle_weight + util;
-        cumulative.push_back(total);
+        total += ctx->opts.idle_weight + util;
+        ctx->cumulative.push_back(total);
       }
-      const double draw = rng->uniform(0.0, total);
+      const double draw = ctx->rng.uniform(0.0, total);
       std::size_t pick = static_cast<std::size_t>(
-          std::lower_bound(cumulative.begin(), cumulative.end(), draw) -
-          cumulative.begin());
-      if (pick >= targets->size()) pick = targets->size() - 1;
-      const LinkId link = (*targets)[pick];
-      const bool sever = rng->uniform(0.0, 1.0) < opts.sever_probability;
+          std::lower_bound(ctx->cumulative.begin(), ctx->cumulative.end(),
+                           draw) -
+          ctx->cumulative.begin());
+      if (pick >= ctx->targets.size()) pick = ctx->targets.size() - 1;
+      const LinkId link = ctx->targets[pick];
+      const bool sever =
+          ctx->rng.uniform(0.0, 1.0) < ctx->opts.sever_probability;
       const double factor =
-          sever ? 0.0 : rng->uniform(opts.min_factor, opts.max_factor);
+          sever ? 0.0
+                : ctx->rng.uniform(ctx->opts.min_factor, ctx->opts.max_factor);
       degrade_at(engine_->now(), link, factor);
-      if (rng->uniform(0.0, 1.0) < opts.restore_probability) {
-        restore_at(
-            engine_->now() + rng->uniform(opts.min_duration, opts.max_duration),
-            link);
+      if (ctx->rng.uniform(0.0, 1.0) < ctx->opts.restore_probability) {
+        restore_at(engine_->now() + ctx->rng.uniform(ctx->opts.min_duration,
+                                                     ctx->opts.max_duration),
+                   link);
       }
     });
   }

@@ -368,16 +368,18 @@ void FluidNetwork::on_completion_timer(std::uint64_t generation) {
   // otherwise the next timer could round to the current timestamp, deliver
   // nothing, and re-arm forever without advancing time.
   const double time_quantum = 4.5e-16 * std::abs(engine_->now());
-  // Detach mutates active_, so collect first. All completions that land on
-  // this timestamp drain in this one pass and share one rate re-solve.
-  std::vector<std::uint32_t> completed;
+  // Detach mutates active_, so collect first (into member scratch — this
+  // runs once per completion timestamp and must not allocate in steady
+  // state). All completions that land on this timestamp drain in this one
+  // pass and share one rate re-solve.
+  completed_scratch_.clear();
   for (std::uint32_t slot : active_) {
     const Flow& f = flows_[slot];
     if (f.remaining <= f.done_eps + f.rate * time_quantum) {
-      completed.push_back(slot);
+      completed_scratch_.push_back(slot);
     }
   }
-  for (std::uint32_t slot : completed) {
+  for (std::uint32_t slot : completed_scratch_) {
     Flow& f = flows_[slot];
     if (f.done) f.done->fire();
     detach_flow(slot);  // marks the flow's links dirty
@@ -426,7 +428,7 @@ void FluidNetwork::detach_flow(std::uint32_t slot) {
   free_slots_.push_back(slot);
 }
 
-std::uint32_t FluidNetwork::allocate_flow(const std::vector<LinkId>& route,
+std::uint32_t FluidNetwork::allocate_flow(std::span<const LinkId> route,
                                           double bytes, Latch* done) {
   std::unique_ptr<Latch> owned(done);
   for (LinkId l : route) {
@@ -473,7 +475,7 @@ std::uint32_t FluidNetwork::allocate_flow(const std::vector<LinkId>& route,
   return slot;
 }
 
-FlowId FluidNetwork::start_flow(std::vector<LinkId> route, double bytes,
+FlowId FluidNetwork::start_flow(std::span<const LinkId> route, double bytes,
                                 Latch* done) {
   if (route.empty() || bytes <= 0.0) {
     std::unique_ptr<Latch> owned(done);
@@ -510,7 +512,7 @@ bool FluidNetwork::cancel_flow(FlowId id) {
   return true;
 }
 
-Task<void> FluidNetwork::transfer(std::vector<LinkId> route, double bytes) {
+Task<void> FluidNetwork::transfer(Route route, double bytes) {
   double latency = 0.0;
   for (LinkId l : route) {
     latency += links_.at(l).spec.latency_s;
@@ -519,9 +521,10 @@ Task<void> FluidNetwork::transfer(std::vector<LinkId> route, double bytes) {
   if (bytes <= 0.0 || route.empty()) co_return;
   // The Latch must outlive this coroutine frame's suspension: ownership is
   // transferred to the Flow, which the network destroys after firing it.
+  // Latch::operator new recycles through the simulator pool.
   auto latch = std::make_unique<Latch>(*engine_);
   Latch* lp = latch.get();
-  (void)start_flow(std::move(route), bytes, latch.release());
+  (void)start_flow(route, bytes, latch.release());
   co_await lp->wait();
 }
 

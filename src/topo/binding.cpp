@@ -15,9 +15,9 @@ sim::LinkId NetworkBinding::link_for_edge(EdgeId edge) const {
   return edge_to_link_.at(edge);
 }
 
-std::vector<sim::LinkId> NetworkBinding::links_for_route(
+sim::Route NetworkBinding::links_for_route(
     std::span<const EdgeId> route) const {
-  std::vector<sim::LinkId> out;
+  sim::Route out;
   out.reserve(route.size());
   for (EdgeId e : route) {
     out.push_back(edge_to_link_.at(e));
@@ -25,8 +25,7 @@ std::vector<sim::LinkId> NetworkBinding::links_for_route(
   return out;
 }
 
-std::vector<sim::LinkId> NetworkBinding::route_links(DeviceId from,
-                                                     DeviceId to) const {
+sim::Route NetworkBinding::route_links(DeviceId from, DeviceId to) const {
   return links_for_route(topo_->route(from, to));
 }
 

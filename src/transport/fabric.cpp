@@ -50,12 +50,12 @@ Fabric::Wake& Fabric::wake_slot(double t) {
 
 sim::Task<void> Fabric::wake_at(double t) {
   Wake& w = wake_slot(t);
-  if (!w.latch) w.latch = std::make_shared<sim::Latch>(runtime_->engine());
+  if (!w.latch) w.latch = sim::make_pooled<sim::Latch>(runtime_->engine());
   auto latch = w.latch;  // keep alive across the wake_slot erase
   co_await latch->wait();
 }
 
-void Fabric::call_at(double t, std::function<void()> fn) {
+void Fabric::call_at(double t, sim::EventFn fn) {
   wake_slot(t).fns.push_back(std::move(fn));
 }
 

@@ -1,0 +1,100 @@
+// Regression guard for the zero-allocation steady state: after one warmup
+// round fills the event/flow/frame pools and container high-water marks, a
+// second identical round of full-stack pipeline transfers must perform zero
+// global operator-new calls.
+//
+// This binary deliberately lives in its own test target: it links
+// mpath_alloc_hook, which replaces the global operator new/delete with
+// counting versions, and that replacement must not leak into the other test
+// executables.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mpath/benchcore/alloc_hook.hpp"
+#include "mpath/pipeline/engine.hpp"
+#include "mpath/sim/pool.hpp"
+#include "mpath/topo/system.hpp"
+#include "mpath/util/units.hpp"
+
+namespace mg = mpath::gpusim;
+namespace mp = mpath::pipeline;
+namespace ms = mpath::sim;
+namespace mt = mpath::topo;
+using namespace mpath::util::literals;
+
+namespace {
+
+ms::Task<void> worker_loop(mp::PipelineEngine& pipe, mg::DeviceBuffer& dst,
+                           const mg::DeviceBuffer& src, mt::DeviceId stage,
+                           int repeats, bool monitored) {
+  for (int r = 0; r < repeats; ++r) {
+    mp::ExecPlan plan{
+        mp::ExecPath{{mt::PathKind::Direct, mt::kInvalidDevice}, 2_MiB, 8},
+        mp::ExecPath{{mt::PathKind::GpuStaged, stage}, 2_MiB, 8},
+    };
+    mp::PathWatchList watch;
+    if (monitored) watch = {{/*deadline_s=*/10.0}, {/*deadline_s=*/10.0}};
+    (void)co_await pipe.execute_monitored(dst, 0, src, 0, std::move(plan),
+                                          std::move(watch));
+  }
+}
+
+std::uint64_t steady_state_allocs(int workers, int repeats, bool monitored) {
+  mt::System sys = mt::make_beluga();
+  sys.costs.jitter_rel = 0;
+  ms::Engine engine;
+  ms::FluidNetwork net(engine);
+  net.set_solver_mode(ms::FluidNetwork::SolverMode::kIncremental);
+  mg::GpuRuntime rt(sys, engine, net);
+  mp::PipelineEngine pipe(rt, /*staging_buffers_per_device=*/64,
+                          mg::Payload::Simulated);
+  const std::vector<mt::DeviceId> gpus = sys.topology.gpus();
+  const int n = static_cast<int>(gpus.size());
+  std::vector<std::unique_ptr<mg::DeviceBuffer>> bufs;
+  for (int w = 0; w < workers; ++w) {
+    bufs.push_back(std::make_unique<mg::DeviceBuffer>(gpus[w % n], 4_MiB,
+                                                      mg::Payload::Simulated));
+    bufs.push_back(std::make_unique<mg::DeviceBuffer>(
+        gpus[(w + 1) % n], 4_MiB, mg::Payload::Simulated));
+  }
+  const auto spawn_round = [&] {
+    for (int w = 0; w < workers; ++w) {
+      engine.spawn(worker_loop(pipe, *bufs[2 * w + 1], *bufs[2 * w],
+                               gpus[(w + 2) % n], repeats, monitored),
+                   "worker");
+    }
+  };
+  spawn_round();
+  engine.run();  // warmup: pools and capacities reach their high-water marks
+  const mpath::benchcore::AllocScope scope;
+  spawn_round();
+  engine.run();
+  return scope.delta();
+}
+
+}  // namespace
+
+TEST(AllocRegression, SteadyStateRoundIsAllocationFree) {
+#if defined(MPATH_POOL_PASSTHROUGH)
+  GTEST_SKIP() << "size-bucketed pool is pass-through under sanitizers; "
+                  "steady-state allocation counts are meaningless here";
+#else
+  ASSERT_TRUE(mpath::benchcore::alloc_hook_active());
+  EXPECT_EQ(steady_state_allocs(/*workers=*/8, /*repeats=*/4,
+                                /*monitored=*/false),
+            0u);
+#endif
+}
+
+TEST(AllocRegression, MonitoredSteadyStateRoundIsAllocationFree) {
+#if defined(MPATH_POOL_PASSTHROUGH)
+  GTEST_SKIP() << "size-bucketed pool is pass-through under sanitizers";
+#else
+  EXPECT_EQ(steady_state_allocs(/*workers=*/8, /*repeats=*/4,
+                                /*monitored=*/true),
+            0u);
+#endif
+}

@@ -272,3 +272,71 @@ TEST(Configurator, ConfigureOverSubsetsDoNotCollideInCache) {
   EXPECT_EQ(again.paths[0].bytes, full_direct_bytes);
   EXPECT_EQ(again.paths.size(), all.size());
 }
+
+// LRU bound: with cache_capacity set, the cache never holds more entries
+// than the bound and drops the least-recently-used request first.
+TEST(Configurator, CacheCapacityBoundsEntryCount) {
+  Fixture f;
+  mm::ConfiguratorOptions opt;
+  opt.cache_capacity = 2;
+  mm::PathConfigurator cfg(f.reg, opt);
+  const auto paths = f.paths(mt::PathPolicy::two_gpus());
+  (void)cfg.configure(f.gpus[0], f.gpus[1], 16u << 20, paths);
+  (void)cfg.configure(f.gpus[0], f.gpus[1], 32u << 20, paths);
+  EXPECT_EQ(cfg.cache_size(), 2u);
+  EXPECT_EQ(cfg.cache_evictions(), 0u);
+  (void)cfg.configure(f.gpus[0], f.gpus[1], 64u << 20, paths);
+  EXPECT_EQ(cfg.cache_size(), 2u);
+  EXPECT_EQ(cfg.cache_evictions(), 1u);
+}
+
+TEST(Configurator, CacheHitsRefreshRecency) {
+  Fixture f;
+  mm::ConfiguratorOptions opt;
+  opt.cache_capacity = 2;
+  mm::PathConfigurator cfg(f.reg, opt);
+  const auto paths = f.paths(mt::PathPolicy::two_gpus());
+  const std::uint64_t a = 16u << 20, b = 32u << 20, c = 64u << 20;
+  (void)cfg.configure(f.gpus[0], f.gpus[1], a, paths);
+  (void)cfg.configure(f.gpus[0], f.gpus[1], b, paths);
+  // Touch `a` so `b` becomes least-recently-used, then overflow with `c`.
+  (void)cfg.configure(f.gpus[0], f.gpus[1], a, paths);
+  (void)cfg.configure(f.gpus[0], f.gpus[1], c, paths);
+  EXPECT_EQ(cfg.cache_evictions(), 1u);
+  const auto misses_before = cfg.cache_misses();
+  (void)cfg.configure(f.gpus[0], f.gpus[1], a, paths);  // survived: hit
+  EXPECT_EQ(cfg.cache_misses(), misses_before);
+  (void)cfg.configure(f.gpus[0], f.gpus[1], b, paths);  // evicted: miss
+  EXPECT_EQ(cfg.cache_misses(), misses_before + 1);
+}
+
+TEST(Configurator, ZeroCapacityMeansUnbounded) {
+  Fixture f;
+  mm::PathConfigurator cfg(f.reg);  // default cache_capacity = 0
+  const auto paths = f.paths(mt::PathPolicy::two_gpus());
+  for (std::uint64_t i = 1; i <= 32; ++i) {
+    (void)cfg.configure(f.gpus[0], f.gpus[1], i << 20, paths);
+  }
+  EXPECT_EQ(cfg.cache_size(), 32u);
+  EXPECT_EQ(cfg.cache_evictions(), 0u);
+}
+
+// With capacity >= 1 the entry just inserted is always the most recent, so
+// the reference configure() returns is never the one evicted.
+TEST(Configurator, ReturnedReferenceSurvivesEviction) {
+  Fixture f;
+  mm::ConfiguratorOptions opt;
+  opt.cache_capacity = 1;
+  mm::PathConfigurator cfg(f.reg, opt);
+  const auto paths = f.paths(mt::PathPolicy::two_gpus());
+  (void)cfg.configure(f.gpus[0], f.gpus[1], 16u << 20, paths);
+  const auto& c = cfg.configure(f.gpus[0], f.gpus[1], 32u << 20, paths);
+  EXPECT_EQ(cfg.cache_size(), 1u);
+  EXPECT_EQ(cfg.cache_evictions(), 1u);
+  EXPECT_EQ(sum_bytes(c), 32u << 20);
+  // clear_cache() resets both the map and the recency list coherently.
+  cfg.clear_cache();
+  EXPECT_EQ(cfg.cache_size(), 0u);
+  const auto& again = cfg.configure(f.gpus[0], f.gpus[1], 32u << 20, paths);
+  EXPECT_EQ(sum_bytes(again), 32u << 20);
+}

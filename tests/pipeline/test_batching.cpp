@@ -37,12 +37,12 @@ struct Fixture {
   };
 
   RunResult run(mg::DeviceBuffer& dst, const mg::DeviceBuffer& src,
-                mp::ExecPlan plan, std::vector<mp::PathWatch> watch) {
+                mp::ExecPlan plan, mp::PathWatchList watch) {
     RunResult r;
     const bool monitored = !watch.empty();
     engine.spawn([](Fixture& fx, mg::DeviceBuffer& d,
                     const mg::DeviceBuffer& s, mp::ExecPlan p,
-                    std::vector<mp::PathWatch> w, bool mon,
+                    mp::PathWatchList w, bool mon,
                     RunResult& out) -> ms::Task<void> {
       if (mon) {
         out.outcome = co_await fx.pipe.execute_monitored(d, 0, s, 0,

@@ -49,12 +49,12 @@ struct Fixture {
   mp::TransferOutcome run_monitored(mg::DeviceBuffer& dst,
                                     const mg::DeviceBuffer& src,
                                     mp::ExecPlan plan,
-                                    std::vector<mp::PathWatch> watch) {
+                                    mp::PathWatchList watch) {
     mp::TransferOutcome out;
     rejected.reset();
     engine.spawn([](Fixture& fx, mg::DeviceBuffer& d,
                     const mg::DeviceBuffer& s, mp::ExecPlan p,
-                    std::vector<mp::PathWatch> w,
+                    mp::PathWatchList w,
                     mp::TransferOutcome& o) -> ms::Task<void> {
       try {
         o = co_await fx.pipe.execute_monitored(d, 0, s, 0, std::move(p),

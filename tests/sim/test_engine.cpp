@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
@@ -264,4 +265,62 @@ TEST(Engine, ManySpawnsSweepCleanly) {
   }
   EXPECT_NO_THROW(e.run());
   EXPECT_EQ(e.live_process_count(), 0u);
+}
+
+TEST(Engine, RunUntilRunsEventExactlyAtLimit) {
+  ms::Engine e;
+  std::vector<double> log;
+  e.spawn(record_at(e, 5.0, log));
+  e.spawn(record_at(e, 5.0 + 1e-9, log));
+  e.run_until(5.0);
+  // The boundary is inclusive: an event at exactly t_limit runs; the one
+  // just past it stays queued.
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_DOUBLE_EQ(log[0], 5.0);
+  EXPECT_DOUBLE_EQ(e.now(), 5.0);
+  e.run();
+  EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(Engine, RunUntilClockStopsAtLastEventWhenQueueDrainsEarly) {
+  ms::Engine e;
+  std::vector<double> log;
+  e.spawn(record_at(e, 3.0, log));
+  e.run_until(10.0);
+  // Queue drained before the limit: the clock reads the last event time,
+  // not the bound (min(t_limit, last event)).
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+  ASSERT_EQ(log.size(), 1u);
+}
+
+TEST(Engine, RunUntilIsReentrantAfterBoundedStop) {
+  ms::Engine e;
+  std::vector<double> log;
+  e.spawn(record_at(e, 2.0, log));
+  e.spawn(record_at(e, 6.0, log));
+  e.run_until(4.0);
+  EXPECT_DOUBLE_EQ(e.now(), 4.0);
+  ASSERT_EQ(log.size(), 1u);
+  // New work scheduled after a bounded stop interleaves with the leftover
+  // queue on the next bounded run.
+  e.spawn(record_at(e, 1.0, log));  // 4.0 + 1.0 = 5.0 < 6.0
+  e.run_until(6.0);
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_DOUBLE_EQ(log[1], 5.0);
+  EXPECT_DOUBLE_EQ(log[2], 6.0);
+  EXPECT_DOUBLE_EQ(e.now(), 6.0);
+  // Limit in the past of the clock: nothing to do, clock does not move
+  // backwards.
+  e.run_until(1.0);
+  EXPECT_DOUBLE_EQ(e.now(), 6.0);
+}
+
+TEST(Engine, DelayRejectsNegativeAndNaN) {
+  ms::Engine e;
+  EXPECT_THROW((void)e.delay(-1e-9), ms::SimError);
+  EXPECT_THROW((void)e.delay(std::numeric_limits<double>::quiet_NaN()),
+               ms::SimError);
+  // Zero and positive delays are fine.
+  EXPECT_NO_THROW((void)e.delay(0.0));
+  EXPECT_NO_THROW((void)e.delay(1.0));
 }

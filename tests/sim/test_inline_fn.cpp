@@ -1,0 +1,67 @@
+#include "mpath/sim/inline_fn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace ms = mpath::sim;
+
+TEST(InlineFn, InvokesCapturedLambda) {
+  int hits = 0;
+  ms::InlineFn<void()> fn([&hits] { ++hits; });
+  ASSERT_TRUE(bool(fn));
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFn, ForwardsArgumentsAndReturn) {
+  ms::InlineFn<int(int, int)> add([](int a, int b) { return a + b; });
+  EXPECT_EQ(add(2, 3), 5);
+}
+
+TEST(InlineFn, MoveTransfersOwnership) {
+  auto counter = std::make_shared<int>(0);
+  ms::InlineFn<void()> a([counter] { ++*counter; });
+  EXPECT_EQ(counter.use_count(), 2);
+  ms::InlineFn<void()> b(std::move(a));
+  EXPECT_FALSE(bool(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(counter.use_count(), 2);  // moved, not copied
+  b();
+  EXPECT_EQ(*counter, 1);
+}
+
+TEST(InlineFn, DestroysCaptureOnReset) {
+  auto counter = std::make_shared<int>(0);
+  ms::InlineFn<void()> fn([counter] {});
+  EXPECT_EQ(counter.use_count(), 2);
+  fn.reset();
+  EXPECT_FALSE(bool(fn));
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(InlineFn, MoveAssignReplacesAndDestroysOld) {
+  auto old_capture = std::make_shared<int>(0);
+  ms::InlineFn<void()> fn([old_capture] {});
+  EXPECT_EQ(old_capture.use_count(), 2);
+  int hits = 0;
+  fn = ms::InlineFn<void()>([&hits] { ++hits; });
+  EXPECT_EQ(old_capture.use_count(), 1);  // old capture destroyed
+  fn();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineFn, CapturesUpToTheSboBudget) {
+  // Exactly at the default 64-byte budget: must compile and run inline.
+  struct Big {
+    std::uint64_t words[8];
+  };
+  Big big{};
+  big.words[7] = 42;
+  ms::InlineFn<std::uint64_t()> fn([big] { return big.words[7]; });
+  EXPECT_EQ(fn(), 42u);
+  // Captures beyond the budget are a compile error by design (static_assert
+  // in InlineFn), so there is nothing to test at runtime.
+}

@@ -127,3 +127,46 @@ TEST(Tracer, FileExportRoundTrips) {
   std::remove(path.c_str());
   EXPECT_EQ(content, tracer.chrome_trace_json());
 }
+
+TEST(Tracer, EngineEmitsQueueDepthCounter) {
+  ms::Engine engine;
+  ms::Tracer tracer;
+  engine.set_tracer(&tracer, /*sample_stride=*/2);
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule_callback(1e-6 * i, [] {});
+  }
+  engine.run();
+  // 10 events, stride 2 -> 5 samples on track "engine".
+  EXPECT_EQ(tracer.counter_count(), 5u);
+  const std::string json = tracer.chrome_trace_json();
+  EXPECT_NE(json.find("event_queue_depth"), std::string::npos);
+  // Detach: no more samples.
+  engine.set_tracer(nullptr);
+  engine.schedule_callback(1.0, [] {});
+  engine.run();
+  EXPECT_EQ(tracer.counter_count(), 5u);
+}
+
+TEST(Tracer, RuntimeEmitsStreamOccupancyCounter) {
+  auto sys = mt::make_beluga();
+  sys.costs.jitter_rel = 0;
+  ms::Engine engine;
+  ms::FluidNetwork net(engine);
+  mg::GpuRuntime rt(sys, engine, net);
+  ms::Tracer tracer;
+  rt.set_tracer(&tracer);
+  rt.set_counter_stride(1);  // sample on every enqueued op
+  const auto gpus = sys.topology.gpus();
+  mg::DeviceBuffer src(gpus[0], 1_MiB), dst(gpus[1], 1_MiB);
+  const auto stream = rt.create_stream(gpus[0]);
+  rt.memcpy_async(dst, 0, src, 0, 1_MiB, stream);
+  rt.memcpy_async(dst, 0, src, 0, 1_MiB, stream);
+  engine.spawn([](mg::GpuRuntime& r, mg::StreamId st) -> ms::Task<void> {
+    co_await r.synchronize(st);
+  }(rt, stream), "sync");
+  engine.run();
+  const std::string json = tracer.chrome_trace_json();
+  EXPECT_NE(json.find("streams_busy"), std::string::npos);
+  // The second enqueue saw the first copy still outstanding.
+  EXPECT_NE(json.find("\"value\":1.000000"), std::string::npos);
+}

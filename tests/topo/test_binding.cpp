@@ -42,7 +42,7 @@ TEST(Binding, SimulatedDirectTransferMatchesAnalyticTime) {
   const auto route = b.binding.route_links(b.gpus[0], b.gpus[1]);
   double finish = -1;
   b.engine.spawn([](ms::Engine& e, ms::FluidNetwork& net,
-                    std::vector<ms::LinkId> r, double& out) -> ms::Task<void> {
+                    ms::Route r, double& out) -> ms::Task<void> {
     co_await net.transfer(std::move(r), 64.0 * (1 << 20));
     out = e.now();
   }(b.engine, b.net, route, finish));
@@ -63,13 +63,13 @@ TEST(Binding, HostStagedHopsShareMemoryChannel) {
   double f_up = -1, f_down = -1;
   const double bytes = 12e9;  // 1 second at PCIe speed
   b.engine.spawn([](ms::Engine& e, ms::FluidNetwork& net,
-                    std::vector<ms::LinkId> r, double bs,
+                    ms::Route r, double bs,
                     double& out) -> ms::Task<void> {
     co_await net.transfer(std::move(r), bs);
     out = e.now();
   }(b.engine, b.net, up, bytes, f_up));
   b.engine.spawn([](ms::Engine& e, ms::FluidNetwork& net,
-                    std::vector<ms::LinkId> r, double bs,
+                    ms::Route r, double bs,
                     double& out) -> ms::Task<void> {
     co_await net.transfer(std::move(r), bs);
     out = e.now();
@@ -85,7 +85,7 @@ TEST(Binding, FourConcurrentMemChannelUsersContend) {
   // behind the paper's Observation 5.
   BoundBeluga b;
   const auto host = b.sys.topology.hosts()[0];
-  std::vector<std::vector<ms::LinkId>> routes = {
+  std::vector<ms::Route> routes = {
       b.binding.route_links(b.gpus[0], host),
       b.binding.route_links(host, b.gpus[1]),
       b.binding.route_links(b.gpus[1], host),
@@ -95,7 +95,7 @@ TEST(Binding, FourConcurrentMemChannelUsersContend) {
   const double bytes = 7.5e9;
   for (int i = 0; i < 4; ++i) {
     b.engine.spawn([](ms::Engine& e, ms::FluidNetwork& net,
-                      std::vector<ms::LinkId> r, double bs,
+                      ms::Route r, double bs,
                       double& out) -> ms::Task<void> {
       co_await net.transfer(std::move(r), bs);
       out = e.now();

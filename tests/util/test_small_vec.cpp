@@ -1,0 +1,87 @@
+#include "mpath/util/small_vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mu = mpath::util;
+
+TEST(SmallVec, StaysInlineUpToCapacity) {
+  mu::SmallVec<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(v.inlined());
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_TRUE(v.inlined());
+  EXPECT_EQ(v.size(), 4u);
+  v.push_back(4);
+  EXPECT_FALSE(v.inlined());
+  ASSERT_EQ(v.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVec, ClearKeepsSpilledCapacity) {
+  mu::SmallVec<int, 2> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  const std::size_t cap = v.capacity();
+  EXPECT_GE(cap, 100u);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), cap);  // the zero-allocation recycling contract
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_EQ(v.capacity(), cap);
+}
+
+TEST(SmallVec, EraseShiftsStably) {
+  mu::SmallVec<int, 4> v{0, 1, 2, 3};
+  v.erase(v.begin() + 1);
+  EXPECT_EQ(v, (mu::SmallVec<int, 4>{0, 2, 3}));
+  v.erase(v.begin() + 2);
+  EXPECT_EQ(v, (mu::SmallVec<int, 4>{0, 2}));
+}
+
+TEST(SmallVec, InsertAtFrontAndMiddle) {
+  mu::SmallVec<int, 2> v{1, 3};
+  v.insert(v.begin(), 0);
+  EXPECT_EQ(v, (mu::SmallVec<int, 2>{0, 1, 3}));
+  v.insert(v.begin() + 2, 2);
+  EXPECT_EQ(v, (mu::SmallVec<int, 2>{0, 1, 2, 3}));
+}
+
+TEST(SmallVec, MoveStealsHeapBufferAndResetsSource) {
+  mu::SmallVec<std::unique_ptr<int>, 1> v;
+  for (int i = 0; i < 8; ++i) v.push_back(std::make_unique<int>(i));
+  const int* stable = v[3].get();
+  mu::SmallVec<std::unique_ptr<int>, 1> w(std::move(v));
+  EXPECT_TRUE(v.empty());      // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(v.inlined());    // source reset to inline capacity
+  ASSERT_EQ(w.size(), 8u);
+  EXPECT_EQ(w[3].get(), stable);  // heap buffer moved wholesale
+}
+
+TEST(SmallVec, MoveOfInlineContentsRelocatesElements) {
+  mu::SmallVec<std::string, 4> v{"a", "bb", "ccc"};
+  mu::SmallVec<std::string, 4> w(std::move(v));
+  EXPECT_TRUE(v.empty());  // NOLINT(bugprone-use-after-move)
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_EQ(w[2], "ccc");
+}
+
+TEST(SmallVec, SpanConversionAndCopyFromVector) {
+  std::vector<int> src{5, 6, 7};
+  mu::SmallVec<int, 4> v{std::span<const int>(src)};
+  EXPECT_EQ(v.size(), 3u);
+  std::span<const int> s = v;
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[1], 6);
+}
+
+TEST(SmallVec, ResizeGrowsAndShrinks) {
+  mu::SmallVec<int, 2> v;
+  v.resize(5);
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_EQ(v[4], 0);
+  v.resize(1);
+  EXPECT_EQ(v.size(), 1u);
+}
