@@ -17,6 +17,7 @@ namespace mu = mpath::util;
 
 int main(int argc, char** argv) {
   const bool quick = mb::quick_mode(argc, argv);
+  const int jobs = mb::jobs_mode(argc, argv);
   std::printf("ABL-1: chunking-scheme ablation (Beluga, 3_GPUs, BW)\n\n");
 
   mb::CalibratedSystem cal(mt::make_beluga());
@@ -42,11 +43,21 @@ int main(int argc, char** argv) {
     variants.push_back({"global-phi", global_phi});
   }
 
-  std::vector<std::unique_ptr<mm::PathConfigurator>> configurators;
-  for (const auto& v : variants) {
-    configurators.push_back(
-        std::make_unique<mm::PathConfigurator>(cal.registry, v.options));
-  }
+  // Every (size, variant) cell is a private stack + configurator over the
+  // one calibrated registry.
+  const auto sizes = mb::message_sizes(quick);
+  bc::SweepRunner runner(bc::SweepOptions{jobs});
+  auto bws = runner.run(
+      sizes.size() * variants.size(), [&](std::size_t idx) {
+        const std::size_t bytes = sizes[idx / variants.size()];
+        const auto& variant = variants[idx % variants.size()];
+        mm::PathConfigurator configurator(cal.registry, variant.options);
+        auto stack =
+            bc::SimStack::model_driven(cal.system, configurator, policy);
+        bc::P2POptions p2p;
+        p2p.iterations = 4;
+        return bc::measure_bw(stack.world(), bytes, p2p);
+      });
 
   mu::CsvWriter csv(mb::results_dir() + "/ablation_chunking.csv");
   csv.header({"variant", "bytes", "gbps"});
@@ -54,22 +65,21 @@ int main(int argc, char** argv) {
   for (const auto& v : variants) headers.emplace_back(v.name);
   mu::Table table(headers);
 
-  for (std::size_t bytes : mb::message_sizes(quick)) {
+  std::size_t idx = 0;
+  for (std::size_t bytes : sizes) {
     std::vector<std::string> row{mu::format_bytes(bytes)};
     for (std::size_t i = 0; i < variants.size(); ++i) {
-      auto stack =
-          bc::SimStack::model_driven(cal.system, *configurators[i], policy);
-      bc::P2POptions p2p;
-      p2p.iterations = 4;
-      const double bw = bc::measure_bw(stack.world(), bytes, p2p);
+      const double bw = bws[idx++];
       row.push_back(mb::gb(bw));
       csv.row({variants[i].name, std::to_string(bytes),
                mu::CsvWriter::num(bw)});
     }
     table.add_row(std::move(row));
   }
+  csv.close();
   table.print();
   std::printf("\nCSV written to %s/ablation_chunking.csv\n",
               mb::results_dir().c_str());
+  mb::report_sweep("ablation_chunking", runner.stats());
   return 0;
 }

@@ -26,60 +26,94 @@ namespace tu = mpath::tuning;
 
 int main(int argc, char** argv) {
   const bool quick = mb::quick_mode(argc, argv);
+  const int jobs = mb::jobs_mode(argc, argv);
   std::printf(
       "ABL-4: contention-aware path calibration (extension; "
       "3_GPUs_w_host, BW)\n\n");
+
+  const auto policy = mt::PathPolicy::three_gpus_with_host();
+  const std::vector<std::string> systems = {"beluga", "narval"};
+  const auto sizes = mb::message_sizes(quick);
+  constexpr std::size_t kVariants = 2;  // paper, contention-aware
+
+  bc::SweepRunner runner(bc::SweepOptions{jobs});
+
+  // Phase A — the four calibrations (2 systems x 2 variants), each an
+  // independent immutable snapshot.
+  struct Snapshot {
+    mt::System system;
+    mm::ModelRegistry registry;
+  };
+  auto snapshots = runner.run(
+      systems.size() * kVariants, [&](std::size_t idx) {
+        const auto system = mt::make_system(systems[idx / kVariants]);
+        tu::CalibrationOptions opt;
+        opt.contention_aware = (idx % kVariants) == 1;
+        auto registry = tu::calibrate(system, opt);
+        return std::make_unique<Snapshot>(
+            Snapshot{system, std::move(registry)});
+      });
+
+  // Phase B — (system, size, variant) cells on private stacks.
+  struct Point {
+    double predicted = 0.0;
+    double measured = 0.0;
+  };
+  auto points = runner.run(
+      systems.size() * sizes.size() * kVariants, [&](std::size_t idx) {
+        const std::size_t s = idx / (sizes.size() * kVariants);
+        const std::size_t bytes = sizes[(idx / kVariants) % sizes.size()];
+        const std::size_t v = idx % kVariants;
+        const Snapshot& snap = *snapshots[s * kVariants + v];
+        const auto gpus = snap.system.topology.gpus();
+        bc::P2POptions p2p;
+        p2p.window = 4;
+        p2p.iterations = 3;
+        mm::PathConfigurator cfg(snap.registry);
+        auto stack = bc::SimStack::model_driven(snap.system, cfg, policy);
+        Point pt;
+        pt.measured = bc::measure_bw(stack.world(), bytes, p2p);
+        pt.predicted = bc::predicted_bandwidth(
+            cfg, snap.system.topology, gpus[0], gpus[1], bytes, policy);
+        return pt;
+      });
+
   mu::CsvWriter csv(mb::results_dir() + "/ablation_contention_model.csv");
   csv.header({"system", "bytes", "variant", "predicted_gbps",
               "dynamic_gbps", "error"});
-
-  const auto policy = mt::PathPolicy::three_gpus_with_host();
-  for (const char* system_name : {"beluga", "narval"}) {
-    const auto system = mt::make_system(system_name);
-    tu::CalibrationOptions base_opt;
-    tu::CalibrationOptions aware_opt;
-    aware_opt.contention_aware = true;
-    const auto reg_base = tu::calibrate(system, base_opt);
-    const auto reg_aware = tu::calibrate(system, aware_opt);
-    mm::PathConfigurator cfg_base(reg_base);
-    mm::PathConfigurator cfg_aware(reg_aware);
-    const auto gpus = system.topology.gpus();
-
+  std::size_t idx = 0;
+  for (std::size_t s = 0; s < systems.size(); ++s) {
     mu::Table table({"size", "pred (paper)", "meas (paper)", "err",
                      "pred (aware)", "meas (aware)", "err "});
     mu::RunningStats err_base, err_aware;
-    for (std::size_t bytes : mb::message_sizes(quick)) {
-      bc::P2POptions p2p;
-      p2p.window = 4;
-      p2p.iterations = 3;
-      auto run = [&](mm::PathConfigurator& cfg) {
-        auto stack = bc::SimStack::model_driven(system, cfg, policy);
-        const double measured = bc::measure_bw(stack.world(), bytes, p2p);
-        const double predicted = bc::predicted_bandwidth(
-            cfg, system.topology, gpus[0], gpus[1], bytes, policy);
-        return std::pair{predicted, measured};
-      };
-      const auto [pb, mb_] = run(cfg_base);
-      const auto [pa, ma] = run(cfg_aware);
-      const double eb = mu::relative_error(pb, mb_);
-      const double ea = mu::relative_error(pa, ma);
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      const std::size_t bytes = sizes[i];
+      const Point& base = points[idx++];
+      const Point& aware = points[idx++];
+      const double eb = mu::relative_error(base.predicted, base.measured);
+      const double ea = mu::relative_error(aware.predicted, aware.measured);
       err_base.add(eb);
       err_aware.add(ea);
-      table.add_row({mu::format_bytes(bytes), mb::gb(pb), mb::gb(mb_),
-                     mb::pct(eb), mb::gb(pa), mb::gb(ma), mb::pct(ea)});
-      csv.row({system_name, std::to_string(bytes), "paper",
-               mu::CsvWriter::num(pb), mu::CsvWriter::num(mb_),
-               mu::CsvWriter::num(eb)});
-      csv.row({system_name, std::to_string(bytes), "contention-aware",
-               mu::CsvWriter::num(pa), mu::CsvWriter::num(ma),
-               mu::CsvWriter::num(ea)});
+      table.add_row({mu::format_bytes(bytes), mb::gb(base.predicted),
+                     mb::gb(base.measured), mb::pct(eb),
+                     mb::gb(aware.predicted), mb::gb(aware.measured),
+                     mb::pct(ea)});
+      csv.row({systems[s], std::to_string(bytes), "paper",
+               mu::CsvWriter::num(base.predicted),
+               mu::CsvWriter::num(base.measured), mu::CsvWriter::num(eb)});
+      csv.row({systems[s], std::to_string(bytes), "contention-aware",
+               mu::CsvWriter::num(aware.predicted),
+               mu::CsvWriter::num(aware.measured), mu::CsvWriter::num(ea)});
     }
-    std::printf("-- %s --\n", system_name);
+    std::printf("-- %s --\n", systems[s].c_str());
     table.print();
-    std::printf("mean error: paper model %.1f%%  ->  contention-aware %.1f%%\n\n",
-                100.0 * err_base.mean(), 100.0 * err_aware.mean());
+    std::printf(
+        "mean error: paper model %.1f%%  ->  contention-aware %.1f%%\n\n",
+        100.0 * err_base.mean(), 100.0 * err_aware.mean());
   }
+  csv.close();
   std::printf("CSV written to %s/ablation_contention_model.csv\n",
               mb::results_dir().c_str());
+  mb::report_sweep("ablation_contention_model", runner.stats());
   return 0;
 }

@@ -61,6 +61,7 @@ mpath::pipeline::StaticPlan make_plan(
 
 int main(int argc, char** argv) {
   const bool quick = mb::quick_mode(argc, argv);
+  const int jobs = mb::jobs_mode(argc, argv);
   std::printf(
       "ABL-2: share-policy ablation (Beluga, 3_GPUs_w_host, BW)\n\n");
 
@@ -69,37 +70,48 @@ int main(int argc, char** argv) {
   const auto policy = mt::PathPolicy::three_gpus_with_host();
   const auto paths =
       mt::enumerate_paths(cal.system.topology, gpus[0], gpus[1], policy);
+  const std::vector<std::string> rules{"equal-time", "bw-proportional",
+                                       "equal-split", "direct-only"};
+  const auto sizes = mb::message_sizes(quick);
+
+  // Every (size, rule) cell derives its reference split from the pure
+  // model read path and measures on a private stack.
+  bc::SweepRunner runner(bc::SweepOptions{jobs});
+  auto bws = runner.run(sizes.size() * rules.size(), [&](std::size_t idx) {
+    const std::size_t bytes = sizes[idx / rules.size()];
+    const auto& rule = rules[idx % rules.size()];
+    bc::P2POptions p2p;
+    p2p.iterations = 4;
+    if (rule == "direct-only") {
+      auto stack = bc::SimStack::direct(cal.system);
+      return bc::measure_bw(stack.world(), bytes, p2p);
+    }
+    const mm::PathConfigurator configurator(cal.registry);
+    const auto reference =
+        configurator.compute_config(gpus[0], gpus[1], bytes, paths);
+    auto plan = make_plan(cal, paths, reference, rule);
+    auto stack = bc::SimStack::static_plan(cal.system, plan);
+    return bc::measure_bw(stack.world(), bytes, p2p);
+  });
 
   mu::CsvWriter csv(mb::results_dir() + "/ablation_theta_policy.csv");
   csv.header({"rule", "bytes", "gbps"});
-  const std::vector<std::string> rules{"equal-time", "bw-proportional",
-                                       "equal-split", "direct-only"};
   mu::Table table({"size", "equal-time", "bw-prop", "equal-split",
                    "direct-only"});
-
-  for (std::size_t bytes : mb::message_sizes(quick)) {
-    const auto& reference =
-        cal.configurator->configure(gpus[0], gpus[1], bytes, paths);
+  std::size_t idx = 0;
+  for (std::size_t bytes : sizes) {
     std::vector<std::string> row{mu::format_bytes(bytes)};
     for (const auto& rule : rules) {
-      double bw = 0.0;
-      bc::P2POptions p2p;
-      p2p.iterations = 4;
-      if (rule == "direct-only") {
-        auto stack = bc::SimStack::direct(cal.system);
-        bw = bc::measure_bw(stack.world(), bytes, p2p);
-      } else {
-        auto plan = make_plan(cal, paths, reference, rule);
-        auto stack = bc::SimStack::static_plan(cal.system, plan);
-        bw = bc::measure_bw(stack.world(), bytes, p2p);
-      }
+      const double bw = bws[idx++];
       row.push_back(mb::gb(bw));
       csv.row({rule, std::to_string(bytes), mu::CsvWriter::num(bw)});
     }
     table.add_row(std::move(row));
   }
+  csv.close();
   table.print();
   std::printf("\nCSV written to %s/ablation_theta_policy.csv\n",
               mb::results_dir().c_str());
+  mb::report_sweep("ablation_theta_policy", runner.stats());
   return 0;
 }

@@ -4,16 +4,20 @@
 #pragma once
 
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "mpath/benchcore/metrics.hpp"
+#include "mpath/util/fsio.hpp"
 #include "mpath/util/stats.hpp"
 #include "mpath/benchcore/omb.hpp"
 #include "mpath/benchcore/stack.hpp"
+#include "mpath/benchcore/sweep.hpp"
 #include "mpath/model/configurator.hpp"
 #include "mpath/topo/system.hpp"
 #include "mpath/tuning/calibration.hpp"
@@ -45,6 +49,46 @@ inline bool quick_mode(int argc, char** argv) {
 inline std::string results_dir() {
   if (const char* env = std::getenv("MPATH_RESULTS_DIR")) return env;
   return "results";
+}
+
+/// Worker count for the parallel sweep harness: --jobs N / --jobs=N on the
+/// command line, else MPATH_BENCH_JOBS, else 0 (= hardware concurrency).
+/// Results are byte-identical for every value — --jobs only changes how
+/// long the sweep takes (see DESIGN.md, "Parallel sweeps").
+inline int jobs_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a(argv[i]);
+    if (a == "--jobs" && i + 1 < argc) return std::atoi(argv[i + 1]);
+    if (a.rfind("--jobs=", 0) == 0) return std::atoi(a.c_str() + 7);
+  }
+  if (const char* env = std::getenv("MPATH_BENCH_JOBS")) return std::atoi(env);
+  return 0;
+}
+
+/// Print per-sweep throughput / efficiency and publish them (atomically)
+/// as results/<figure>_sweep_stats.json for CI's BENCH_pr5.json roll-up.
+inline void report_sweep(const std::string& figure_id,
+                         const benchcore::SweepStats& stats) {
+  std::printf(
+      "== %s sweep: %zu scenarios on %d worker(s) in %.2fs wall "
+      "(%.2f scenarios/s, %.0f%% parallel efficiency, %llu steals)\n",
+      figure_id.c_str(), stats.scenarios, stats.jobs, stats.wall_s,
+      stats.scenarios_per_s(), 100.0 * stats.efficiency(),
+      static_cast<unsigned long long>(stats.steals));
+  std::ostringstream json;
+  json.precision(6);
+  json << "{\n"
+       << "  \"figure\": \"" << figure_id << "\",\n"
+       << "  \"jobs\": " << stats.jobs << ",\n"
+       << "  \"scenarios\": " << stats.scenarios << ",\n"
+       << "  \"wall_s\": " << stats.wall_s << ",\n"
+       << "  \"busy_s\": " << stats.busy_s() << ",\n"
+       << "  \"scenarios_per_s\": " << stats.scenarios_per_s() << ",\n"
+       << "  \"parallel_efficiency\": " << stats.efficiency() << ",\n"
+       << "  \"steals\": " << stats.steals << "\n"
+       << "}\n";
+  util::write_file_atomic(results_dir() + "/" + figure_id + "_sweep_stats.json",
+                          json.str());
 }
 
 /// Calibrated model registry + configurator for one system, built once and

@@ -14,20 +14,38 @@
 #include "bench_common.hpp"
 
 namespace mb = mpath::bench;
+namespace bc = mpath::benchcore;
 namespace mt = mpath::topo;
 namespace mu = mpath::util;
 
 int main(int argc, char** argv) {
   const bool quick = mb::quick_mode(argc, argv);
+  const int jobs = mb::jobs_mode(argc, argv);
   std::printf(
       "FIG-4: model theta distribution across paths (Beluga, BW)\n\n");
 
   mb::CalibratedSystem beluga(mt::make_beluga());
   const auto gpus = beluga.system.topology.gpus();
+  const auto policies = mb::figure_policies();
+  const auto sizes = mb::message_sizes(quick);
+
+  // Each (policy, size) cell evaluates the model's pure read path against
+  // the shared calibrated registry — no simulation, no shared state.
+  bc::SweepRunner runner(bc::SweepOptions{jobs});
+  auto configs = runner.run(
+      policies.size() * sizes.size(), [&](std::size_t idx) {
+        const auto& policy = policies[idx / sizes.size()];
+        const std::size_t bytes = sizes[idx % sizes.size()];
+        const auto paths = mt::enumerate_paths(beluga.system.topology,
+                                               gpus[0], gpus[1], policy);
+        const mpath::model::PathConfigurator configurator(beluga.registry);
+        return configurator.compute_config(gpus[0], gpus[1], bytes, paths);
+      });
+
   mu::CsvWriter csv(mb::results_dir() + "/fig4_theta.csv");
   csv.header({"policy", "bytes", "path", "theta", "chunks"});
-
-  for (const auto& policy : mb::figure_policies()) {
+  std::size_t idx = 0;
+  for (const auto& policy : policies) {
     const auto paths = mt::enumerate_paths(beluga.system.topology, gpus[0],
                                            gpus[1], policy);
     std::vector<std::string> headers{"size"};
@@ -35,9 +53,8 @@ int main(int argc, char** argv) {
       headers.push_back(mt::describe(p, beluga.system.topology));
     }
     mu::Table table(headers);
-    for (std::size_t bytes : mb::message_sizes(quick)) {
-      const auto& config = beluga.configurator->configure(gpus[0], gpus[1],
-                                                          bytes, paths);
+    for (std::size_t bytes : sizes) {
+      const auto& config = configs[idx++];
       std::vector<std::string> row{mu::format_bytes(bytes)};
       for (const auto& share : config.paths) {
         row.push_back(mb::pct(share.theta));
@@ -52,7 +69,9 @@ int main(int argc, char** argv) {
     table.print();
     std::printf("\n");
   }
+  csv.close();
   std::printf("CSV written to %s/fig4_theta.csv\n",
               mb::results_dir().c_str());
+  mb::report_sweep("fig4", runner.stats());
   return 0;
 }

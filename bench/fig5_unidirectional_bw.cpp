@@ -13,9 +13,10 @@
 
 int main(int argc, char** argv) {
   const bool quick = mpath::bench::quick_mode(argc, argv);
+  const int jobs = mpath::bench::jobs_mode(argc, argv);
   std::printf("FIG-5: unidirectional MPI bandwidth (paper Figure 5)\n\n");
   mpath::bench::run_bandwidth_figure("fig5",
                                      mpath::tuning::TuneMetric::Unidirectional,
-                                     quick);
+                                     quick, jobs);
   return 0;
 }

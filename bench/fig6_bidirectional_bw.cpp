@@ -12,9 +12,10 @@
 
 int main(int argc, char** argv) {
   const bool quick = mpath::bench::quick_mode(argc, argv);
+  const int jobs = mpath::bench::jobs_mode(argc, argv);
   std::printf("FIG-6: bidirectional MPI bandwidth (paper Figure 6)\n\n");
   mpath::bench::run_bandwidth_figure("fig6",
                                      mpath::tuning::TuneMetric::Bidirectional,
-                                     quick);
+                                     quick, jobs);
   return 0;
 }

@@ -10,6 +10,7 @@
 // gains more than Allreduce (reduction compute caps the latter,
 // Observation 3); model-driven matches or beats static (Observation 2);
 // gains are larger on Beluga (Observation 1).
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -63,59 +64,120 @@ double collective_latency(bc::SimStack& stack, Op op, std::size_t bytes) {
 
 int main(int argc, char** argv) {
   const bool quick = mb::quick_mode(argc, argv);
+  const int jobs = mb::jobs_mode(argc, argv);
   std::printf("FIG-7: collective latency speedup (paper Figure 7)\n\n");
-  mu::CsvWriter csv(mb::results_dir() + "/fig7_collectives.csv");
-  csv.header({"system", "collective", "policy", "bytes_per_rank",
-              "direct_latency_s", "static_speedup", "dynamic_speedup"});
 
+  const std::vector<std::string> systems = {"beluga", "narval"};
+  // Host staging is excluded for collectives, as in the paper.
+  const std::vector<mt::PathPolicy> policies = {mt::PathPolicy::two_gpus(),
+                                                mt::PathPolicy::three_gpus()};
+  const std::vector<Op> ops = {Op::Alltoall, Op::Allreduce};
   const std::vector<std::size_t> sizes =
       quick ? std::vector<std::size_t>{32_MiB, 128_MiB}
             : std::vector<std::size_t>{8_MiB, 32_MiB, 128_MiB, 512_MiB};
+  const std::size_t n_pol = policies.size();
+  const std::size_t n_op = ops.size();
+  const std::size_t n_size = sizes.size();
 
-  for (const char* system_name : {"beluga", "narval"}) {
-    mb::CalibratedSystem cal(mt::make_system(system_name));
-    // Host staging is excluded for collectives, as in the paper.
-    for (const auto& policy :
-         {mt::PathPolicy::two_gpus(), mt::PathPolicy::three_gpus()}) {
-      mpath::tuning::StaticTuner tuner(
-          cal.system, policy,
-          mb::tuner_options(mpath::tuning::TuneMetric::Unidirectional,
-                            quick));
-      for (Op op : {Op::Alltoall, Op::Allreduce}) {
+  bc::SweepRunner runner(bc::SweepOptions{jobs});
+
+  // Phase A — calibrate each system once.
+  auto cals = runner.run(systems.size(), [&](std::size_t s) {
+    return std::make_unique<mb::CalibratedSystem>(
+        mt::make_system(systems[s]));
+  });
+
+  // Phase B — tune the static baseline per (system, policy, anchor). The
+  // static plan targets the per-step P2P size (~bytes/2 is the typical
+  // step size of both algorithms at 4 ranks).
+  std::vector<std::size_t> anchors;
+  for (std::size_t bytes : sizes) {
+    const std::size_t a = mb::tuning_anchor(bytes / 2);
+    if (std::find(anchors.begin(), anchors.end(), a) == anchors.end()) {
+      anchors.push_back(a);
+    }
+  }
+  const std::size_t n_anchor = anchors.size();
+  const auto anchor_index = [&](std::size_t bytes) {
+    return static_cast<std::size_t>(
+        std::find(anchors.begin(), anchors.end(),
+                  mb::tuning_anchor(bytes / 2)) -
+        anchors.begin());
+  };
+  auto tuned = runner.run(
+      systems.size() * n_pol * n_anchor, [&](std::size_t t) {
+        const std::size_t s = t / (n_pol * n_anchor);
+        const std::size_t p = (t / n_anchor) % n_pol;
+        const std::size_t a = t % n_anchor;
+        mpath::tuning::StaticTuner tuner(
+            cals[s]->system, policies[p],
+            mb::tuner_options(mpath::tuning::TuneMetric::Unidirectional,
+                              quick));
+        return tuner.tune(anchors[a]).plan;
+      });
+
+  // Phase C — the (system, policy, op, size) measurement grid, one
+  // private stack trio per cell.
+  struct Cell {
+    double direct = 0.0;
+    double static_s = 0.0;
+    double dynamic = 0.0;
+  };
+  auto cells = runner.run(
+      systems.size() * n_pol * n_op * n_size, [&](std::size_t idx) {
+        const std::size_t s = idx / (n_pol * n_op * n_size);
+        const std::size_t p = (idx / (n_op * n_size)) % n_pol;
+        const Op op = ops[(idx / n_size) % n_op];
+        const std::size_t bytes = sizes[idx % n_size];
+        const mb::CalibratedSystem& cal = *cals[s];
+
+        Cell cell;
+        auto direct_stack = bc::SimStack::direct(cal.system);
+        cell.direct = collective_latency(direct_stack, op, bytes);
+
+        const auto& plan =
+            tuned[(s * n_pol + p) * n_anchor + anchor_index(bytes)];
+        auto static_stack = bc::SimStack::static_plan(cal.system, plan);
+        cell.static_s = collective_latency(static_stack, op, bytes);
+
+        mpath::model::PathConfigurator configurator(cal.registry);
+        auto dyn_stack = bc::SimStack::model_driven(cal.system, configurator,
+                                                    policies[p]);
+        cell.dynamic = collective_latency(dyn_stack, op, bytes);
+        return cell;
+      });
+
+  // Serial merge in grid order.
+  mu::CsvWriter csv(mb::results_dir() + "/fig7_collectives.csv");
+  csv.header({"system", "collective", "policy", "bytes_per_rank",
+              "direct_latency_s", "static_speedup", "dynamic_speedup"});
+  std::size_t idx = 0;
+  for (std::size_t s = 0; s < systems.size(); ++s) {
+    for (std::size_t p = 0; p < n_pol; ++p) {
+      for (Op op : ops) {
         const char* op_name = op == Op::Alltoall ? "Alltoall" : "Allreduce";
         mu::Table table({"msg/rank", "direct", "static x", "dynamic x"});
         for (std::size_t bytes : sizes) {
-          auto direct_stack = bc::SimStack::direct(cal.system);
-          const double t_direct = collective_latency(direct_stack, op, bytes);
-
-          // Static plan tuned for the per-step P2P size (~bytes/2 is the
-          // typical step size of both algorithms at 4 ranks).
-          const auto tuned = tuner.tune(mb::tuning_anchor(bytes / 2));
-          auto static_stack =
-              bc::SimStack::static_plan(cal.system, tuned.plan);
-          const double t_static = collective_latency(static_stack, op, bytes);
-
-          auto dyn_stack = bc::SimStack::model_driven(
-              cal.system, *cal.configurator, policy);
-          const double t_dynamic = collective_latency(dyn_stack, op, bytes);
-
+          const Cell& cell = cells[idx++];
           table.add_row({mu::format_bytes(bytes),
-                         mu::format_time(t_direct),
-                         mu::Table::fixed(t_direct / t_static, 2),
-                         mu::Table::fixed(t_direct / t_dynamic, 2)});
-          csv.row({system_name, op_name, policy.label(),
-                   std::to_string(bytes), mu::CsvWriter::num(t_direct),
-                   mu::CsvWriter::num(t_direct / t_static),
-                   mu::CsvWriter::num(t_direct / t_dynamic)});
+                         mu::format_time(cell.direct),
+                         mu::Table::fixed(cell.direct / cell.static_s, 2),
+                         mu::Table::fixed(cell.direct / cell.dynamic, 2)});
+          csv.row({systems[s], op_name, policies[p].label(),
+                   std::to_string(bytes), mu::CsvWriter::num(cell.direct),
+                   mu::CsvWriter::num(cell.direct / cell.static_s),
+                   mu::CsvWriter::num(cell.direct / cell.dynamic)});
         }
         std::printf("-- Figure 7 panel: %s, %s, %s --\n", op_name,
-                    system_name, policy.label().c_str());
+                    systems[s].c_str(), policies[p].label().c_str());
         table.print();
         std::printf("\n");
       }
     }
   }
+  csv.close();
   std::printf("CSV written to %s/fig7_collectives.csv\n",
               mb::results_dir().c_str());
+  mb::report_sweep("fig7", runner.stats());
   return 0;
 }

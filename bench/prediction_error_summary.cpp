@@ -8,6 +8,7 @@
 // configuration (the observed optimum of the model-driven runtime), and
 // prints the error statistics the paper quotes.
 #include <cstdio>
+#include <memory>
 
 #include "bench_common.hpp"
 
@@ -19,9 +20,64 @@ using namespace mpath::util::literals;
 
 int main(int argc, char** argv) {
   const bool quick = mb::quick_mode(argc, argv);
+  const int jobs = mb::jobs_mode(argc, argv);
   std::printf(
       "OBS-ERR: model prediction error summary (paper headline claim)\n\n");
 
+  const std::vector<std::string> systems = {"beluga", "narval"};
+  const auto policies = mb::figure_policies();
+  const std::vector<int> windows = {1, 16};
+  const auto sizes = mb::message_sizes(quick);
+  const std::size_t n_pol = policies.size();
+  const std::size_t n_win = windows.size();
+  const std::size_t n_size = sizes.size();
+  constexpr std::size_t kDirections = 2;  // bw, bibw
+
+  bc::SweepRunner runner(bc::SweepOptions{jobs});
+
+  // Phase A — calibrate each system once.
+  auto cals = runner.run(systems.size(), [&](std::size_t s) {
+    return std::make_unique<mb::CalibratedSystem>(
+        mt::make_system(systems[s]));
+  });
+
+  // Phase B — every (system, policy, window, size, direction) point on a
+  // private stack + configurator over the shared calibration.
+  struct Point {
+    double predicted = 0.0;
+    double observed = 0.0;
+  };
+  const std::size_t n =
+      systems.size() * n_pol * n_win * n_size * kDirections;
+  auto points = runner.run(n, [&](std::size_t idx) {
+    const bool bidirectional = (idx % kDirections) == 1;
+    const std::size_t cell = idx / kDirections;
+    const std::size_t bytes = sizes[cell % n_size];
+    const int window = windows[(cell / n_size) % n_win];
+    const auto& policy = policies[(cell / (n_size * n_win)) % n_pol];
+    const mb::CalibratedSystem& cal =
+        *cals[cell / (n_size * n_win * n_pol)];
+    const auto gpus = cal.system.topology.gpus();
+
+    bc::P2POptions p2p;
+    p2p.window = window;
+    p2p.iterations = window == 1 ? 6 : 3;
+    p2p.warmup = 1;
+
+    mpath::model::PathConfigurator configurator(cal.registry);
+    auto stack = bc::SimStack::model_driven(cal.system, configurator, policy);
+    Point pt;
+    pt.observed = bidirectional
+                      ? bc::measure_bibw(stack.world(), bytes, p2p)
+                      : bc::measure_bw(stack.world(), bytes, p2p);
+    pt.predicted = (bidirectional ? 2.0 : 1.0) *
+                   bc::predicted_bandwidth(configurator, cal.system.topology,
+                                           gpus[0], gpus[1], bytes, policy);
+    return pt;
+  });
+
+  // Serial merge: error statistics accumulate in grid order, so the
+  // floating-point sums (and the CSV) match the serial run bit-for-bit.
   struct Bucket {
     mu::RunningStats above_4mb;
     mu::RunningStats all;
@@ -30,44 +86,33 @@ int main(int argc, char** argv) {
   mu::CsvWriter csv(mb::results_dir() + "/prediction_error.csv");
   csv.header({"system", "test", "policy", "window", "bytes", "predicted_gbps",
               "observed_gbps", "error"});
-
-  for (const char* system_name : {"beluga", "narval"}) {
-    mb::CalibratedSystem cal(mt::make_system(system_name));
-    const auto gpus = cal.system.topology.gpus();
-    for (const auto& policy : mb::figure_policies()) {
-      for (int window : {1, 16}) {
-        for (std::size_t bytes : mb::message_sizes(quick)) {
-          bc::P2POptions p2p;
-          p2p.window = window;
-          p2p.iterations = window == 1 ? 6 : 3;
-          p2p.warmup = 1;
+  std::size_t idx = 0;
+  for (std::size_t s = 0; s < systems.size(); ++s) {
+    for (std::size_t p = 0; p < n_pol; ++p) {
+      const auto& policy = policies[p];
+      for (int window : windows) {
+        for (std::size_t bytes : sizes) {
           for (bool bidirectional : {false, true}) {
-            auto stack = bc::SimStack::model_driven(
-                cal.system, *cal.configurator, policy);
-            const double observed =
-                bidirectional
-                    ? bc::measure_bibw(stack.world(), bytes, p2p)
-                    : bc::measure_bw(stack.world(), bytes, p2p);
-            const double predicted =
-                (bidirectional ? 2.0 : 1.0) *
-                bc::predicted_bandwidth(*cal.configurator,
-                                        cal.system.topology, gpus[0],
-                                        gpus[1], bytes, policy);
-            const double err = mu::relative_error(predicted, observed);
+            const Point& pt = points[idx++];
+            const double err =
+                mu::relative_error(pt.predicted, pt.observed);
             Bucket& bucket =
-                bidirectional ? (policy.include_host ? bibw_host : bibw_no_host)
-                              : (policy.include_host ? bw_host : bw_no_host);
+                bidirectional
+                    ? (policy.include_host ? bibw_host : bibw_no_host)
+                    : (policy.include_host ? bw_host : bw_no_host);
             bucket.all.add(err);
             if (bytes > 4_MiB) bucket.above_4mb.add(err);
-            csv.row({system_name, bidirectional ? "bibw" : "bw",
+            csv.row({systems[s], bidirectional ? "bibw" : "bw",
                      policy.label(), std::to_string(window),
-                     std::to_string(bytes), mu::CsvWriter::num(predicted),
-                     mu::CsvWriter::num(observed), mu::CsvWriter::num(err)});
+                     std::to_string(bytes), mu::CsvWriter::num(pt.predicted),
+                     mu::CsvWriter::num(pt.observed),
+                     mu::CsvWriter::num(err)});
           }
         }
       }
     }
   }
+  csv.close();
 
   mu::Table table({"test", "policy set", "mean err (>4MB)", "mean err (all)",
                    "max err"});
@@ -85,5 +130,6 @@ int main(int argc, char** argv) {
       "higher with host staging.\n");
   std::printf("CSV written to %s/prediction_error.csv\n",
               mb::results_dir().c_str());
+  mb::report_sweep("prediction_error", runner.stats());
   return 0;
 }

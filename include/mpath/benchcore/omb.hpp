@@ -4,10 +4,9 @@
 // time and is exactly reproducible.
 #pragma once
 
-#include <functional>
-
 #include "mpath/mpisim/collectives.hpp"
 #include "mpath/mpisim/world.hpp"
+#include "mpath/sim/inline_fn.hpp"
 
 namespace mpath::benchcore {
 
@@ -34,11 +33,15 @@ struct CollectiveOptions {
   int warmup = 1;
 };
 
+/// Per-rank collective body. Inline storage (no heap): collective sweeps
+/// invoke thousands of these, and the setup path stays allocation-free
+/// like the engine's own event callbacks.
+using CollectiveOp = sim::InlineFn<sim::Task<void>(mpisim::Communicator&), 128>;
+
 /// Average latency (seconds) of `op` executed by every rank per iteration,
 /// with a barrier separating iterations (OMB collective-latency protocol).
 [[nodiscard]] double measure_collective_latency(
-    mpisim::World& world,
-    const std::function<sim::Task<void>(mpisim::Communicator&)>& op,
+    mpisim::World& world, CollectiveOp op,
     const CollectiveOptions& options = {});
 
 }  // namespace mpath::benchcore

@@ -1,0 +1,115 @@
+// Work-stealing parallel sweep harness with deterministic results.
+//
+// A figure sweep is a grid of independent scenarios (topology × message
+// size × policy × seed). Each scenario builds a PRIVATE simulation stack —
+// sim::Engine, FluidNetwork, gpusim runtime, model state — runs it to
+// completion, and returns plain data. Nothing mutable is shared between
+// scenarios; the only cross-thread state is the immutable topology /
+// calibration snapshot built before fan-out. MPATH_ASSERT_OWNER (see
+// sim/owner.hpp) enforces that contract in debug builds.
+//
+// Determinism: run() returns results indexed exactly like the input grid,
+// regardless of which worker executed which scenario or in what order.
+// Callers do ALL order-sensitive work (CSV rows, table prints, running
+// float statistics) in a serial merge over that vector, so emitted files
+// are byte-identical for any --jobs value. See DESIGN.md, "Parallel
+// sweeps".
+//
+// Scheduling: the grid is split into one contiguous block per worker;
+// each block has an atomic cursor. A worker drains its own block first
+// (preserving cache-friendly locality for neighbouring cells), then
+// steals from other blocks' cursors until the whole grid is done. The
+// calling thread participates as worker 0, so --jobs 1 runs everything
+// inline with no thread ever spawned.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace mpath::benchcore {
+
+struct SweepOptions {
+  /// Worker count; 0 means std::thread::hardware_concurrency().
+  int jobs = 0;
+};
+
+/// Cumulative execution statistics across every run() on a runner.
+struct SweepStats {
+  int jobs = 0;                 ///< resolved worker cap
+  std::size_t scenarios = 0;    ///< scenarios executed
+  double wall_s = 0.0;          ///< wall-clock inside run() calls
+  std::uint64_t steals = 0;     ///< scenarios run out of a foreign block
+  std::vector<double> worker_busy_s;            ///< per-worker scenario time
+  std::vector<std::uint64_t> worker_scenarios;  ///< per-worker counts
+
+  /// Total time spent inside scenario bodies, summed over workers.
+  [[nodiscard]] double busy_s() const {
+    double s = 0.0;
+    for (double b : worker_busy_s) s += b;
+    return s;
+  }
+  [[nodiscard]] double scenarios_per_s() const {
+    return wall_s > 0.0 ? static_cast<double>(scenarios) / wall_s : 0.0;
+  }
+  /// Parallel efficiency: busy time / (workers × wall time), in [0, 1].
+  [[nodiscard]] double efficiency() const {
+    return (jobs > 0 && wall_s > 0.0) ? busy_s() / (jobs * wall_s) : 0.0;
+  }
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions options = {});
+
+  /// Resolved worker count (options.jobs, or hardware concurrency).
+  [[nodiscard]] int jobs() const { return jobs_; }
+
+  /// Default for --jobs 0: hardware concurrency, at least 1.
+  [[nodiscard]] static int hardware_jobs();
+
+  /// Execute `fn(i)` for every i in [0, n) across the worker pool and
+  /// return the results in index order. `fn` must be safe to call
+  /// concurrently from several threads on DISTINCT indices (shared-nothing
+  /// scenarios over immutable inputs); each index is invoked exactly once.
+  /// If scenarios throw, the remaining grid still runs and the exception
+  /// with the lowest index is rethrown afterwards — so the failure a
+  /// caller sees does not depend on thread timing.
+  template <typename Fn>
+  auto run(std::size_t n, Fn&& fn)
+      -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+    using R = std::invoke_result_t<Fn&, std::size_t>;
+    static_assert(!std::is_void_v<R>,
+                  "sweep scenarios must return their measurements");
+    std::vector<std::optional<R>> slots(n);
+    struct Ctx {
+      Fn& fn;
+      std::vector<std::optional<R>>& slots;
+    } ctx{fn, slots};
+    dispatch(n, &ctx, [](void* p, std::size_t i) {
+      auto& c = *static_cast<Ctx*>(p);
+      c.slots[i].emplace(c.fn(i));
+    });
+    std::vector<R> out;
+    out.reserve(n);
+    for (auto& s : slots) out.push_back(std::move(*s));
+    return out;
+  }
+
+  [[nodiscard]] const SweepStats& stats() const { return stats_; }
+
+ private:
+  using ScenarioFn = void (*)(void* ctx, std::size_t index);
+  /// Fan `invoke(ctx, i)` for i in [0, n) across the pool; returns after
+  /// every index has run (join gives the caller happens-before over all
+  /// result slots). Rethrows the lowest-index scenario exception.
+  void dispatch(std::size_t n, void* ctx, ScenarioFn invoke);
+
+  int jobs_ = 1;
+  SweepStats stats_;
+};
+
+}  // namespace mpath::benchcore

@@ -25,6 +25,7 @@
 #include "mpath/sim/engine.hpp"
 #include "mpath/sim/fluid.hpp"
 #include "mpath/sim/inline_fn.hpp"
+#include "mpath/sim/owner.hpp"
 #include "mpath/sim/pool.hpp"
 #include "mpath/sim/trace.hpp"
 #include "mpath/topo/binding.hpp"
@@ -192,6 +193,9 @@ class GpuRuntime {
 
   [[nodiscard]] std::string stream_track(StreamId stream) const;
 
+  // Like the engine it drives, a runtime belongs to exactly one thread
+  // (checked in debug builds); parallel sweeps build one per worker.
+  [[no_unique_address]] sim::ThreadOwner owner_;
   const topo::System* system_;
   sim::Engine* engine_;
   sim::FluidNetwork* network_;

@@ -95,6 +95,18 @@ class PathConfigurator {
       topo::DeviceId src, topo::DeviceId dst, std::uint64_t bytes,
       std::span<const topo::PathPlan> paths);
 
+  /// Pure read path: compute the optimal configuration WITHOUT touching
+  /// the cache, LRU list, or hit counters. This is the snapshot-shareable
+  /// entry point for parallel sweeps — many threads may call it
+  /// concurrently on one const PathConfigurator over an immutable
+  /// ModelRegistry, and it returns bit-identical results to configure()
+  /// on a cold cache (same arithmetic, same order).
+  [[nodiscard]] TransferConfig compute_config(
+      topo::DeviceId src, topo::DeviceId dst, std::uint64_t bytes,
+      std::span<const topo::PathPlan> paths) const {
+    return compute(src, dst, bytes, paths);
+  }
+
   [[nodiscard]] std::uint64_t cache_hits() const { return cache_hits_; }
   [[nodiscard]] std::uint64_t cache_misses() const { return cache_misses_; }
   /// Entries dropped by the LRU bound (always 0 with cache_capacity == 0).

@@ -5,10 +5,10 @@
 // Alltoall built from the same P2P steps UCX handles under UCC.
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <vector>
 
+#include "mpath/sim/inline_fn.hpp"
 #include "mpath/sim/sync.hpp"
 #include "mpath/transport/fabric.hpp"
 
@@ -36,12 +36,19 @@ class World {
   [[nodiscard]] int size() const { return static_cast<int>(comms_.size()); }
   [[nodiscard]] Communicator& comm(int rank);
 
+  /// Per-rank entry point. Inline-storage callable (no heap): world wiring
+  /// is setup-time, but benches build thousands of worlds per sweep, so
+  /// their plumbing stays off the allocator too. A coroutine lambda's frame
+  /// references its closure, so the RankMain object must stay alive until
+  /// every rank finishes — run() guarantees this; launch() callers keep the
+  /// callable alive themselves (hence the reference parameter).
+  using RankMain = sim::InlineFn<sim::Task<void>(Communicator&), 128>;
+
   /// Spawn `rank_main` on every rank; returns the processes (join or run
-  /// the engine to completion).
-  std::vector<sim::Process> launch(
-      const std::function<sim::Task<void>(Communicator&)>& rank_main);
-  /// launch() + engine().run().
-  void run(const std::function<sim::Task<void>(Communicator&)>& rank_main);
+  /// the engine to completion). `rank_main` must outlive the ranks.
+  std::vector<sim::Process> launch(RankMain& rank_main);
+  /// launch() + engine().run(); holds `rank_main` alive throughout.
+  void run(RankMain rank_main);
 
   [[nodiscard]] sim::Engine& engine() { return runtime_->engine(); }
   [[nodiscard]] gpusim::GpuRuntime& runtime() { return *runtime_; }

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "mpath/sim/inline_fn.hpp"
+#include "mpath/sim/owner.hpp"
 #include "mpath/sim/pool.hpp"
 #include "mpath/sim/task.hpp"
 #include "mpath/util/small_vec.hpp"
@@ -217,6 +218,10 @@ class Process {
   detail::ProcRef state_;
 };
 
+/// NOT thread-safe: an Engine and everything running on it belong to ONE
+/// thread — the first thread that schedules or runs it (checked in debug
+/// builds via MPATH_ASSERT_OWNER). Parallel sweeps give every worker its
+/// own Engine and share only immutable snapshots across threads.
 class Engine {
  public:
   Engine() = default;
@@ -315,6 +320,7 @@ class Engine {
   void sweep_completed_roots();
   void check_quiescence() const;
 
+  [[no_unique_address]] ThreadOwner owner_;
   std::vector<HeapEntry> heap_;
   std::vector<EventSlot> slots_;
   std::vector<std::uint32_t> free_slots_;

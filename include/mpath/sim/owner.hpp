@@ -1,0 +1,80 @@
+// Debug-only single-owner-thread assertion for shared-nothing components.
+//
+// The simulation stack (sim::Engine, gpusim::GpuRuntime, the thread-local
+// pool) is single-threaded by design: a parallel sweep gives every worker
+// its own private stack and shares only immutable snapshots. ThreadOwner
+// makes that contract checkable: the first thread to touch a guarded object
+// becomes its owner, and any later touch from a different thread aborts
+// with a diagnostic. Checks compile away in release builds (NDEBUG) unless
+// MPATH_OWNER_CHECKS is forced on.
+#pragma once
+
+#ifndef MPATH_OWNER_CHECKS
+#ifndef NDEBUG
+#define MPATH_OWNER_CHECKS 1
+#else
+#define MPATH_OWNER_CHECKS 0
+#endif
+#endif
+
+#if MPATH_OWNER_CHECKS
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#endif
+
+namespace mpath::sim {
+
+#if MPATH_OWNER_CHECKS
+
+class ThreadOwner {
+ public:
+  /// Bind to the calling thread on first use; abort if a different thread
+  /// ever calls afterwards. `what` names the violated object in the
+  /// diagnostic.
+  void assert_held(const char* what) const noexcept {
+    const std::thread::id self = std::this_thread::get_id();
+    std::thread::id expected{};  // id of no thread == "unowned"
+    if (owner_.compare_exchange_strong(expected, self,
+                                       std::memory_order_relaxed)) {
+      return;  // first touch: this thread is now the owner
+    }
+    if (expected != self) fail(what);
+  }
+
+  /// Forget the owner (e.g. after a deliberate single-threaded handoff);
+  /// the next touching thread becomes the new owner.
+  void release() noexcept {
+    owner_.store(std::thread::id{}, std::memory_order_relaxed);
+  }
+
+ private:
+  [[noreturn]] static void fail(const char* what) noexcept {
+    std::fprintf(stderr,
+                 "MPATH_ASSERT_OWNER: %s touched from a thread other than "
+                 "its owner — simulation objects are shared-nothing; give "
+                 "each worker its own instance (see DESIGN.md, \"Parallel "
+                 "sweeps\")\n",
+                 what);
+    std::abort();
+  }
+
+  mutable std::atomic<std::thread::id> owner_{};
+};
+
+#else  // !MPATH_OWNER_CHECKS
+
+class ThreadOwner {
+ public:
+  void assert_held(const char*) const noexcept {}
+  void release() noexcept {}
+};
+
+#endif  // MPATH_OWNER_CHECKS
+
+}  // namespace mpath::sim
+
+/// Assert that the calling thread owns `owner` (a sim::ThreadOwner);
+/// compiles to nothing in release builds.
+#define MPATH_ASSERT_OWNER(owner, what) ((owner).assert_held(what))

@@ -12,18 +12,26 @@ namespace mpath::util {
 
 /// Writes rows of comma-separated values with RFC-4180-style quoting.
 /// Opens lazily on the first row so constructing a writer for an unused
-/// output costs nothing.
+/// output costs nothing. Rows accumulate in a temporary sibling file that
+/// is atomically renamed onto `path` by close() (or the destructor), so an
+/// interrupted run never leaves a truncated CSV at the published path.
 class CsvWriter {
  public:
   explicit CsvWriter(std::string path);
   CsvWriter(const CsvWriter&) = delete;
   CsvWriter& operator=(const CsvWriter&) = delete;
+  ~CsvWriter();
 
   void header(std::initializer_list<std::string_view> columns);
   void row(std::initializer_list<std::string_view> cells);
   void row(const std::vector<std::string>& cells);
+  /// Publish the file: flush, close the temporary, and atomically rename it
+  /// to the final path. No-op when no row was ever written (no file is
+  /// created) or when already closed. Called by the destructor; call it
+  /// explicitly to read the file back while the writer is still in scope.
+  void close();
   /// True once the file has been opened (i.e. at least one row written).
-  [[nodiscard]] bool opened() const { return out_.is_open(); }
+  [[nodiscard]] bool opened() const { return out_.is_open() || closed_; }
   [[nodiscard]] const std::string& path() const { return path_; }
 
   /// Format a double with enough digits for downstream plotting.
@@ -35,7 +43,9 @@ class CsvWriter {
   static std::string escape(std::string_view cell);
 
   std::string path_;
+  std::string tmp_path_;
   std::ofstream out_;
+  bool closed_ = false;
 };
 
 }  // namespace mpath::util

@@ -92,10 +92,8 @@ double measure_bibw(mpisim::World& world, std::size_t bytes,
   return total_bytes / elapsed;
 }
 
-double measure_collective_latency(
-    mpisim::World& world,
-    const std::function<sim::Task<void>(mpisim::Communicator&)>& op,
-    const CollectiveOptions& opt) {
+double measure_collective_latency(mpisim::World& world, CollectiveOp op,
+                                  const CollectiveOptions& opt) {
   if (opt.iterations < 1) {
     throw std::invalid_argument("measure_collective_latency: bad options");
   }

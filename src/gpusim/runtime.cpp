@@ -41,6 +41,7 @@ GpuRuntime::GpuRuntime(const topo::System& system, sim::Engine& engine,
       rng_(seed) {}
 
 StreamId GpuRuntime::create_stream(topo::DeviceId device) {
+  MPATH_ASSERT_OWNER(owner_, "gpusim::GpuRuntime (create_stream)");
   auto tail = sim::make_pooled<sim::Latch>(*engine_);
   tail->fire();  // empty stream is drained
   streams_.push_back(Stream{device, std::move(tail)});
@@ -48,6 +49,7 @@ StreamId GpuRuntime::create_stream(topo::DeviceId device) {
 }
 
 EventId GpuRuntime::create_event() {
+  MPATH_ASSERT_OWNER(owner_, "gpusim::GpuRuntime (create_event)");
   auto latch = sim::make_pooled<sim::Latch>(*engine_);
   latch->fire();  // never-recorded events do not block (CUDA semantics)
   events_.push_back(Event{std::move(latch)});
@@ -64,6 +66,7 @@ bool GpuRuntime::event_fired(EventId event) const {
 
 template <typename MakeOp>
 void GpuRuntime::enqueue(StreamId stream, MakeOp&& make_op) {
+  MPATH_ASSERT_OWNER(owner_, "gpusim::GpuRuntime (stream enqueue)");
   Stream& s = streams_.at(stream);
   auto done = sim::make_pooled<sim::Latch>(*engine_);
   engine_->spawn(make_op(s.tail, done), "gpusim-op");

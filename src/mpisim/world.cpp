@@ -35,8 +35,7 @@ Communicator& World::comm(int rank) {
   return *comms_[static_cast<std::size_t>(rank)];
 }
 
-std::vector<sim::Process> World::launch(
-    const std::function<sim::Task<void>(Communicator&)>& rank_main) {
+std::vector<sim::Process> World::launch(RankMain& rank_main) {
   std::vector<sim::Process> procs;
   procs.reserve(comms_.size());
   for (auto& c : comms_) {
@@ -46,8 +45,9 @@ std::vector<sim::Process> World::launch(
   return procs;
 }
 
-void World::run(
-    const std::function<sim::Task<void>(Communicator&)>& rank_main) {
+void World::run(RankMain rank_main) {
+  // `rank_main` lives in this frame until engine().run() returns, which is
+  // what keeps the rank coroutines' closure state valid while suspended.
   auto procs = launch(rank_main);
   engine().run();
   // run() throws on unjoined failures; reaching here means all ranks

@@ -57,6 +57,7 @@ Engine::~Engine() {
 }
 
 void Engine::push_event(Time t, std::coroutine_handle<> h, EventFn fn) {
+  MPATH_ASSERT_OWNER(owner_, "sim::Engine (event scheduling)");
   assert(t >= now_ && "cannot schedule in the past");
   if (t < now_) t = now_;
   std::uint32_t slot;
@@ -106,6 +107,7 @@ Task<void> run_root(Task<void> inner, detail::ProcRef state) {
 }  // namespace
 
 Process Engine::spawn(Task<void> task, std::string name) {
+  MPATH_ASSERT_OWNER(owner_, "sim::Engine (spawn)");
   // Amortized reclamation: sweeping on a doubling watermark keeps spawn
   // O(1) amortized even when millions of short-lived processes are created
   // (every GPU stream operation is one).
@@ -166,6 +168,7 @@ void Engine::check_quiescence() const {
 }
 
 std::uint64_t Engine::run_impl(Time t_limit, bool bounded) {
+  MPATH_ASSERT_OWNER(owner_, "sim::Engine (run)");
   std::uint64_t processed = 0;
   while (!heap_.empty()) {
     if (bounded && heap_.front().t > t_limit) {

@@ -7,9 +7,27 @@
 
 #include "mpath/benchcore/omb.hpp"
 #include "mpath/benchcore/stack.hpp"
+#include "mpath/util/fsio.hpp"
 #include "mpath/util/log.hpp"
 
 namespace mpath::tuning {
+
+namespace {
+/// Enumerate all compositions (f_1, ..., f_n) with sum <= `remaining` on
+/// the grid, appending each to `out`. Plain recursion — no std::function.
+void enumerate_compositions(std::vector<int>& current, std::size_t idx,
+                            int remaining,
+                            std::vector<std::vector<int>>& out) {
+  if (idx == current.size()) {
+    out.push_back(current);
+    return;
+  }
+  for (int v = 0; v <= remaining; ++v) {
+    current[idx] = v;
+    enumerate_compositions(current, idx + 1, remaining - v, out);
+  }
+}
+}  // namespace
 
 StaticTuner::StaticTuner(topo::System system, topo::PathPolicy policy,
                          StaticTunerOptions options)
@@ -47,21 +65,10 @@ StaticTuneResult StaticTuner::tune(std::size_t bytes) {
                                     std::lround(1.0 / options_.fraction_step)));
   // Enumerate all compositions (f_1, ..., f_{p-1}) of the staged shares on
   // the grid; the direct path takes the remainder (and must keep > 0).
-  std::vector<int> shares(p, 0);
   std::vector<std::vector<int>> compositions;
   std::vector<int> current(p - 1, 0);
-  std::function<void(std::size_t, int)> enumerate =
-      [&](std::size_t idx, int remaining) {
-        if (idx == current.size()) {
-          compositions.push_back(current);
-          return;
-        }
-        for (int v = 0; v <= remaining; ++v) {
-          current[idx] = v;
-          enumerate(idx + 1, remaining - v);
-        }
-      };
-  enumerate(0, steps - 1);  // direct keeps at least one grid step
+  // Direct keeps at least one grid step.
+  enumerate_compositions(current, 0, steps - 1, compositions);
 
   for (const auto& comp : compositions) {
     int staged_total = 0;
@@ -136,16 +143,20 @@ void StaticTuner::store_cached(std::size_t bytes,
   if (options_.cache_dir.empty()) return;
   std::error_code ec;
   std::filesystem::create_directories(options_.cache_dir, ec);
-  std::ofstream out(cache_path(bytes), std::ios::trunc);
-  if (!out) {
-    MPATH_WARN << "StaticTuner: cannot write cache " << cache_path(bytes);
-    return;
-  }
+  std::ostringstream out;
   out.precision(17);  // full double round-trip
   out << result.bandwidth_bps;
   for (double f : result.plan.fractions) out << "," << f;
   for (int k : result.plan.chunks) out << "," << k;
   out << "\n";
+  // Atomic publication: a reader (or a parallel sweep worker tuning the
+  // same point) either sees the complete line or no file at all.
+  try {
+    util::write_file_atomic(cache_path(bytes), out.str());
+  } catch (const std::exception& e) {
+    MPATH_WARN << "StaticTuner: cannot write cache " << cache_path(bytes)
+               << ": " << e.what();
+  }
 }
 
 }  // namespace mpath::tuning

@@ -4,16 +4,40 @@
 #include <span>
 #include <stdexcept>
 
+#include "mpath/util/fsio.hpp"
+#include "mpath/util/log.hpp"
+
 namespace mpath::util {
 
-CsvWriter::CsvWriter(std::string path) : path_(std::move(path)) {}
+CsvWriter::CsvWriter(std::string path)
+    : path_(std::move(path)), tmp_path_(path_ + ".tmp") {}
+
+CsvWriter::~CsvWriter() {
+  try {
+    close();
+  } catch (const std::exception& e) {
+    MPATH_WARN << "CsvWriter: publish of " << path_ << " failed: "
+               << e.what();
+  }
+}
 
 void CsvWriter::ensure_open() {
   if (out_.is_open()) return;
-  out_.open(path_, std::ios::out | std::ios::trunc);
-  if (!out_) {
-    throw std::runtime_error("CsvWriter: cannot open " + path_);
+  if (closed_) {
+    throw std::logic_error("CsvWriter: row after close() on " + path_);
   }
+  out_.open(tmp_path_, std::ios::out | std::ios::trunc);
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + tmp_path_);
+  }
+}
+
+void CsvWriter::close() {
+  if (closed_ || !out_.is_open()) return;
+  out_.flush();
+  out_.close();
+  closed_ = true;
+  atomic_replace(tmp_path_, path_);
 }
 
 std::string CsvWriter::escape(std::string_view cell) {

@@ -1,0 +1,44 @@
+#include "mpath/util/fsio.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+
+namespace mpath::util {
+
+void atomic_replace(const std::string& tmp_path,
+                    const std::string& final_path) {
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) {
+    throw std::runtime_error("atomic_replace: cannot rename " + tmp_path +
+                             " -> " + final_path + ": " + ec.message());
+  }
+}
+
+void write_file_atomic(const std::string& path, std::string_view content) {
+  // Unique per process and per call, so concurrent writers to the same
+  // destination never share a temporary.
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t tid =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  const std::string tmp = path + ".tmp." + std::to_string(tid % 0xFFFF) +
+                          "." + std::to_string(counter.fetch_add(1));
+  {
+    std::ofstream out(tmp, std::ios::out | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("write_file_atomic: cannot open " + tmp);
+    }
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+    if (!out) {
+      throw std::runtime_error("write_file_atomic: short write to " + tmp);
+    }
+  }
+  atomic_replace(tmp, path);
+}
+
+}  // namespace mpath::util

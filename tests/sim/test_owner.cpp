@@ -1,0 +1,116 @@
+#include "mpath/sim/owner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "mpath/sim/engine.hpp"
+#include "mpath/sim/pool.hpp"
+
+namespace ms = mpath::sim;
+
+TEST(ThreadOwner, FirstToucherBecomesOwner) {
+  ms::ThreadOwner owner;
+  // Repeated touches from the binding thread are fine.
+  owner.assert_held("test object");
+  owner.assert_held("test object");
+}
+
+TEST(ThreadOwner, ReleaseAllowsHandoff) {
+  ms::ThreadOwner owner;
+  owner.assert_held("test object");
+  owner.release();
+  // After release, a different thread may become the new owner.
+  std::thread([&owner] { owner.assert_held("test object"); }).join();
+}
+
+TEST(ThreadOwner, EachThreadOwnsItsOwnInstance) {
+  // The parallel-sweep contract: workers never share guarded objects, so
+  // per-worker instances must never trip the check.
+  std::vector<std::thread> workers;
+  for (int i = 0; i < 4; ++i) {
+    workers.emplace_back([] {
+      ms::ThreadOwner owner;
+      ms::Engine engine;
+      engine.spawn([](ms::Engine& e) -> ms::Task<void> {
+        co_await e.delay(1e-6);
+      }(engine));
+      engine.run();
+      owner.assert_held("worker-local object");
+    });
+  }
+  for (auto& w : workers) w.join();
+}
+
+#if MPATH_OWNER_CHECKS
+
+using ThreadOwnerDeathTest = ::testing::Test;
+
+TEST(ThreadOwnerDeathTest, CrossThreadTouchAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ms::ThreadOwner owner;
+        owner.assert_held("guarded object");
+        std::thread([&owner] { owner.assert_held("guarded object"); }).join();
+      },
+      "MPATH_ASSERT_OWNER");
+}
+
+TEST(ThreadOwnerDeathTest, EngineRejectsForeignThread) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ms::Engine engine;
+        engine.spawn([](ms::Engine& e) -> ms::Task<void> {
+          co_await e.delay(1e-6);
+        }(engine));
+        engine.run();  // binds the engine to this thread
+        std::thread([&engine] {
+          engine.spawn([](ms::Engine& e) -> ms::Task<void> {
+            co_await e.delay(1e-6);
+          }(engine));
+        }).join();
+      },
+      "sim::Engine");
+}
+
+#endif  // MPATH_OWNER_CHECKS
+
+#if !MPATH_POOL_PASSTHROUGH
+
+TEST(Pool, ThreadLocalBucketsAreIndependent) {
+  namespace pd = ms::detail;
+  // Warm this thread's pool and snapshot its counters.
+  void* p = pd::pool_alloc(64);
+  pd::pool_free(p, 64);
+  const auto before = pd::pool_counters();
+
+  // Concurrent workers churn their own pools; each must see its own
+  // counters advance and its own recycling hits — without synchronizing
+  // with anyone else's buckets.
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([] {
+      const auto start = pd::pool_counters();
+      for (int i = 0; i < 100; ++i) {
+        void* q = pd::pool_alloc(64);
+        pd::pool_free(q, 64);
+      }
+      const auto end = pd::pool_counters();
+      EXPECT_EQ(end.allocs - start.allocs, 100u);
+      // After the first allocation warms the bucket, the remaining 99
+      // must be recycled from this thread's own free list.
+      EXPECT_GE(end.hits - start.hits, 99u);
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  // Worker churn is invisible to this thread's counters.
+  const auto after = pd::pool_counters();
+  EXPECT_EQ(after.allocs, before.allocs);
+  EXPECT_EQ(after.hits, before.hits);
+}
+
+#endif  // !MPATH_POOL_PASSTHROUGH

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 
 #include "mpath/util/csv.hpp"
 #include "mpath/util/table.hpp"
@@ -34,6 +35,46 @@ TEST(Csv, WritesQuotedCells) {
 TEST(Csv, LazyOpen) {
   mu::CsvWriter w("/tmp/mpath_never_written.csv");
   EXPECT_FALSE(w.opened());
+}
+
+TEST(Csv, PublishesAtomicallyOnClose) {
+  const std::string path = "/tmp/mpath_test_csv_atomic.csv";
+  const std::string tmp = path + ".tmp";
+  std::remove(path.c_str());
+  {
+    mu::CsvWriter w(path);
+    w.header({"a"});
+    w.row({"1"});
+    // Rows land in the temp sibling; the final path must not exist until
+    // close() renames it — an interrupted run leaves no truncated CSV.
+    EXPECT_FALSE(std::ifstream(path).good());
+    EXPECT_TRUE(std::ifstream(tmp).good());
+    w.close();
+    EXPECT_TRUE(std::ifstream(path).good());
+    EXPECT_FALSE(std::ifstream(tmp).good());
+  }
+  EXPECT_EQ(slurp(path), "a\n1\n");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, DestructorPublishes) {
+  const std::string path = "/tmp/mpath_test_csv_dtor.csv";
+  std::remove(path.c_str());
+  {
+    mu::CsvWriter w(path);
+    w.header({"x"});
+  }
+  EXPECT_EQ(slurp(path), "x\n");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RowAfterCloseThrows) {
+  const std::string path = "/tmp/mpath_test_csv_closed.csv";
+  mu::CsvWriter w(path);
+  w.header({"x"});
+  w.close();
+  EXPECT_THROW(w.row({"1"}), std::logic_error);
+  std::remove(path.c_str());
 }
 
 TEST(Csv, NumFormatting) {
