@@ -8,6 +8,7 @@
 
 #include "mpath/mpisim/world.hpp"
 #include "mpath/pipeline/channels.hpp"
+#include "mpath/pipeline/scheduler.hpp"
 
 namespace mpath::benchcore {
 
@@ -34,6 +35,15 @@ class SimStack {
   [[nodiscard]] static SimStack static_plan(topo::System system,
                                             pipeline::StaticPlan plan,
                                             StackOptions options = {});
+  /// Model-driven with a node-level TransferScheduler: every transfer is
+  /// admitted through a joint contention-aware planner (the stack owns the
+  /// scheduler; reach it via scheduler()). With `sched.joint = false` the
+  /// admission machinery records the same history but plans solo — the
+  /// misprediction baseline multi-tenant benchmarks compare against.
+  [[nodiscard]] static SimStack model_driven_scheduled(
+      topo::System system, model::PathConfigurator& configurator,
+      topo::PathPolicy policy, pipeline::SchedulerOptions sched = {},
+      StackOptions options = {});
 
   SimStack(SimStack&&) noexcept = default;
   SimStack& operator=(SimStack&&) noexcept = default;
@@ -49,6 +59,10 @@ class SimStack {
   /// (sim::FaultInjector) degrades or severs links mid-run.
   [[nodiscard]] sim::FluidNetwork& network() { return *network_; }
   [[nodiscard]] const topo::System& system() const { return *system_; }
+  /// Non-null only for model_driven_scheduled stacks.
+  [[nodiscard]] pipeline::TransferScheduler* scheduler() {
+    return scheduler_.get();
+  }
 
  private:
   SimStack(topo::System system, StackOptions options);
@@ -60,6 +74,7 @@ class SimStack {
   std::unique_ptr<sim::FluidNetwork> network_;
   std::unique_ptr<gpusim::GpuRuntime> runtime_;
   std::unique_ptr<pipeline::PipelineEngine> pipeline_;
+  std::unique_ptr<pipeline::TransferScheduler> scheduler_;
   std::unique_ptr<gpusim::DataChannel> channel_;
   std::unique_ptr<mpisim::World> world_;
 };

@@ -5,6 +5,7 @@
 // the fitted model parameters, with a configuration cache in front.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <list>
 #include <span>
@@ -49,6 +50,22 @@ struct ConfiguratorOptions {
   /// behaviour, fine for steady workloads but a slow leak for long-running
   /// processes with high request diversity (fault-driven re-plans).
   std::size_t cache_capacity = 0;
+  /// Width of the cache key in bits (1..64). Test hook: narrowing it forces
+  /// hash collisions between distinct request tuples, exercising the
+  /// collision-detection path without hunting for real 64-bit FNV
+  /// collisions. Production code leaves this at 64.
+  int cache_key_bits = 64;
+};
+
+/// The model-side half of Algorithm 1 (lines 7-21): per-path link
+/// parameters, topology constants, and fully adjusted (Omega, Delta) terms
+/// for one transfer request, before any theta solve. Exposed so the joint
+/// scheduler can run its own contention-aware solve over these terms and
+/// still share the config-building code with the solo path.
+struct PreparedTransfer {
+  std::vector<PathParams> params;
+  std::vector<PhiConstants> phis;  ///< empty slots when not pipelining
+  std::vector<PathTerms> terms;
 };
 
 /// One path's slice of the transfer.
@@ -107,8 +124,29 @@ class PathConfigurator {
     return compute(src, dst, bytes, paths);
   }
 
+  /// Algorithm 1 lines 7-21 only: resolve parameters and adjusted terms,
+  /// no theta solve. Pure (cache untouched).
+  [[nodiscard]] PreparedTransfer prepare(
+      topo::DeviceId src, topo::DeviceId dst, std::uint64_t bytes,
+      std::span<const topo::PathPlan> paths) const;
+
+  /// Algorithm 1 lines 22-29 from an externally supplied theta solution
+  /// (e.g. the joint scheduler's contention-aware solve): integer byte
+  /// shares with the remainder on paths[0], chunk counts, and per-path
+  /// predicted times from `prepared.terms`. Pure (cache untouched).
+  /// compute_config(...) == config_from_theta(prepare(...), solve(...)).
+  [[nodiscard]] TransferConfig config_from_theta(
+      const PreparedTransfer& prepared, std::uint64_t bytes,
+      std::span<const topo::PathPlan> paths, const ThetaSolution& sol) const;
+
   [[nodiscard]] std::uint64_t cache_hits() const { return cache_hits_; }
   [[nodiscard]] std::uint64_t cache_misses() const { return cache_misses_; }
+  /// Distinct request tuples that hashed onto an occupied key. Each one
+  /// recomputes and replaces the entry instead of returning the colliding
+  /// config.
+  [[nodiscard]] std::uint64_t cache_collisions() const {
+    return cache_collisions_;
+  }
   /// Entries dropped by the LRU bound (always 0 with cache_capacity == 0).
   [[nodiscard]] std::uint64_t cache_evictions() const {
     return cache_evictions_;
@@ -126,14 +164,28 @@ class PathConfigurator {
       topo::DeviceId src, topo::DeviceId dst, std::uint64_t bytes,
       std::span<const topo::PathPlan> paths) const;
 
-  [[nodiscard]] static std::uint64_t cache_key(
+  [[nodiscard]] std::uint64_t cache_key(
       topo::DeviceId src, topo::DeviceId dst, std::uint64_t bytes,
-      std::span<const topo::PathPlan> paths);
+      std::span<const topo::PathPlan> paths) const;
 
   struct CacheEntry {
     TransferConfig config;
+    /// The full request tuple the entry was computed for. A hash collision
+    /// between distinct tuples must miss, not alias: the key alone is not
+    /// proof of identity.
+    topo::DeviceId src = 0;
+    topo::DeviceId dst = 0;
+    std::uint64_t bytes = 0;
+    std::vector<topo::PathPlan> paths;
     /// Position in lru_ (most-recent at the front).
     std::list<std::uint64_t>::iterator recency;
+
+    [[nodiscard]] bool matches(
+        topo::DeviceId s, topo::DeviceId d, std::uint64_t b,
+        std::span<const topo::PathPlan> p) const {
+      return src == s && dst == d && bytes == b &&
+             std::equal(paths.begin(), paths.end(), p.begin(), p.end());
+    }
   };
 
   const ModelRegistry* registry_;
@@ -143,6 +195,7 @@ class PathConfigurator {
   std::uint64_t cache_hits_ = 0;
   std::uint64_t cache_misses_ = 0;
   std::uint64_t cache_evictions_ = 0;
+  std::uint64_t cache_collisions_ = 0;
 };
 
 }  // namespace mpath::model

@@ -13,10 +13,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "mpath/model/params.hpp"
+#include "mpath/util/small_vec.hpp"
 
 namespace mpath::model {
 
@@ -48,6 +50,93 @@ class ThetaSolver {
   [[nodiscard]] static double evaluate(std::span<const PathTerms> paths,
                                        std::span<const double> theta,
                                        double n_bytes);
+};
+
+// ---------------------------------------------------------------------------
+// Joint (K-transfer) planning.
+//
+// Under concurrent transfers the fluid network arbitrates shared links
+// max-min fairly, so a path's effective bandwidth is its max-min share, not
+// its solo bandwidth — planning each transfer with Eq. 24 alone makes every
+// predicted T_i wrong and the theta splits fight each other. The joint
+// solver couples the closed form with a capped max-min water-fill:
+//
+//   repeat:
+//     1. water-fill all active paths of all transfers over the shared links
+//        (each path rate-capped at its solo bandwidth 1/Omega_i, each link
+//        at its capacity); in-flight transfers participate as fixed flows,
+//     2. per transfer, re-run the Eq. 24 equal-time solve with the
+//        water-filled effective inverse bandwidths Omega_i' = 1/rate_i,
+//     3. drop paths whose theta went non-positive (they free their link
+//        shares) and repeat until the active sets stabilize.
+//
+// With K = 1 and a transfer whose paths do not exceed any shared link (true
+// for every shipped topology preset), every rate water-fills to its solo
+// cap, Omega' == Omega bit-for-bit, and the result is exactly the
+// single-transfer closed form — Eq. 24 is the K=1 special case.
+// ---------------------------------------------------------------------------
+
+/// One shared resource (fluid link) in a joint solve.
+struct JointLink {
+  double capacity_bps = 0.0;
+  /// Uncapped flows on this link owned by nobody in the solve (traffic that
+  /// bypasses the scheduler); they consume max-min shares but are not
+  /// planned or reported.
+  double background_flows = 0.0;
+};
+
+/// One candidate path of one transfer in a joint solve.
+struct JointPath {
+  PathTerms terms;  ///< solo-calibrated (Omega, Delta)
+  /// Indices into the JointLink array for every link the path occupies
+  /// while streaming (both hops of a pipelined staged path). Repeats count
+  /// as extra traversals. May be empty (path constrained by its solo
+  /// bandwidth only).
+  util::SmallVec<std::uint32_t, 4> links;
+};
+
+/// A transfer whose split is to be solved. paths[0] is the anchor (direct)
+/// path: never excluded, absorbs the closed-form remainder.
+struct JointTransfer {
+  double n_bytes = 0.0;
+  std::span<const JointPath> paths;
+};
+
+/// An in-flight path of an already-planned transfer: its split is fixed, but
+/// it still consumes max-min shares on the links it occupies.
+struct FixedFlow {
+  util::SmallVec<std::uint32_t, 4> links;
+  double cap_bps = 0.0;  ///< solo path bandwidth (rate never exceeds this)
+};
+
+struct JointSolution {
+  /// Per input transfer, the equal-time split under contention. theta and
+  /// predicted_time use the water-filled effective terms.
+  std::vector<ThetaSolution> transfers;
+  /// Final water-fill rate (B/s) per (transfer, path); excluded paths get 0.
+  std::vector<util::SmallVec<double, 4>> path_rates;
+  /// Final water-fill rate per fixed flow, aligned with the input order.
+  std::vector<double> fixed_rates;
+  int iterations = 0;  ///< water-fill / re-solve rounds until stable
+};
+
+class JointThetaSolver {
+ public:
+  /// Jointly solve K transfers sharing `links`, with `fixed` in-flight
+  /// flows as unmovable contention. Requires every transfer to satisfy the
+  /// single-transfer preconditions (non-empty paths, positive Omega and
+  /// n_bytes) and every link capacity to be positive. Deterministic:
+  /// bottleneck ties break on the lowest link index.
+  [[nodiscard]] static JointSolution solve(
+      std::span<const JointTransfer> transfers,
+      std::span<const FixedFlow> fixed, std::span<const JointLink> links);
+
+  /// The capped max-min water-fill alone (exposed for tests and for
+  /// departure-time rate refreshes): rates for `flows`, each capped at its
+  /// cap_bps, sharing `links` max-min fairly with the links' background
+  /// flows. Matches FluidNetwork::reference_rates on cap-free inputs.
+  [[nodiscard]] static std::vector<double> maxmin_rates(
+      std::span<const FixedFlow> flows, std::span<const JointLink> links);
 };
 
 }  // namespace mpath::model

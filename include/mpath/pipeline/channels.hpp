@@ -20,6 +20,8 @@
 
 namespace mpath::pipeline {
 
+class TransferScheduler;
+
 class SinglePathChannel final : public gpusim::DataChannel {
  public:
   explicit SinglePathChannel(PipelineEngine& engine) : engine_(&engine) {}
@@ -71,6 +73,14 @@ class ModelDrivenChannel final : public gpusim::DataChannel {
                      model::PathConfigurator& configurator,
                      topo::PathPolicy policy, ModelDrivenOptions options = {});
 
+  /// Scheduled variant: every multi-path transfer is admitted through
+  /// `scheduler` (joint contention-aware planning); recovery re-plans go
+  /// through TransferScheduler::replan so they see live contention too.
+  /// The scheduler must outlive the channel and share `configurator`.
+  ModelDrivenChannel(PipelineEngine& engine, TransferScheduler& scheduler,
+                     model::PathConfigurator& configurator,
+                     topo::PathPolicy policy, ModelDrivenOptions options = {});
+
   [[nodiscard]] sim::Task<void> transfer(gpusim::DeviceBuffer& dst,
                                          std::size_t dst_offset,
                                          const gpusim::DeviceBuffer& src,
@@ -87,6 +97,9 @@ class ModelDrivenChannel final : public gpusim::DataChannel {
   [[nodiscard]] const topo::PathPolicy& policy() const { return policy_; }
   [[nodiscard]] const RecoveryStats& recovery_stats() const { return stats_; }
   [[nodiscard]] const ModelDrivenOptions& options() const { return options_; }
+  /// The node-level scheduler this channel admits through (null when
+  /// constructed without one — solo planning, legacy behaviour).
+  [[nodiscard]] TransferScheduler* scheduler() const { return scheduler_; }
 
  private:
   [[nodiscard]] const std::vector<topo::PathPlan>& candidate_paths(
@@ -98,6 +111,7 @@ class ModelDrivenChannel final : public gpusim::DataChannel {
 
   PipelineEngine* engine_;
   model::PathConfigurator* configurator_;
+  TransferScheduler* scheduler_ = nullptr;
   topo::PathPolicy policy_;
   ModelDrivenOptions options_;
   RecoveryStats stats_;

@@ -1,0 +1,186 @@
+// Node-level joint transfer scheduler.
+//
+// Each ModelDrivenChannel used to run Algorithm 1 as if it owned the node:
+// under concurrent transfers the fluid network's max-min arbitration makes
+// every solo plan's predicted T_i wrong, and the theta splits fight each
+// other for the same links. The scheduler is the node-wide fix: every
+// transfer is admitted through it, so planning sees the live contention
+// state —
+//
+//   * admission plans the arriving transfer (or a whole batch, e.g. an
+//     allreduce storm) with model::JointThetaSolver: a capped max-min
+//     water-fill over the fluid links' capacities, with every in-flight
+//     transfer's paths as fixed flows and (optionally) non-scheduler
+//     traffic folded in as per-link background weight snapshotted from
+//     FluidNetwork::link_flow_weight;
+//   * the resulting per-path rates replace the solo Omegas in the Eq. 24
+//     equal-time solve, so both the split and the predicted times are
+//     contention-aware (recovery watchdog deadlines inherit the slack
+//     automatically);
+//   * departures / failures / recovery re-plans update the footprint, so
+//     later admissions water-fill against reality.
+//
+// Prediction accounting: each admission records a predicted duration. The
+// record stays live ("unfrozen") while the simulated clock has not advanced
+// past the admit instant, and same-timestamp admissions refresh each
+// other's predictions — a K-transfer storm arriving at one instant ends up
+// with all K predictions solved against the full set. The first event at a
+// strictly later time freezes the prediction; `history()` then pairs it
+// with the measured completion for |predicted - simulated| / simulated
+// reporting (the bench/multi_tenant gate).
+//
+// Single-threaded like the rest of the simulator: the scheduler is driven
+// from coroutines on one sim::Engine.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mpath/model/configurator.hpp"
+#include "mpath/model/theta.hpp"
+#include "mpath/pipeline/engine.hpp"
+
+namespace mpath::pipeline {
+
+struct SchedulerOptions {
+  /// When false, admissions solve solo Eq. 24 exactly like an unscheduled
+  /// ModelDrivenChannel — same admission bookkeeping, same history records.
+  /// This is the ablation baseline the joint gate compares against.
+  bool joint = true;
+  /// Fold fluid flows the scheduler does not own (per-link flow weight
+  /// minus the scheduler's own live paths) into the water-fill as
+  /// background load.
+  bool network_snapshot = true;
+};
+
+class TransferScheduler {
+ public:
+  using TicketId = std::uint64_t;
+  static constexpr TicketId kInvalidTicket = 0;
+
+  struct Request {
+    topo::DeviceId src = 0;
+    topo::DeviceId dst = 0;
+    std::uint64_t bytes = 0;
+    std::span<const topo::PathPlan> paths;  ///< paths[0] = anchor
+  };
+
+  struct Admission {
+    TicketId ticket = kInvalidTicket;
+    model::TransferConfig config;
+  };
+
+  /// One admitted transfer's ledger entry (kept after departure).
+  struct Record {
+    double t_admit = 0.0;
+    double t_depart = -1.0;    ///< simulated completion; -1 while in flight
+    double predicted_s = 0.0;  ///< frozen planner prediction (duration)
+    std::uint64_t bytes = 0;
+    int replans = 0;
+    bool failed = false;
+    [[nodiscard]] bool completed() const { return t_depart >= 0.0 && !failed; }
+    [[nodiscard]] double actual_s() const { return t_depart - t_admit; }
+  };
+
+  struct Stats {
+    std::uint64_t admitted = 0;
+    std::uint64_t departed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t replans = 0;
+    std::uint64_t joint_iterations = 0;  ///< summed solver rounds
+  };
+
+  /// Both references must outlive the scheduler. The configurator supplies
+  /// Algorithm 1's prepare/config halves; theta comes from the joint solve.
+  TransferScheduler(PipelineEngine& engine,
+                    model::PathConfigurator& configurator,
+                    SchedulerOptions options = {});
+  TransferScheduler(const TransferScheduler&) = delete;
+  TransferScheduler& operator=(const TransferScheduler&) = delete;
+
+  /// Plan one transfer against the live contention state and register it as
+  /// in-flight. `paths` must be non-empty; paths[0] is the anchor.
+  [[nodiscard]] Admission admit(topo::DeviceId src, topo::DeviceId dst,
+                                std::uint64_t bytes,
+                                std::span<const topo::PathPlan> paths);
+
+  /// Jointly plan a batch of simultaneous transfers (the K-transfer solve):
+  /// every request's split accounts for all the others plus live traffic.
+  [[nodiscard]] std::vector<Admission> admit_batch(
+      std::span<const Request> requests);
+
+  /// Recovery re-plan: replace the ticket's footprint with a fresh joint
+  /// plan for the undelivered `bytes` over the `survivors` subset
+  /// (survivors[0] is the anchor, configure_over semantics). The ticket's
+  /// history record is continued, not re-created.
+  [[nodiscard]] model::TransferConfig replan(
+      TicketId ticket, std::uint64_t bytes,
+      std::span<const topo::PathPlan> survivors);
+
+  /// The transfer completed: stamp its record and release its footprint.
+  void depart(TicketId ticket);
+  /// The transfer aborted (TransferError): record the failure and release
+  /// its footprint so later plans stop water-filling against it.
+  void fail(TicketId ticket);
+
+  [[nodiscard]] std::size_t live_count() const { return live_.size(); }
+  [[nodiscard]] const std::vector<Record>& history() const { return records_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const SchedulerOptions& options() const { return options_; }
+  [[nodiscard]] model::PathConfigurator& configurator() {
+    return *configurator_;
+  }
+
+ private:
+  /// One live path's modeled residue: which fluid links it occupies, its
+  /// solo rate cap, and how much latency/payload is still ahead of it.
+  struct LivePath {
+    util::SmallVec<std::uint32_t, 4> links;
+    double cap_bps = 0.0;
+    double remaining_delta = 0.0;
+    double remaining_bytes = 0.0;
+  };
+  struct Ticket {
+    TicketId id = kInvalidTicket;
+    std::size_t record = 0;  ///< index into records_
+    double t_admit = 0.0;
+    topo::DeviceId src = 0;
+    topo::DeviceId dst = 0;
+    bool frozen = false;  ///< prediction final (clock moved past t_admit)
+    util::SmallVec<LivePath, 4> paths;
+  };
+
+  /// Advance every live path's modeled residue to `now` at the current
+  /// water-fill rates and freeze predictions whose admit instant has
+  /// passed. Called at the top of every public mutation.
+  void integrate_to(double now);
+  /// Current per-link capacities + non-scheduler background weight.
+  [[nodiscard]] std::vector<model::JointLink> snapshot_links();
+  /// All live paths still moving data, as water-fill flows. `owners`
+  /// receives (ticket index, path index) per flow, aligned with the result.
+  [[nodiscard]] std::vector<model::FixedFlow> live_flows(
+      std::vector<std::pair<std::size_t, std::size_t>>* owners) const;
+  /// Fluid links occupied by `plan` while streaming (both hops of a staged
+  /// path — they are pipelined, so they are concurrently loaded).
+  [[nodiscard]] util::SmallVec<std::uint32_t, 4> plan_links(
+      topo::DeviceId src, topo::DeviceId dst, const topo::PathPlan& plan);
+  /// Refresh the prediction of every unfrozen ticket from its residue and
+  /// the given per-flow rates (same alignment as live_flows).
+  void refresh_predictions(
+      std::span<const double> rates,
+      std::span<const std::pair<std::size_t, std::size_t>> owners);
+  [[nodiscard]] std::size_t find(TicketId ticket);
+  void release(std::size_t index);
+
+  PipelineEngine* engine_;
+  model::PathConfigurator* configurator_;
+  SchedulerOptions options_;
+  std::vector<Ticket> live_;
+  std::vector<Record> records_;
+  Stats stats_;
+  TicketId next_id_ = 1;
+  double last_event_ = 0.0;
+};
+
+}  // namespace mpath::pipeline

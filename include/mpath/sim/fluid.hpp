@@ -130,6 +130,11 @@ class FluidNetwork {
 
   /// Instantaneous aggregate rate allocated on a link (bytes/s).
   [[nodiscard]] double link_allocated_rate(LinkId id) const;
+  /// Instantaneous flow weight on a link: the sum of traversal
+  /// multiplicities of live flows crossing it. This is the contention
+  /// snapshot the joint transfer scheduler folds into its water-fill as
+  /// background load for traffic it does not own.
+  [[nodiscard]] double link_flow_weight(LinkId id) const;
   /// Cumulative bytes moved across a link since construction.
   [[nodiscard]] double link_bytes_transferred(LinkId id) const;
   [[nodiscard]] std::size_t active_flow_count() const {

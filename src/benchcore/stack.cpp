@@ -37,6 +37,21 @@ SimStack SimStack::model_driven(topo::System system,
   return stack;
 }
 
+SimStack SimStack::model_driven_scheduled(topo::System system,
+                                          model::PathConfigurator& configurator,
+                                          topo::PathPolicy policy,
+                                          pipeline::SchedulerOptions sched,
+                                          StackOptions options) {
+  SimStack stack(std::move(system), options);
+  stack.scheduler_ = std::make_unique<pipeline::TransferScheduler>(
+      *stack.pipeline_, configurator, sched);
+  stack.finish(std::make_unique<pipeline::ModelDrivenChannel>(
+                   *stack.pipeline_, *stack.scheduler_, configurator, policy,
+                   options.model),
+               options);
+  return stack;
+}
+
 SimStack SimStack::static_plan(topo::System system, pipeline::StaticPlan plan,
                                StackOptions options) {
   SimStack stack(std::move(system), options);

@@ -12,10 +12,10 @@ PathConfigurator::PathConfigurator(const ModelRegistry& registry,
 
 std::uint64_t PathConfigurator::cache_key(
     topo::DeviceId src, topo::DeviceId dst, std::uint64_t bytes,
-    std::span<const topo::PathPlan> paths) {
-  // FNV-1a over the request tuple; collisions only waste a recompute risk,
-  // never correctness, because the cache stores full configs keyed by hash
-  // of an identical request tuple (same src/dst/bytes/path set).
+    std::span<const topo::PathPlan> paths) const {
+  // FNV-1a over the request tuple. The key is a bucket address only:
+  // distinct tuples can collide, so lookups must verify the stored tuple
+  // (CacheEntry::matches) before trusting the config.
   std::uint64_t h = 1469598103934665603ull;
   auto mix = [&h](std::uint64_t v) {
     h ^= v;
@@ -27,6 +27,10 @@ std::uint64_t PathConfigurator::cache_key(
   for (const auto& p : paths) {
     mix(static_cast<std::uint64_t>(p.kind) + 1);
     mix(p.stage);
+  }
+  if (options_.cache_key_bits < 64) {
+    const int bits = std::max(options_.cache_key_bits, 1);
+    h &= (1ull << bits) - 1ull;
   }
   return h;
 }
@@ -53,16 +57,28 @@ const TransferConfig& PathConfigurator::configure_over(
   const std::uint64_t key = cache_key(src, dst, bytes, paths);
   if (options_.cache_enabled) {
     if (auto it = cache_.find(key); it != cache_.end()) {
-      ++cache_hits_;
-      // Refresh recency: splice the key to the MRU end without touching
-      // the stored config.
-      lru_.splice(lru_.begin(), lru_, it->second.recency);
-      return it->second.config;
+      if (it->second.matches(src, dst, bytes, paths)) {
+        ++cache_hits_;
+        // Refresh recency: splice the key to the MRU end without touching
+        // the stored config.
+        lru_.splice(lru_.begin(), lru_, it->second.recency);
+        return it->second.config;
+      }
+      // A different request tuple hashed onto this key. Fall through to a
+      // recompute that replaces the entry — returning the resident config
+      // here would hand the caller a plan for someone else's transfer.
+      ++cache_collisions_;
     }
   }
   ++cache_misses_;
-  auto [it, inserted] = cache_.insert_or_assign(
-      key, CacheEntry{compute(src, dst, bytes, paths), lru_.end()});
+  CacheEntry fresh;
+  fresh.config = compute(src, dst, bytes, paths);
+  fresh.src = src;
+  fresh.dst = dst;
+  fresh.bytes = bytes;
+  fresh.paths.assign(paths.begin(), paths.end());
+  fresh.recency = lru_.end();
+  auto [it, inserted] = cache_.insert_or_assign(key, std::move(fresh));
   if (inserted) {
     lru_.push_front(key);
   } else {
@@ -81,53 +97,72 @@ const TransferConfig& PathConfigurator::configure_over(
   return it->second.config;
 }
 
-TransferConfig PathConfigurator::compute(
+PreparedTransfer PathConfigurator::prepare(
     topo::DeviceId src, topo::DeviceId dst, std::uint64_t bytes,
     std::span<const topo::PathPlan> paths) const {
   const double n = static_cast<double>(bytes);
   const std::size_t p = paths.size();
 
+  PreparedTransfer out;
   // Lines 7-15: resolve link parameters for every candidate path.
-  std::vector<PathParams> params;
-  params.reserve(p);
+  out.params.reserve(p);
   for (const auto& plan : paths) {
-    params.push_back(registry_->path_params(src, dst, plan));
+    out.params.push_back(registry_->path_params(src, dst, plan));
   }
 
   // Line 19: topology constants; lines 16-21: per-path (Omega, Delta).
-  std::vector<PhiConstants> phis(p);
-  std::vector<PathTerms> terms(p);
+  out.phis.resize(p);
+  out.terms.resize(p);
   const double theta_hint = 1.0 / static_cast<double>(p);
   for (std::size_t i = 0; i < p; ++i) {
     if (options_.pipelining) {
       const double fit_lo = options_.phi_per_message ? n : options_.phi_fit_n_min;
       const double fit_hi = options_.phi_per_message ? n : options_.phi_fit_n_max;
-      phis[i] = PhiFitter::fit_for_path(params[i], fit_lo, fit_hi, theta_hint);
-      terms[i] = terms_pipelined(params[i], phis[i]);
+      out.phis[i] =
+          PhiFitter::fit_for_path(out.params[i], fit_lo, fit_hi, theta_hint);
+      out.terms[i] = terms_pipelined(out.params[i], out.phis[i]);
     } else {
-      terms[i] = terms_unpipelined(params[i]);
+      out.terms[i] = terms_unpipelined(out.params[i]);
     }
     // Contention-aware extension: derate this path's effective bandwidth
     // by the measured intra-path contention factor (>= 1). Applied only in
     // the large-message regime where the factor was measured.
     if (bytes >= options_.omega_override_min_bytes) {
       if (const auto f = registry_->contention_factor(src, dst, paths[i])) {
-        terms[i].omega *= *f;
+        out.terms[i].omega *= *f;
       }
     }
     // Per-message protocol prefix (rendezvous, ack): paid before any path
     // moves data, so it shifts every path's Delta equally.
-    terms[i].delta += registry_->protocol_alpha();
+    out.terms[i].delta += registry_->protocol_alpha();
     // Line 18: paths are initiated sequentially by the host; later paths
     // inherit the accumulated issue latency of earlier ones.
     if (options_.sequential_initiation) {
-      terms[i].delta +=
+      out.terms[i].delta +=
           static_cast<double>(i) * registry_->issue_alpha();
     }
   }
+  return out;
+}
 
+TransferConfig PathConfigurator::compute(
+    topo::DeviceId src, topo::DeviceId dst, std::uint64_t bytes,
+    std::span<const topo::PathPlan> paths) const {
+  const PreparedTransfer prepared = prepare(src, dst, bytes, paths);
   // Lines 22-26: closed-form theta over the (possibly reduced) active set.
-  const ThetaSolution sol = ThetaSolver::solve(terms, n);
+  const ThetaSolution sol =
+      ThetaSolver::solve(prepared.terms, static_cast<double>(bytes));
+  return config_from_theta(prepared, bytes, paths, sol);
+}
+
+TransferConfig PathConfigurator::config_from_theta(
+    const PreparedTransfer& prepared, std::uint64_t bytes,
+    std::span<const topo::PathPlan> paths, const ThetaSolution& sol) const {
+  const double n = static_cast<double>(bytes);
+  const std::size_t p = paths.size();
+  const std::vector<PathParams>& params = prepared.params;
+  const std::vector<PhiConstants>& phis = prepared.phis;
+  const std::vector<PathTerms>& terms = prepared.terms;
 
   TransferConfig config;
   config.total_bytes = bytes;

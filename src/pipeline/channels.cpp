@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "mpath/pipeline/scheduler.hpp"
+
 namespace mpath::pipeline {
 
 namespace {
@@ -14,6 +16,37 @@ ExecPlan direct_plan(std::size_t bytes) {
   return {ExecPath{topo::PathPlan{topo::PathKind::Direct, topo::kInvalidDevice},
                    bytes, 1}};
 }
+
+/// Single path for a small segment: prefer the Direct survivor when one is
+/// alive (lowest latency, no staging buffers); otherwise fall back to the
+/// first survivor, which is the best-ranked staged path in enumeration
+/// order. Without the scan, a dead direct path would silently route small
+/// remainders over whichever survivor happened to sit first.
+std::span<const topo::PathPlan> small_segment_path(
+    const std::vector<topo::PathPlan>& alive) {
+  for (const topo::PathPlan& p : alive) {
+    if (p.kind == topo::PathKind::Direct) return {&p, 1};
+  }
+  return {alive.data(), 1};
+}
+
+/// Marks a scheduler ticket failed if the transfer coroutine unwinds
+/// without departing cleanly, so the scheduler stops water-filling against
+/// a transfer that no longer exists.
+struct ScheduleGuard {
+  TransferScheduler* sched = nullptr;
+  TransferScheduler::TicketId ticket = TransferScheduler::kInvalidTicket;
+  bool armed = true;
+  ScheduleGuard() = default;
+  ScheduleGuard(const ScheduleGuard&) = delete;
+  ScheduleGuard& operator=(const ScheduleGuard&) = delete;
+  ~ScheduleGuard() {
+    if (armed && sched != nullptr &&
+        ticket != TransferScheduler::kInvalidTicket) {
+      sched->fail(ticket);
+    }
+  }
+};
 }  // namespace
 
 sim::Task<void> SinglePathChannel::transfer(gpusim::DeviceBuffer& dst,
@@ -31,6 +64,17 @@ ModelDrivenChannel::ModelDrivenChannel(PipelineEngine& engine,
                                        ModelDrivenOptions options)
     : engine_(&engine),
       configurator_(&configurator),
+      policy_(policy),
+      options_(options) {}
+
+ModelDrivenChannel::ModelDrivenChannel(PipelineEngine& engine,
+                                       TransferScheduler& scheduler,
+                                       model::PathConfigurator& configurator,
+                                       topo::PathPolicy policy,
+                                       ModelDrivenOptions options)
+    : engine_(&engine),
+      configurator_(&configurator),
+      scheduler_(&scheduler),
       policy_(policy),
       options_(options) {}
 
@@ -62,6 +106,24 @@ sim::Task<void> ModelDrivenChannel::transfer(gpusim::DeviceBuffer& dst,
     co_return;
   }
   const auto& paths = candidate_paths(src.device(), dst.device());
+  if (scheduler_ != nullptr) {
+    TransferScheduler::Admission adm =
+        scheduler_->admit(src.device(), dst.device(), bytes, paths);
+    ScheduleGuard guard;
+    guard.sched = scheduler_;
+    guard.ticket = adm.ticket;
+    ExecPlan plan;
+    plan.reserve(adm.config.paths.size());
+    for (const auto& share : adm.config.paths) {
+      plan.push_back(ExecPath{share.plan, share.bytes, share.chunks});
+    }
+    last_config_ = std::move(adm.config);
+    co_await engine_->execute(dst, dst_offset, src, src_offset,
+                              std::move(plan));
+    scheduler_->depart(adm.ticket);
+    guard.armed = false;
+    co_return;
+  }
   const auto& config =
       configurator_->configure(src.device(), dst.device(), bytes, paths);
   last_config_ = config;
@@ -99,18 +161,37 @@ sim::Task<void> ModelDrivenChannel::transfer_with_recovery(
   std::vector<Seg> todo{{0, bytes}};
   int replans = 0;
   double first_timeout = -1.0;
+  ScheduleGuard guard;
+  guard.sched = scheduler_;
 
   while (!todo.empty()) {
     const Seg seg = todo.back();
     todo.pop_back();
-    // Small segments stay single-path (on the preferred survivor), matching
-    // the non-recovery channel's min_multipath threshold.
+    // Small segments stay single-path (on the Direct survivor when alive,
+    // else the first survivor), matching the non-recovery channel's
+    // min_multipath threshold.
     const std::span<const topo::PathPlan> use =
         seg.bytes >= options_.min_multipath_bytes
             ? std::span<const topo::PathPlan>(alive)
-            : std::span<const topo::PathPlan>(alive.data(), 1);
-    const auto& config = configurator_->configure_over(
-        src.device(), dst.device(), seg.bytes, use);
+            : small_segment_path(alive);
+    // By-value snapshot, NOT a reference into the configurator's LRU cache:
+    // this config is read again after co_await execute_monitored below, and
+    // any concurrent transfer on the same configurator could evict the
+    // entry mid-await — a use-after-free with a shared bounded cache.
+    model::TransferConfig config;
+    if (scheduler_ != nullptr) {
+      if (guard.ticket == TransferScheduler::kInvalidTicket) {
+        TransferScheduler::Admission adm =
+            scheduler_->admit(src.device(), dst.device(), seg.bytes, use);
+        guard.ticket = adm.ticket;
+        config = std::move(adm.config);
+      } else {
+        config = scheduler_->replan(guard.ticket, seg.bytes, use);
+      }
+    } else {
+      config = configurator_->configure_over(src.device(), dst.device(),
+                                             seg.bytes, use);
+    }
     last_config_ = config;
     ExecPlan plan;
     PathWatchList watch;
@@ -171,6 +252,11 @@ sim::Task<void> ModelDrivenChannel::transfer_with_recovery(
           std::move(info));
     }
     ++stats_.replans;
+  }
+  if (scheduler_ != nullptr &&
+      guard.ticket != TransferScheduler::kInvalidTicket) {
+    scheduler_->depart(guard.ticket);
+    guard.armed = false;
   }
   if (first_timeout >= 0.0) {
     ++stats_.transfers_recovered;

@@ -1,0 +1,326 @@
+#include "mpath/pipeline/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace mpath::pipeline {
+
+TransferScheduler::TransferScheduler(PipelineEngine& engine,
+                                     model::PathConfigurator& configurator,
+                                     SchedulerOptions options)
+    : engine_(&engine), configurator_(&configurator), options_(options) {}
+
+util::SmallVec<std::uint32_t, 4> TransferScheduler::plan_links(
+    topo::DeviceId src, topo::DeviceId dst, const topo::PathPlan& plan) {
+  const gpusim::GpuRuntime& rt = engine_->runtime();
+  const auto hops = topo::path_hop_routes(rt.topology(), src, dst, plan);
+  util::SmallVec<std::uint32_t, 4> out;
+  // Both hops of a staged path are pipelined — concurrently loaded — so the
+  // footprint is the union of all hop edges.
+  for (const auto& hop : hops) {
+    for (topo::EdgeId e : hop) out.push_back(rt.binding().link_for_edge(e));
+  }
+  return out;
+}
+
+std::vector<model::JointLink> TransferScheduler::snapshot_links() {
+  const sim::FluidNetwork& net = engine_->runtime().binding().network();
+  std::vector<double> own(net.link_count(), 0.0);
+  for (const Ticket& t : live_) {
+    for (const LivePath& p : t.paths) {
+      if (p.remaining_bytes <= 0.0) continue;
+      for (std::uint32_t l : p.links) own[l] += 1.0;
+    }
+  }
+  std::vector<model::JointLink> links(net.link_count());
+  for (std::uint32_t l = 0; l < net.link_count(); ++l) {
+    // Severed links (capacity 0, fault injection) are floored at 1 B/s so
+    // the solver stays defined; paths over them plan as effectively dead.
+    links[l].capacity_bps = std::max(net.link(l).capacity_bps, 1.0);
+    // Whatever streams on the link beyond this scheduler's own live paths
+    // (per-chunk flows are attributed to their owning path, not double
+    // counted) is background traffic that still takes max-min shares.
+    links[l].background_flows =
+        options_.network_snapshot
+            ? std::max(0.0, net.link_flow_weight(l) - own[l])
+            : 0.0;
+  }
+  return links;
+}
+
+std::vector<model::FixedFlow> TransferScheduler::live_flows(
+    std::vector<std::pair<std::size_t, std::size_t>>* owners) const {
+  std::vector<model::FixedFlow> flows;
+  if (owners) owners->clear();
+  for (std::size_t ti = 0; ti < live_.size(); ++ti) {
+    const Ticket& t = live_[ti];
+    for (std::size_t pi = 0; pi < t.paths.size(); ++pi) {
+      const LivePath& p = t.paths[pi];
+      if (p.remaining_bytes <= 0.0) continue;
+      model::FixedFlow f;
+      f.links = p.links;
+      f.cap_bps = p.cap_bps;
+      flows.push_back(std::move(f));
+      if (owners) owners->emplace_back(ti, pi);
+    }
+  }
+  return flows;
+}
+
+void TransferScheduler::integrate_to(double now) {
+  if (now > last_event_ && !live_.empty()) {
+    std::vector<std::pair<std::size_t, std::size_t>> owners;
+    const auto flows = live_flows(&owners);
+    if (!flows.empty()) {
+      const auto links = snapshot_links();
+      const auto rates = model::JointThetaSolver::maxmin_rates(flows, links);
+      const double dt = now - last_event_;
+      for (std::size_t j = 0; j < flows.size(); ++j) {
+        LivePath& p = live_[owners[j].first].paths[owners[j].second];
+        // A path spends its latency prefix first, then streams.
+        const double lat = std::min(p.remaining_delta, dt);
+        p.remaining_delta -= lat;
+        p.remaining_bytes =
+            std::max(0.0, p.remaining_bytes - rates[j] * (dt - lat));
+      }
+    }
+    // The clock moved past these tickets' admit instant: their recorded
+    // predictions are final.
+    for (Ticket& t : live_) {
+      if (t.t_admit < now) t.frozen = true;
+    }
+  }
+  last_event_ = std::max(last_event_, now);
+}
+
+void TransferScheduler::refresh_predictions(
+    std::span<const double> rates,
+    std::span<const std::pair<std::size_t, std::size_t>> owners) {
+  // Reset the estimate of every unfrozen ticket that still has live flows;
+  // the stale admission prediction is superseded by this refresh.
+  for (const auto& [ti, pi] : owners) {
+    Ticket& t = live_[ti];
+    if (!t.frozen) records_[t.record].predicted_s = 0.0;
+  }
+  for (std::size_t j = 0; j < owners.size(); ++j) {
+    Ticket& t = live_[owners[j].first];
+    if (t.frozen) continue;
+    const LivePath& p = t.paths[owners[j].second];
+    const double path_time =
+        rates[j] > 0.0
+            ? p.remaining_delta + p.remaining_bytes / rates[j]
+            : p.remaining_delta + p.remaining_bytes;  // severed: degenerate
+    // The transfer finishes when its slowest fixed-split path does.
+    Record& rec = records_[t.record];
+    rec.predicted_s =
+        std::max(rec.predicted_s, (last_event_ - t.t_admit) + path_time);
+  }
+}
+
+TransferScheduler::Admission TransferScheduler::admit(
+    topo::DeviceId src, topo::DeviceId dst, std::uint64_t bytes,
+    std::span<const topo::PathPlan> paths) {
+  Request r;
+  r.src = src;
+  r.dst = dst;
+  r.bytes = bytes;
+  r.paths = paths;
+  auto batch = admit_batch(std::span<const Request>(&r, 1));
+  return std::move(batch.front());
+}
+
+std::vector<TransferScheduler::Admission> TransferScheduler::admit_batch(
+    std::span<const Request> requests) {
+  const double now = engine_->runtime().engine().now();
+  integrate_to(now);
+  if (requests.empty()) return {};
+  for (const Request& r : requests) {
+    if (r.paths.empty()) {
+      throw std::invalid_argument("TransferScheduler: no candidate paths");
+    }
+    if (r.bytes == 0) {
+      throw std::invalid_argument("TransferScheduler: zero-byte transfer");
+    }
+  }
+
+  struct PendingPlan {
+    model::PreparedTransfer prepared;
+    std::vector<model::JointPath> jpaths;
+  };
+  std::vector<PendingPlan> pending(requests.size());
+  for (std::size_t k = 0; k < requests.size(); ++k) {
+    const Request& r = requests[k];
+    pending[k].prepared = configurator_->prepare(r.src, r.dst, r.bytes,
+                                                 r.paths);
+    pending[k].jpaths.resize(r.paths.size());
+    for (std::size_t i = 0; i < r.paths.size(); ++i) {
+      pending[k].jpaths[i].terms = pending[k].prepared.terms[i];
+      pending[k].jpaths[i].links = plan_links(r.src, r.dst, r.paths[i]);
+    }
+  }
+
+  std::vector<Admission> out(requests.size());
+  if (options_.joint) {
+    const auto links = snapshot_links();
+    std::vector<std::pair<std::size_t, std::size_t>> owners;
+    const auto fixed = live_flows(&owners);
+    std::vector<model::JointTransfer> jts(requests.size());
+    for (std::size_t k = 0; k < requests.size(); ++k) {
+      jts[k].n_bytes = static_cast<double>(requests[k].bytes);
+      jts[k].paths = pending[k].jpaths;
+    }
+    const model::JointSolution jsol =
+        model::JointThetaSolver::solve(jts, fixed, links);
+    stats_.joint_iterations += static_cast<std::uint64_t>(jsol.iterations);
+    for (std::size_t k = 0; k < requests.size(); ++k) {
+      // Contended paths carry their water-filled effective Omega into the
+      // config, so predicted times — and the recovery watchdog deadlines
+      // derived from them — are contention-aware instead of optimistic.
+      model::PreparedTransfer eff = pending[k].prepared;
+      for (std::size_t i = 0; i < eff.terms.size(); ++i) {
+        const double rate = jsol.path_rates[k][i];
+        const double cap = 1.0 / pending[k].prepared.terms[i].omega;
+        if (rate > 0.0 && rate < cap) eff.terms[i].omega = 1.0 / rate;
+      }
+      out[k].config = configurator_->config_from_theta(
+          eff, requests[k].bytes, requests[k].paths, jsol.transfers[k]);
+    }
+    // In-flight (and same-instant, still unfrozen) transfers now share
+    // links with the arrivals: refresh their recorded predictions.
+    refresh_predictions(jsol.fixed_rates, owners);
+  } else {
+    for (std::size_t k = 0; k < requests.size(); ++k) {
+      const model::ThetaSolution sol = model::ThetaSolver::solve(
+          pending[k].prepared.terms, static_cast<double>(requests[k].bytes));
+      out[k].config = configurator_->config_from_theta(
+          pending[k].prepared, requests[k].bytes, requests[k].paths, sol);
+    }
+  }
+
+  for (std::size_t k = 0; k < requests.size(); ++k) {
+    Ticket t;
+    t.id = next_id_++;
+    t.record = records_.size();
+    t.t_admit = now;
+    t.src = requests[k].src;
+    t.dst = requests[k].dst;
+    for (std::size_t i = 0; i < requests[k].paths.size(); ++i) {
+      if (out[k].config.paths[i].bytes == 0) continue;
+      LivePath p;
+      p.links = pending[k].jpaths[i].links;
+      p.cap_bps = 1.0 / pending[k].prepared.terms[i].omega;
+      p.remaining_delta = pending[k].prepared.terms[i].delta;
+      p.remaining_bytes =
+          static_cast<double>(out[k].config.paths[i].bytes);
+      t.paths.push_back(std::move(p));
+    }
+    out[k].ticket = t.id;
+    Record rec;
+    rec.t_admit = now;
+    rec.predicted_s = out[k].config.predicted_time;
+    rec.bytes = requests[k].bytes;
+    records_.push_back(rec);
+    live_.push_back(std::move(t));
+    ++stats_.admitted;
+  }
+  return out;
+}
+
+model::TransferConfig TransferScheduler::replan(
+    TicketId ticket, std::uint64_t bytes,
+    std::span<const topo::PathPlan> survivors) {
+  const double now = engine_->runtime().engine().now();
+  integrate_to(now);
+  if (survivors.empty()) {
+    throw std::invalid_argument("TransferScheduler: no surviving paths");
+  }
+  if (bytes == 0) {
+    throw std::invalid_argument("TransferScheduler: zero-byte replan");
+  }
+  Ticket& t = live_[find(ticket)];
+  // The old footprint is gone: timed-out paths were cancelled, healthy ones
+  // completed their slices. The remainder gets a fresh joint plan.
+  t.paths.clear();
+
+  const model::PreparedTransfer prepared =
+      configurator_->prepare(t.src, t.dst, bytes, survivors);
+  std::vector<model::JointPath> jpaths(survivors.size());
+  for (std::size_t i = 0; i < survivors.size(); ++i) {
+    jpaths[i].terms = prepared.terms[i];
+    jpaths[i].links = plan_links(t.src, t.dst, survivors[i]);
+  }
+
+  model::TransferConfig config;
+  if (options_.joint) {
+    const auto links = snapshot_links();
+    std::vector<std::pair<std::size_t, std::size_t>> owners;
+    const auto fixed = live_flows(&owners);
+    model::JointTransfer jt;
+    jt.n_bytes = static_cast<double>(bytes);
+    jt.paths = jpaths;
+    const model::JointSolution jsol = model::JointThetaSolver::solve(
+        std::span<const model::JointTransfer>(&jt, 1), fixed, links);
+    stats_.joint_iterations += static_cast<std::uint64_t>(jsol.iterations);
+    model::PreparedTransfer eff = prepared;
+    for (std::size_t i = 0; i < eff.terms.size(); ++i) {
+      const double rate = jsol.path_rates[0][i];
+      const double cap = 1.0 / prepared.terms[i].omega;
+      if (rate > 0.0 && rate < cap) eff.terms[i].omega = 1.0 / rate;
+    }
+    config = configurator_->config_from_theta(eff, bytes, survivors,
+                                              jsol.transfers[0]);
+    refresh_predictions(jsol.fixed_rates, owners);
+  } else {
+    const model::ThetaSolution sol = model::ThetaSolver::solve(
+        prepared.terms, static_cast<double>(bytes));
+    config = configurator_->config_from_theta(prepared, bytes, survivors, sol);
+  }
+
+  for (std::size_t i = 0; i < survivors.size(); ++i) {
+    if (config.paths[i].bytes == 0) continue;
+    LivePath p;
+    p.links = jpaths[i].links;
+    p.cap_bps = 1.0 / prepared.terms[i].omega;
+    p.remaining_delta = prepared.terms[i].delta;
+    p.remaining_bytes = static_cast<double>(config.paths[i].bytes);
+    t.paths.push_back(std::move(p));
+  }
+  ++records_[t.record].replans;
+  ++stats_.replans;
+  return config;
+}
+
+void TransferScheduler::depart(TicketId ticket) {
+  const double now = engine_->runtime().engine().now();
+  integrate_to(now);
+  const std::size_t idx = find(ticket);
+  records_[live_[idx].record].t_depart = now;
+  ++stats_.departed;
+  release(idx);
+}
+
+void TransferScheduler::fail(TicketId ticket) {
+  const double now = engine_->runtime().engine().now();
+  integrate_to(now);
+  const std::size_t idx = find(ticket);
+  Record& rec = records_[live_[idx].record];
+  rec.t_depart = now;
+  rec.failed = true;
+  ++stats_.failed;
+  release(idx);
+}
+
+std::size_t TransferScheduler::find(TicketId ticket) {
+  for (std::size_t i = 0; i < live_.size(); ++i) {
+    if (live_[i].id == ticket) return i;
+  }
+  throw std::invalid_argument("TransferScheduler: unknown ticket");
+}
+
+void TransferScheduler::release(std::size_t index) {
+  live_[index] = std::move(live_.back());
+  live_.pop_back();
+}
+
+}  // namespace mpath::pipeline

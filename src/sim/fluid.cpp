@@ -91,6 +91,13 @@ double FluidNetwork::link_bytes_transferred(LinkId id) const {
   return links_.at(id).bytes_transferred;
 }
 
+double FluidNetwork::link_flow_weight(LinkId id) const {
+  if (id >= links_.size()) throw std::out_of_range("bad LinkId");
+  double weight = 0.0;
+  for (const LinkEntry& e : links_[id].entries) weight += e.mult;
+  return weight;
+}
+
 void FluidNetwork::progress_to_now() {
   const Time now = engine_->now();
   const double dt = now - last_progress_;

@@ -340,3 +340,59 @@ TEST(Configurator, ReturnedReferenceSurvivesEviction) {
   const auto& again = cfg.configure(f.gpus[0], f.gpus[1], 32u << 20, paths);
   EXPECT_EQ(sum_bytes(again), 32u << 20);
 }
+
+// Regression: the cache used to trust the FNV-1a key alone, so two distinct
+// request tuples hashing onto the same key silently aliased — the second
+// request got the first request's config. cache_key_bits = 1 forces every
+// request onto one of two keys, guaranteeing collisions without hunting for
+// real 64-bit FNV collisions.
+TEST(Configurator, HashCollisionDoesNotAliasConfigs) {
+  Fixture f;
+  mm::ConfiguratorOptions opt;
+  opt.cache_key_bits = 1;
+  mm::PathConfigurator cfg(f.reg, opt);
+  const auto paths = f.paths(mt::PathPolicy::two_gpus());
+  std::vector<std::uint64_t> sizes;
+  for (std::uint64_t i = 1; i <= 8; ++i) sizes.push_back(i << 20);
+  for (std::uint64_t n : sizes) {
+    // Every lookup must return the config for ITS tuple, not whatever
+    // tuple currently owns the colliding key.
+    const auto& c = cfg.configure(f.gpus[0], f.gpus[1], n, paths);
+    EXPECT_EQ(sum_bytes(c), n);
+    EXPECT_EQ(c.total_bytes, n);
+  }
+  // 8 distinct tuples over <= 2 keys: at least 6 detected collisions.
+  EXPECT_GE(cfg.cache_collisions(), 6u);
+  EXPECT_LE(cfg.cache_size(), 2u);
+  // A genuine repeat still hits.
+  const std::uint64_t hits_before = cfg.cache_hits();
+  const auto& c = cfg.configure(f.gpus[0], f.gpus[1], sizes.back(), paths);
+  EXPECT_EQ(c.total_bytes, sizes.back());
+  EXPECT_EQ(cfg.cache_hits(), hits_before + 1);
+}
+
+// compute_config == config_from_theta(prepare(...), ThetaSolver::solve) —
+// the split entry points the joint scheduler uses must agree bit-for-bit
+// with the monolithic path.
+TEST(Configurator, PrepareAndConfigFromThetaMatchCompute) {
+  Fixture f;
+  mm::PathConfigurator cfg(f.reg);
+  const auto paths = f.paths(mt::PathPolicy::three_gpus_with_host());
+  for (std::uint64_t n : {64u << 10, 2u << 20, 64u << 20, 512u << 20}) {
+    const auto whole = cfg.compute_config(f.gpus[0], f.gpus[1], n, paths);
+    const auto prepared = cfg.prepare(f.gpus[0], f.gpus[1], n, paths);
+    const auto sol =
+        mm::ThetaSolver::solve(prepared.terms, static_cast<double>(n));
+    const auto split = cfg.config_from_theta(prepared, n, paths, sol);
+    ASSERT_EQ(split.paths.size(), whole.paths.size());
+    EXPECT_EQ(split.total_bytes, whole.total_bytes);
+    EXPECT_DOUBLE_EQ(split.predicted_time, whole.predicted_time);
+    for (std::size_t i = 0; i < whole.paths.size(); ++i) {
+      EXPECT_EQ(split.paths[i].bytes, whole.paths[i].bytes);
+      EXPECT_EQ(split.paths[i].chunks, whole.paths[i].chunks);
+      EXPECT_DOUBLE_EQ(split.paths[i].theta, whole.paths[i].theta);
+      EXPECT_DOUBLE_EQ(split.paths[i].predicted_time,
+                       whole.paths[i].predicted_time);
+    }
+  }
+}

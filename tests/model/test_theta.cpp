@@ -180,3 +180,216 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(2, 3),
                        ::testing::Values(2e6, 16e6, 64e6, 512e6),
                        ::testing::Values(11u, 23u, 37u)));
+
+// ---------------------------------------------------------------------------
+// Joint K-transfer solver.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+mm::FixedFlow flow(std::initializer_list<std::uint32_t> links, double cap) {
+  mm::FixedFlow f;
+  for (std::uint32_t l : links) f.links.push_back(l);
+  f.cap_bps = cap;
+  return f;
+}
+
+mm::JointPath jpath(double omega, double delta,
+                    std::initializer_list<std::uint32_t> links) {
+  mm::JointPath p;
+  p.terms = mm::PathTerms{omega, delta};
+  for (std::uint32_t l : links) p.links.push_back(l);
+  return p;
+}
+
+}  // namespace
+
+TEST(JointMaxMin, UncontendedFlowsHitTheirCaps) {
+  std::vector<mm::JointLink> links{{100e9, 0.0}};
+  std::vector<mm::FixedFlow> flows{flow({0}, 40e9), flow({0}, 50e9)};
+  const auto rates = mm::JointThetaSolver::maxmin_rates(flows, links);
+  EXPECT_DOUBLE_EQ(rates[0], 40e9);
+  EXPECT_DOUBLE_EQ(rates[1], 50e9);
+}
+
+TEST(JointMaxMin, SharedBottleneckSplitsEqually) {
+  std::vector<mm::JointLink> links{{46e9, 0.0}};
+  std::vector<mm::FixedFlow> flows{flow({0}, 46e9), flow({0}, 46e9)};
+  const auto rates = mm::JointThetaSolver::maxmin_rates(flows, links);
+  EXPECT_DOUBLE_EQ(rates[0], 23e9);
+  EXPECT_DOUBLE_EQ(rates[1], 23e9);
+}
+
+TEST(JointMaxMin, FrozenSlowFlowFreesResidualForFastFlow) {
+  // Classic max-min: flow 0 is capped well below its fair share, so flow 1
+  // picks up the residual 100 - 10 = 90.
+  std::vector<mm::JointLink> links{{100e9, 0.0}};
+  std::vector<mm::FixedFlow> flows{flow({0}, 10e9), flow({0}, 1e12)};
+  const auto rates = mm::JointThetaSolver::maxmin_rates(flows, links);
+  EXPECT_DOUBLE_EQ(rates[0], 10e9);
+  EXPECT_DOUBLE_EQ(rates[1], 90e9);
+}
+
+TEST(JointMaxMin, BackgroundFlowsConsumeShares) {
+  // One planned flow + two background flows on a 90 GB/s link: everyone
+  // gets 30.
+  std::vector<mm::JointLink> links{{90e9, 2.0}};
+  std::vector<mm::FixedFlow> flows{flow({0}, 1e12)};
+  const auto rates = mm::JointThetaSolver::maxmin_rates(flows, links);
+  EXPECT_DOUBLE_EQ(rates[0], 30e9);
+}
+
+TEST(JointMaxMin, MultiHopFlowBottlenecksOnTightestLink) {
+  std::vector<mm::JointLink> links{{100e9, 0.0}, {20e9, 0.0}};
+  std::vector<mm::FixedFlow> flows{flow({0, 1}, 1e12), flow({0}, 1e12)};
+  const auto rates = mm::JointThetaSolver::maxmin_rates(flows, links);
+  EXPECT_DOUBLE_EQ(rates[0], 20e9);  // pinned by link 1
+  EXPECT_DOUBLE_EQ(rates[1], 80e9);  // residual of link 0
+}
+
+TEST(JointMaxMin, RepeatedLinkCountsAsTwoTraversals) {
+  // A flow that crosses the same link twice consumes double share there.
+  std::vector<mm::JointLink> links{{60e9, 0.0}};
+  std::vector<mm::FixedFlow> flows{flow({0, 0}, 1e12), flow({0}, 1e12)};
+  const auto rates = mm::JointThetaSolver::maxmin_rates(flows, links);
+  // Three traversals on a 60 GB/s link -> a 20 GB/s fair share per
+  // traversal; both flows freeze at the shared bottleneck rate, with the
+  // double-traversal flow consuming 40 of the 60.
+  EXPECT_DOUBLE_EQ(rates[0], 20e9);
+  EXPECT_DOUBLE_EQ(rates[1], 20e9);
+}
+
+TEST(JointMaxMin, InputValidation) {
+  std::vector<mm::JointLink> links{{46e9, 0.0}};
+  std::vector<mm::FixedFlow> bad_cap{flow({0}, 0.0)};
+  EXPECT_THROW((void)mm::JointThetaSolver::maxmin_rates(bad_cap, links),
+               std::invalid_argument);
+  std::vector<mm::FixedFlow> bad_link{flow({7}, 10e9)};
+  EXPECT_THROW((void)mm::JointThetaSolver::maxmin_rates(bad_link, links),
+               std::invalid_argument);
+  std::vector<mm::JointLink> bad_cap_link{{0.0, 0.0}};
+  std::vector<mm::FixedFlow> ok{flow({0}, 10e9)};
+  EXPECT_THROW((void)mm::JointThetaSolver::maxmin_rates(ok, bad_cap_link),
+               std::invalid_argument);
+}
+
+TEST(JointTheta, SingleTransferReducesToClosedFormExactly) {
+  // K=1 with links that never bind: bit-for-bit identical to Eq. 24.
+  std::vector<mm::JointLink> links{{200e9, 0.0}, {200e9, 0.0}};
+  std::vector<mm::JointPath> paths{jpath(1.0 / 46e9, 2e-6, {0}),
+                                   jpath(1.0 / 40e9, 8e-6, {1}),
+                                   jpath(1.0 / 11e9, 20e-6, {0, 1})};
+  std::vector<mm::JointTransfer> transfers{{256e6, paths}};
+  const auto joint = mm::JointThetaSolver::solve(transfers, {}, links);
+  std::vector<mm::PathTerms> terms;
+  for (const auto& p : paths) terms.push_back(p.terms);
+  const auto solo = mm::ThetaSolver::solve(terms, 256e6);
+  ASSERT_EQ(joint.transfers.size(), 1u);
+  ASSERT_EQ(joint.transfers[0].theta.size(), solo.theta.size());
+  for (std::size_t i = 0; i < solo.theta.size(); ++i) {
+    EXPECT_DOUBLE_EQ(joint.transfers[0].theta[i], solo.theta[i]);
+  }
+  EXPECT_DOUBLE_EQ(joint.transfers[0].predicted_time, solo.predicted_time);
+  EXPECT_EQ(joint.iterations, 1);
+}
+
+TEST(JointTheta, TwoTransfersOnSharedLinkDoublePredictedTime) {
+  // Two identical single-path transfers squeeze through one link sized for
+  // exactly one of them: each gets half the bandwidth, so the predicted
+  // time is the solo time with Omega doubled.
+  const double omega = 1.0 / 46e9;
+  std::vector<mm::JointLink> links{{46e9, 0.0}};
+  std::vector<mm::JointPath> paths{jpath(omega, 2e-6, {0})};
+  std::vector<mm::JointTransfer> transfers{{64e6, paths}, {64e6, paths}};
+  const auto joint = mm::JointThetaSolver::solve(transfers, {}, links);
+  const double expected = 2e-6 + 64e6 / 23e9;
+  for (const auto& t : joint.transfers) {
+    ASSERT_EQ(t.theta.size(), 1u);
+    EXPECT_DOUBLE_EQ(t.theta[0], 1.0);
+    EXPECT_NEAR(t.predicted_time, expected, 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(joint.path_rates[0][0], 23e9);
+  EXPECT_DOUBLE_EQ(joint.path_rates[1][0], 23e9);
+}
+
+TEST(JointTheta, ContentionShiftsShareToUncontestedPath) {
+  // Transfer 0 has a private path (link 1) and a shared path (link 0).
+  // Transfer 1 hammers link 0. Jointly, transfer 0 must lean on link 1
+  // harder than its solo split would.
+  std::vector<mm::JointLink> links{{46e9, 0.0}, {46e9, 0.0}};
+  std::vector<mm::JointPath> a{jpath(1.0 / 46e9, 2e-6, {1}),
+                               jpath(1.0 / 46e9, 2e-6, {0})};
+  std::vector<mm::JointPath> b{jpath(1.0 / 46e9, 2e-6, {0})};
+  std::vector<mm::JointTransfer> transfers{{128e6, a}, {128e6, b}};
+  const auto joint = mm::JointThetaSolver::solve(transfers, {}, links);
+
+  std::vector<mm::PathTerms> solo_terms{a[0].terms, a[1].terms};
+  const auto solo = mm::ThetaSolver::solve(solo_terms, 128e6);
+  EXPECT_GT(joint.transfers[0].theta[0], solo.theta[0]);
+  // And the contended transfer is predicted slower than a solo run.
+  const double solo_b = 2e-6 + 128e6 / 46e9;
+  EXPECT_GT(joint.transfers[1].predicted_time, solo_b);
+}
+
+TEST(JointTheta, FixedFlowsActAsContention) {
+  // A fixed in-flight flow on the link halves a K=1 transfer's bandwidth.
+  std::vector<mm::JointLink> links{{46e9, 0.0}};
+  std::vector<mm::JointPath> paths{jpath(1.0 / 46e9, 2e-6, {0})};
+  std::vector<mm::JointTransfer> transfers{{64e6, paths}};
+  std::vector<mm::FixedFlow> fixed{flow({0}, 46e9)};
+  const auto joint = mm::JointThetaSolver::solve(transfers, fixed, links);
+  EXPECT_NEAR(joint.transfers[0].predicted_time, 2e-6 + 64e6 / 23e9, 1e-12);
+  ASSERT_EQ(joint.fixed_rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(joint.fixed_rates[0], 23e9);
+}
+
+TEST(JointTheta, ContendedStagedPathDroppedForSmallMessage) {
+  // The staged path is only worth its Delta when it delivers real
+  // bandwidth; under heavy contention its effective Omega balloons and the
+  // per-transfer re-solve must drop it (theta = 0, rate released).
+  std::vector<mm::JointLink> links{{46e9, 0.0}, {46e9, 20.0}};
+  std::vector<mm::JointPath> paths{jpath(1.0 / 46e9, 2e-6, {0}),
+                                   jpath(1.0 / 40e9, 60e-6, {1})};
+  std::vector<mm::JointTransfer> transfers{{1e6, paths}};
+  const auto joint = mm::JointThetaSolver::solve(transfers, {}, links);
+  EXPECT_DOUBLE_EQ(joint.transfers[0].theta[0], 1.0);
+  EXPECT_DOUBLE_EQ(joint.transfers[0].theta[1], 0.0);
+  EXPECT_DOUBLE_EQ(joint.path_rates[0][1], 0.0);
+  EXPECT_GE(joint.iterations, 2);  // one drop round + one stable round
+}
+
+TEST(JointTheta, DeterministicAcrossRepeatedSolves) {
+  std::vector<mm::JointLink> links{{46e9, 1.0}, {30e9, 0.0}, {90e9, 2.0}};
+  std::vector<mm::JointPath> a{jpath(1.0 / 46e9, 2e-6, {0}),
+                               jpath(1.0 / 23e9, 10e-6, {1, 2})};
+  std::vector<mm::JointPath> b{jpath(1.0 / 30e9, 3e-6, {1}),
+                               jpath(1.0 / 46e9, 6e-6, {0, 2})};
+  std::vector<mm::JointTransfer> transfers{{96e6, a}, {32e6, b}};
+  const auto first = mm::JointThetaSolver::solve(transfers, {}, links);
+  const auto second = mm::JointThetaSolver::solve(transfers, {}, links);
+  ASSERT_EQ(first.transfers.size(), second.transfers.size());
+  for (std::size_t k = 0; k < first.transfers.size(); ++k) {
+    for (std::size_t i = 0; i < first.transfers[k].theta.size(); ++i) {
+      EXPECT_DOUBLE_EQ(first.transfers[k].theta[i],
+                       second.transfers[k].theta[i]);
+    }
+    EXPECT_DOUBLE_EQ(first.transfers[k].predicted_time,
+                     second.transfers[k].predicted_time);
+  }
+}
+
+TEST(JointTheta, InputValidation) {
+  std::vector<mm::JointLink> links{{46e9, 0.0}};
+  std::vector<mm::JointPath> none;
+  std::vector<mm::JointTransfer> empty_paths{{64e6, none}};
+  EXPECT_THROW((void)mm::JointThetaSolver::solve(empty_paths, {}, links),
+               std::invalid_argument);
+  std::vector<mm::JointPath> ok{jpath(1.0 / 46e9, 2e-6, {0})};
+  std::vector<mm::JointTransfer> bad_bytes{{0.0, ok}};
+  EXPECT_THROW((void)mm::JointThetaSolver::solve(bad_bytes, {}, links),
+               std::invalid_argument);
+  std::vector<mm::JointPath> bad_omega{jpath(0.0, 2e-6, {0})};
+  std::vector<mm::JointTransfer> bad{{64e6, bad_omega}};
+  EXPECT_THROW((void)mm::JointThetaSolver::solve(bad, {}, links),
+               std::invalid_argument);
+}
