@@ -1,0 +1,150 @@
+// Versioned per-path calibration snapshots.
+//
+// The paper's Algorithm 1 runs from offline-fitted Hockney (alpha, beta);
+// on a real node those drift (thermals, PCIe renegotiation, neighbour
+// traffic). The CalibrationStore closes that gap without perturbing the
+// paper-faithful arithmetic: it holds immutable snapshots of per-path
+// multiplicative corrections {alpha_scale, beta_scale}, published
+// copy-on-write under a writer mutex while readers take a lock-free
+// acquire-load of the current snapshot pointer. A monotonically increasing
+// version number travels with every snapshot so configuration caches can
+// stamp entries and invalidate them on publication instead of being flushed.
+//
+// A path with no entry in the current snapshot gets *no* correction applied
+// — not a multiply by 1.0 — so an empty store is bit-identical to running
+// without one (the paper-faithful mode the benches gate on).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "mpath/topo/paths.hpp"
+
+namespace mpath::model {
+
+/// Multiplicative correction to every hop of one candidate path:
+/// alpha' = alpha * alpha_scale, beta' = beta * beta_scale. A beta_scale
+/// below 1 models a link delivering less bandwidth than the offline fit.
+struct PathCalibration {
+  double alpha_scale = 1.0;
+  double beta_scale = 1.0;
+  std::uint64_t samples = 0;  ///< observations folded into this entry
+
+  [[nodiscard]] bool identity() const {
+    return alpha_scale == 1.0 && beta_scale == 1.0;
+  }
+};
+
+/// Identity of one calibrated path: the (src, dst, plan) tuple the
+/// configurator resolves parameters for.
+struct PathCalKey {
+  topo::DeviceId src = 0;
+  topo::DeviceId dst = 0;
+  topo::PathKind kind = topo::PathKind::Direct;
+  topo::DeviceId stage = topo::kInvalidDevice;
+
+  friend auto operator<=>(const PathCalKey&, const PathCalKey&) = default;
+
+  [[nodiscard]] static PathCalKey of(topo::DeviceId src, topo::DeviceId dst,
+                                     const topo::PathPlan& plan) {
+    return PathCalKey{src, dst, plan.kind, plan.stage};
+  }
+};
+
+/// One immutable published calibration state. Never mutated after
+/// publication; safe to read from any thread without synchronization.
+class CalibrationSnapshot {
+ public:
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+  /// The correction for this path, or nullptr when none was learned (the
+  /// caller must then leave the base parameters untouched).
+  [[nodiscard]] const PathCalibration* find(topo::DeviceId src,
+                                            topo::DeviceId dst,
+                                            const topo::PathPlan& plan) const {
+    const auto it = entries_.find(PathCalKey::of(src, dst, plan));
+    return it != entries_.end() ? &it->second : nullptr;
+  }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const std::map<PathCalKey, PathCalibration>& entries() const {
+    return entries_;
+  }
+
+ private:
+  friend class CalibrationStore;
+  std::uint64_t version_ = 0;
+  std::map<PathCalKey, PathCalibration> entries_;
+};
+
+/// Read-mostly store of calibration snapshots. Readers (`snapshot()`,
+/// `version()`) are lock-free; writers (`publish()`) serialize on a mutex,
+/// copy the current entry map, apply their updates and install the copy as
+/// version N+1. Every published snapshot is retained for the store's
+/// lifetime so a reader holding a snapshot reference across a publication
+/// never races reclamation — publications are drift-threshold-gated (rare),
+/// so the retained history stays small by construction.
+class CalibrationStore {
+ public:
+  CalibrationStore() {
+    auto base = std::make_unique<CalibrationSnapshot>();
+    current_.store(base.get(), std::memory_order_release);
+    history_.push_back(std::move(base));
+  }
+  CalibrationStore(const CalibrationStore&) = delete;
+  CalibrationStore& operator=(const CalibrationStore&) = delete;
+
+  /// The current snapshot. The reference stays valid for the store's
+  /// lifetime even if newer versions are published meanwhile.
+  [[nodiscard]] const CalibrationSnapshot& snapshot() const {
+    return *current_.load(std::memory_order_acquire);
+  }
+
+  /// Version of the current snapshot (0 = pristine identity store).
+  [[nodiscard]] std::uint64_t version() const {
+    return current_.load(std::memory_order_acquire)->version();
+  }
+
+  /// Publish one updated entry. Returns the new snapshot's version.
+  std::uint64_t publish(const PathCalKey& key, const PathCalibration& cal) {
+    const std::pair<PathCalKey, PathCalibration> one{key, cal};
+    return publish(std::span<const std::pair<PathCalKey, PathCalibration>>(
+        &one, 1));
+  }
+
+  /// Publish a batch of updated entries as a single new version (entries
+  /// not mentioned carry over from the current snapshot).
+  std::uint64_t publish(
+      std::span<const std::pair<PathCalKey, PathCalibration>> updates) {
+    const std::lock_guard<std::mutex> lock(write_mu_);
+    const CalibrationSnapshot* cur =
+        current_.load(std::memory_order_relaxed);
+    auto next = std::make_unique<CalibrationSnapshot>();
+    next->entries_ = cur->entries_;
+    for (const auto& [key, cal] : updates) next->entries_[key] = cal;
+    next->version_ = cur->version_ + 1;
+    const std::uint64_t version = next->version_;
+    current_.store(next.get(), std::memory_order_release);
+    history_.push_back(std::move(next));
+    return version;
+  }
+
+  /// Snapshots retained so far (including the initial identity snapshot).
+  [[nodiscard]] std::size_t snapshot_count() const {
+    const std::lock_guard<std::mutex> lock(write_mu_);
+    return history_.size();
+  }
+
+ private:
+  mutable std::mutex write_mu_;
+  /// All published snapshots, oldest first; guarded by write_mu_. Retained
+  /// so outstanding readers never see a freed snapshot.
+  std::vector<std::unique_ptr<const CalibrationSnapshot>> history_;
+  std::atomic<const CalibrationSnapshot*> current_{nullptr};
+};
+
+}  // namespace mpath::model

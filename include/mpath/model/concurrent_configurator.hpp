@@ -1,0 +1,102 @@
+// Sharded, read-mostly concurrent front of Algorithm 1.
+//
+// PathConfigurator is deliberately single-threaded: its configure() returns
+// a reference into the LRU cache, which is what keeps the simulator's hot
+// path at zero allocations. Production serving wants the opposite trade:
+// many threads resolving configurations concurrently, each getting its own
+// copy. ConcurrentConfigurator layers a sharded-mutex LRU cache over the
+// pure compute_config() split (PR 5): lookups take one shard mutex for a
+// map probe + splice, the Algorithm 1 solve runs outside any lock, and
+// every entry is stamped with the CalibrationStore snapshot version it was
+// computed under — a publication atomically invalidates stale entries
+// everywhere without flushing (the generation check happens on hit).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "mpath/model/calibration_store.hpp"
+#include "mpath/model/configurator.hpp"
+
+namespace mpath::model {
+
+/// Aggregated cache counters across all shards (same taxonomy as the
+/// serial PathConfigurator's).
+struct ConcurrentConfiguratorStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t collisions = 0;     ///< tuple mismatch on an occupied key
+  std::uint64_t invalidations = 0;  ///< stale calibration version on hit
+  std::uint64_t evictions = 0;      ///< LRU drops past per-shard capacity
+};
+
+class ConcurrentConfigurator {
+ public:
+  /// `registry` (and `calibration`, when given) must outlive the
+  /// configurator. `options.cache_capacity` is split evenly across shards
+  /// (0 = unbounded); `shards` is rounded up to a power of two.
+  explicit ConcurrentConfigurator(const ModelRegistry& registry,
+                                  ConfiguratorOptions options = {},
+                                  const CalibrationStore* calibration = nullptr,
+                                  std::size_t shards = 8);
+  ConcurrentConfigurator(const ConcurrentConfigurator&) = delete;
+  ConcurrentConfigurator& operator=(const ConcurrentConfigurator&) = delete;
+
+  /// Algorithm 1 with concurrent caching: by-value result, callable from
+  /// any thread. Two threads racing on the same cold tuple may both
+  /// compute; the last insert wins (both results are identical for one
+  /// calibration version, so this is benign duplicated work, not a
+  /// correctness hazard).
+  [[nodiscard]] TransferConfig configure(topo::DeviceId src,
+                                         topo::DeviceId dst,
+                                         std::uint64_t bytes,
+                                         std::span<const topo::PathPlan> paths);
+
+  [[nodiscard]] ConcurrentConfiguratorStats stats() const;
+  [[nodiscard]] std::size_t cache_size() const;
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
+  /// The wrapped pure configurator (compute_config / prepare only — its
+  /// serial cache is never used here).
+  [[nodiscard]] const PathConfigurator& core() const { return core_; }
+
+ private:
+  struct Entry {
+    TransferConfig config;
+    topo::DeviceId src = 0;
+    topo::DeviceId dst = 0;
+    std::uint64_t bytes = 0;
+    std::vector<topo::PathPlan> paths;
+    std::uint64_t cal_version = 0;
+    std::list<std::uint64_t>::iterator recency;
+
+    [[nodiscard]] bool matches(topo::DeviceId s, topo::DeviceId d,
+                               std::uint64_t b,
+                               std::span<const topo::PathPlan> p) const;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, Entry> map;
+    std::list<std::uint64_t> lru;  ///< keys, most-recently-used first
+    ConcurrentConfiguratorStats counters;
+  };
+
+  [[nodiscard]] Shard& shard_for(std::uint64_t key) {
+    // The FNV key's low bits may be masked off by the cache_key_bits test
+    // hook, so mix before taking the top bits for shard selection.
+    const std::uint64_t mixed = key * 0x9E3779B97F4A7C15ull;
+    return *shards_[(mixed >> 32) & (shards_.size() - 1)];
+  }
+
+  PathConfigurator core_;
+  const CalibrationStore* calibration_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t per_shard_capacity_;  ///< 0 = unbounded
+};
+
+}  // namespace mpath::model

@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "mpath/model/calibration_store.hpp"
 #include "mpath/model/chunking.hpp"
 #include "mpath/model/registry.hpp"
 #include "mpath/model/theta.hpp"
@@ -97,6 +98,18 @@ class PathConfigurator {
   PathConfigurator(const ModelRegistry& registry,
                    ConfiguratorOptions options = {});
 
+  /// Attach (or detach, with nullptr) a calibration store. prepare() then
+  /// applies the current snapshot's per-path {alpha_scale, beta_scale} on
+  /// top of the registry parameters; paths with no learned entry are left
+  /// untouched, so an empty store is bit-identical to running without one.
+  /// Cached configs are stamped with the snapshot version they were
+  /// computed under and recomputed (not trusted) after a publication.
+  /// The store must outlive the configurator.
+  void set_calibration(const CalibrationStore* store) { calibration_ = store; }
+  [[nodiscard]] const CalibrationStore* calibration() const {
+    return calibration_;
+  }
+
   /// Algorithm 1: returns the cached or freshly computed optimal
   /// configuration. `paths` must be non-empty with the direct path first.
   [[nodiscard]] const TransferConfig& configure(
@@ -151,6 +164,11 @@ class PathConfigurator {
   [[nodiscard]] std::uint64_t cache_evictions() const {
     return cache_evictions_;
   }
+  /// Cached entries that matched their tuple but were computed under an
+  /// older calibration snapshot; each recomputes under the current one.
+  [[nodiscard]] std::uint64_t cache_invalidations() const {
+    return cache_invalidations_;
+  }
   [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
   void clear_cache() {
     cache_.clear();
@@ -159,12 +177,16 @@ class PathConfigurator {
 
   [[nodiscard]] const ConfiguratorOptions& options() const { return options_; }
 
- private:
-  [[nodiscard]] TransferConfig compute(
+  /// FNV-1a bucket address of a request tuple (distinct tuples can collide;
+  /// callers must verify the full tuple on lookup). Public so the sharded
+  /// ConcurrentConfigurator shares the exact keying — including the
+  /// cache_key_bits collision test hook — with the serial cache.
+  [[nodiscard]] std::uint64_t cache_key(
       topo::DeviceId src, topo::DeviceId dst, std::uint64_t bytes,
       std::span<const topo::PathPlan> paths) const;
 
-  [[nodiscard]] std::uint64_t cache_key(
+ private:
+  [[nodiscard]] TransferConfig compute(
       topo::DeviceId src, topo::DeviceId dst, std::uint64_t bytes,
       std::span<const topo::PathPlan> paths) const;
 
@@ -177,6 +199,10 @@ class PathConfigurator {
     topo::DeviceId dst = 0;
     std::uint64_t bytes = 0;
     std::vector<topo::PathPlan> paths;
+    /// Calibration snapshot version the config was computed under. A
+    /// version bump makes the entry stale: the stored split would reflect
+    /// superseded alpha/beta.
+    std::uint64_t cal_version = 0;
     /// Position in lru_ (most-recent at the front).
     std::list<std::uint64_t>::iterator recency;
 
@@ -190,12 +216,14 @@ class PathConfigurator {
 
   const ModelRegistry* registry_;
   ConfiguratorOptions options_;
+  const CalibrationStore* calibration_ = nullptr;
   std::unordered_map<std::uint64_t, CacheEntry> cache_;
   std::list<std::uint64_t> lru_;  ///< keys, most-recently-used first
   std::uint64_t cache_hits_ = 0;
   std::uint64_t cache_misses_ = 0;
   std::uint64_t cache_evictions_ = 0;
   std::uint64_t cache_collisions_ = 0;
+  std::uint64_t cache_invalidations_ = 0;
 };
 
 }  // namespace mpath::model

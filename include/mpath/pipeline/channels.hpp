@@ -16,7 +16,9 @@
 
 #include "mpath/gpusim/channel.hpp"
 #include "mpath/model/configurator.hpp"
+#include "mpath/model/recalibrator.hpp"
 #include "mpath/pipeline/engine.hpp"
+#include "mpath/pipeline/health.hpp"
 
 namespace mpath::pipeline {
 
@@ -49,7 +51,18 @@ struct RecoveryOptions {
   double slack = 4.0;          ///< deadline = slack * predicted T_i
   double min_deadline_s = 1e-3;  ///< floor so noise cannot trip tiny shares
   int max_replans = 3;
+  /// Per-retry watchdog slack escalation: re-plan r of one transfer uses
+  /// slack * min(retry_backoff^r, max_slack_factor). A flapping path then
+  /// has to misbehave for exponentially longer to burn each remaining
+  /// re-plan, instead of tripping max_replans in one burst. retry_backoff
+  /// of 1 restores the fixed-slack PR 2 behaviour.
+  double retry_backoff = 2.0;
+  double max_slack_factor = 8.0;
 };
+
+/// Watchdog slack for re-plan number `replans` (0 = the initial plan, so
+/// the first attempt always runs at exactly `rec.slack`).
+[[nodiscard]] double escalated_slack(const RecoveryOptions& rec, int replans);
 
 /// Monotonic counters describing recovery activity on a channel.
 struct RecoveryStats {
@@ -65,6 +78,14 @@ struct ModelDrivenOptions {
   /// runtime integration, which leaves small messages on the default path).
   std::size_t min_multipath_bytes = 256 * 1024;
   RecoveryOptions recovery;
+  /// Path probation/readmission policy. Requires recovery.enabled (health
+  /// is driven by the watchdog outcomes); ignored otherwise.
+  HealthOptions health;
+  /// When set, every cleanly completed model-driven transfer feeds its
+  /// (predicted, actual) pair back for online alpha/beta refinement. The
+  /// recalibrator must outlive the channel. Null (default) keeps the model
+  /// static — paper-faithful mode.
+  model::Recalibrator* recalibrator = nullptr;
 };
 
 class ModelDrivenChannel final : public gpusim::DataChannel {
@@ -100,6 +121,9 @@ class ModelDrivenChannel final : public gpusim::DataChannel {
   /// The node-level scheduler this channel admits through (null when
   /// constructed without one — solo planning, legacy behaviour).
   [[nodiscard]] TransferScheduler* scheduler() const { return scheduler_; }
+  /// The channel-lifetime path-health state machine (tracks nothing and
+  /// changes nothing unless options().health.enabled with recovery on).
+  [[nodiscard]] const PathHealthManager& health() const { return health_; }
 
  private:
   [[nodiscard]] const std::vector<topo::PathPlan>& candidate_paths(
@@ -114,6 +138,7 @@ class ModelDrivenChannel final : public gpusim::DataChannel {
   TransferScheduler* scheduler_ = nullptr;
   topo::PathPolicy policy_;
   ModelDrivenOptions options_;
+  PathHealthManager health_;
   RecoveryStats stats_;
   std::optional<model::TransferConfig> last_config_;
   // Candidate path cache per (src, dst).

@@ -52,6 +52,14 @@ struct SchedulerOptions {
   /// minus the scheduler's own live paths) into the water-fill as
   /// background load.
   bool network_snapshot = true;
+  /// Subscribe to FluidNetwork capacity-change notifications: the modeled
+  /// residue of in-flight transfers is integrated up to the instant of
+  /// every sever/degrade/restore at the rates that actually governed the
+  /// elapsed window. Without it a restore mid-transfer is applied
+  /// retroactively across the whole window at the next admission, so
+  /// readmission probes plan against capacities that never existed. No
+  /// effect on fault-free runs (the listener never fires).
+  bool observe_capacity = true;
 };
 
 class TransferScheduler {
@@ -89,6 +97,7 @@ class TransferScheduler {
     std::uint64_t failed = 0;
     std::uint64_t replans = 0;
     std::uint64_t joint_iterations = 0;  ///< summed solver rounds
+    std::uint64_t capacity_events = 0;   ///< observed link capacity changes
   };
 
   /// Both references must outlive the scheduler. The configurator supplies
@@ -96,6 +105,7 @@ class TransferScheduler {
   TransferScheduler(PipelineEngine& engine,
                     model::PathConfigurator& configurator,
                     SchedulerOptions options = {});
+  ~TransferScheduler();
   TransferScheduler(const TransferScheduler&) = delete;
   TransferScheduler& operator=(const TransferScheduler&) = delete;
 
@@ -176,6 +186,8 @@ class TransferScheduler {
   PipelineEngine* engine_;
   model::PathConfigurator* configurator_;
   SchedulerOptions options_;
+  sim::FluidNetwork* net_ = nullptr;   ///< set iff observe_capacity
+  std::uint64_t capacity_listener_ = 0;
   std::vector<Ticket> live_;
   std::vector<Record> records_;
   Stats stats_;

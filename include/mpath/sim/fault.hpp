@@ -17,6 +17,7 @@
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "mpath/sim/engine.hpp"
@@ -59,6 +60,14 @@ class FaultInjector {
   /// Emit an instant per applied fault on `tracer` track "faults".
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
 
+  /// Notification of every applied event, invoked right after the network
+  /// mutation lands. `restored` is true when the event returned the link
+  /// to its baseline capacity (a restore as opposed to a degrade/sever) —
+  /// the hook health/probing policies use to fast-path readmission probes
+  /// instead of waiting out a cooldown.
+  using EventListener = InlineFn<void(const Applied&, bool /*restored*/)>;
+  void set_listener(EventListener fn) { listener_ = std::move(fn); }
+
   /// Schedule an absolute capacity for `link` at time `t` (>= now).
   void set_capacity_at(Time t, LinkId link, double bps);
   /// Scale `link` to `factor` × its baseline capacity at time `t`.
@@ -97,6 +106,7 @@ class FaultInjector {
   Engine* engine_;
   FluidNetwork* net_;
   Tracer* tracer_ = nullptr;
+  EventListener listener_;
   std::unordered_map<LinkId, double> baseline_;
   std::vector<Applied> applied_;
   std::size_t scheduled_ = 0;

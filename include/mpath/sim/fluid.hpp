@@ -29,6 +29,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mpath/sim/engine.hpp"
@@ -96,6 +97,22 @@ class FluidNetwork {
   /// link is re-solved. Throws std::out_of_range on a bad id and
   /// std::invalid_argument on a negative capacity.
   void set_link_capacity(LinkId id, double bps);
+
+  /// Capacity-change notification: invoked synchronously from
+  /// set_link_capacity after in-flight bytes have been credited at the old
+  /// rates but BEFORE the new capacity takes effect — so a listener that
+  /// integrates modeled state (the transfer scheduler) brackets its window
+  /// at the rates that actually governed it, and the first query after the
+  /// call sees the new capacity. Listeners must not mutate the network.
+  using CapacityListener = InlineFn<void(LinkId, double /*old_bps*/,
+                                         double /*new_bps*/)>;
+  /// Register a listener; returns a handle for remove_capacity_listener.
+  std::uint64_t add_capacity_listener(CapacityListener fn);
+  /// Deregister; returns false if the handle is unknown (already removed).
+  bool remove_capacity_listener(std::uint64_t handle);
+  [[nodiscard]] std::size_t capacity_listener_count() const {
+    return capacity_listeners_.size();
+  }
 
   /// Move `bytes` across `route`. Pays the sum of the route's latencies
   /// once, then streams at the flow's max-min fair rate until done. A
@@ -233,6 +250,8 @@ class FluidNetwork {
     LinkId link;
   };
 
+  std::vector<std::pair<std::uint64_t, CapacityListener>> capacity_listeners_;
+  std::uint64_t next_listener_ = 1;
   std::vector<LinkId> dirty_links_;
   std::vector<LinkId> comp_links_;           ///< resolve scratch
   std::vector<std::uint32_t> comp_flows_;    ///< resolve scratch

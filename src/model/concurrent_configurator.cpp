@@ -1,0 +1,121 @@
+#include "mpath/model/concurrent_configurator.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <utility>
+
+namespace mpath::model {
+
+namespace {
+ConfiguratorOptions core_options(ConfiguratorOptions options) {
+  // The wrapped configurator is only ever used through its pure entry
+  // points; disable its serial cache so nobody can reach it by accident.
+  options.cache_enabled = false;
+  return options;
+}
+}  // namespace
+
+ConcurrentConfigurator::ConcurrentConfigurator(
+    const ModelRegistry& registry, ConfiguratorOptions options,
+    const CalibrationStore* calibration, std::size_t shards)
+    : core_(registry, core_options(options)), calibration_(calibration) {
+  if (calibration != nullptr) core_.set_calibration(calibration);
+  const std::size_t n = std::bit_ceil(std::max<std::size_t>(shards, 1));
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  per_shard_capacity_ =
+      options.cache_capacity > 0
+          ? std::max<std::size_t>(options.cache_capacity / n, 1)
+          : 0;
+}
+
+bool ConcurrentConfigurator::Entry::matches(
+    topo::DeviceId s, topo::DeviceId d, std::uint64_t b,
+    std::span<const topo::PathPlan> p) const {
+  return src == s && dst == d && bytes == b &&
+         std::equal(paths.begin(), paths.end(), p.begin(), p.end());
+}
+
+TransferConfig ConcurrentConfigurator::configure(
+    topo::DeviceId src, topo::DeviceId dst, std::uint64_t bytes,
+    std::span<const topo::PathPlan> paths) {
+  // Read the version once: the entry is stamped with the same value that
+  // was checked, so a publication racing this call at worst costs one
+  // recompute on the next lookup, never a stale hit passing as fresh.
+  const std::uint64_t cal_version =
+      calibration_ != nullptr ? calibration_->version() : 0;
+  const std::uint64_t key = core_.cache_key(src, dst, bytes, paths);
+  Shard& shard = shard_for(key);
+  {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    if (auto it = shard.map.find(key); it != shard.map.end()) {
+      if (it->second.matches(src, dst, bytes, paths)) {
+        if (it->second.cal_version == cal_version) {
+          ++shard.counters.hits;
+          shard.lru.splice(shard.lru.begin(), shard.lru, it->second.recency);
+          return it->second.config;
+        }
+        ++shard.counters.invalidations;
+      } else {
+        ++shard.counters.collisions;
+      }
+    }
+    ++shard.counters.misses;
+  }
+
+  // The Algorithm 1 solve runs outside the shard lock: concurrent misses
+  // on different tuples (or even the same one) never serialize on it.
+  TransferConfig config = core_.compute_config(src, dst, bytes, paths);
+
+  Entry fresh;
+  fresh.config = config;
+  fresh.src = src;
+  fresh.dst = dst;
+  fresh.bytes = bytes;
+  fresh.paths.assign(paths.begin(), paths.end());
+  fresh.cal_version = cal_version;
+  {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    fresh.recency = shard.lru.end();
+    auto [it, inserted] = shard.map.insert_or_assign(key, std::move(fresh));
+    if (inserted) {
+      shard.lru.push_front(key);
+    } else {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.recency);
+    }
+    it->second.recency = shard.lru.begin();
+    while (per_shard_capacity_ > 0 &&
+           shard.map.size() > per_shard_capacity_) {
+      shard.map.erase(shard.lru.back());
+      shard.lru.pop_back();
+      ++shard.counters.evictions;
+    }
+  }
+  return config;
+}
+
+ConcurrentConfiguratorStats ConcurrentConfigurator::stats() const {
+  ConcurrentConfiguratorStats out;
+  for (const auto& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s->mu);
+    out.hits += s->counters.hits;
+    out.misses += s->counters.misses;
+    out.collisions += s->counters.collisions;
+    out.invalidations += s->counters.invalidations;
+    out.evictions += s->counters.evictions;
+  }
+  return out;
+}
+
+std::size_t ConcurrentConfigurator::cache_size() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s->mu);
+    n += s->map.size();
+  }
+  return n;
+}
+
+}  // namespace mpath::model

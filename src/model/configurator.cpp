@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace mpath::model {
 
@@ -55,19 +56,27 @@ const TransferConfig& PathConfigurator::configure_over(
     throw std::invalid_argument("PathConfigurator: zero-byte transfer");
   }
   const std::uint64_t key = cache_key(src, dst, bytes, paths);
+  const std::uint64_t cal_version =
+      calibration_ != nullptr ? calibration_->version() : 0;
   if (options_.cache_enabled) {
     if (auto it = cache_.find(key); it != cache_.end()) {
       if (it->second.matches(src, dst, bytes, paths)) {
-        ++cache_hits_;
-        // Refresh recency: splice the key to the MRU end without touching
-        // the stored config.
-        lru_.splice(lru_.begin(), lru_, it->second.recency);
-        return it->second.config;
+        if (it->second.cal_version == cal_version) {
+          ++cache_hits_;
+          // Refresh recency: splice the key to the MRU end without touching
+          // the stored config.
+          lru_.splice(lru_.begin(), lru_, it->second.recency);
+          return it->second.config;
+        }
+        // Computed under a superseded calibration snapshot: the stored
+        // split reflects old alpha/beta. Recompute and replace.
+        ++cache_invalidations_;
+      } else {
+        // A different request tuple hashed onto this key. Fall through to a
+        // recompute that replaces the entry — returning the resident config
+        // here would hand the caller a plan for someone else's transfer.
+        ++cache_collisions_;
       }
-      // A different request tuple hashed onto this key. Fall through to a
-      // recompute that replaces the entry — returning the resident config
-      // here would hand the caller a plan for someone else's transfer.
-      ++cache_collisions_;
     }
   }
   ++cache_misses_;
@@ -77,6 +86,7 @@ const TransferConfig& PathConfigurator::configure_over(
   fresh.dst = dst;
   fresh.bytes = bytes;
   fresh.paths.assign(paths.begin(), paths.end());
+  fresh.cal_version = cal_version;
   fresh.recency = lru_.end();
   auto [it, inserted] = cache_.insert_or_assign(key, std::move(fresh));
   if (inserted) {
@@ -104,10 +114,26 @@ PreparedTransfer PathConfigurator::prepare(
   const std::size_t p = paths.size();
 
   PreparedTransfer out;
-  // Lines 7-15: resolve link parameters for every candidate path.
+  // Lines 7-15: resolve link parameters for every candidate path, then
+  // overlay any learned per-path calibration. Paths with no snapshot entry
+  // are left untouched (no arithmetic at all), so a detached or empty
+  // store keeps this bit-identical to the offline-calibrated model.
+  const CalibrationSnapshot* cal =
+      calibration_ != nullptr ? &calibration_->snapshot() : nullptr;
   out.params.reserve(p);
   for (const auto& plan : paths) {
-    out.params.push_back(registry_->path_params(src, dst, plan));
+    PathParams pp = registry_->path_params(src, dst, plan);
+    if (cal != nullptr) {
+      if (const PathCalibration* c = cal->find(src, dst, plan)) {
+        pp.first.alpha *= c->alpha_scale;
+        pp.first.beta *= c->beta_scale;
+        if (pp.second) {
+          pp.second->alpha *= c->alpha_scale;
+          pp.second->beta *= c->beta_scale;
+        }
+      }
+    }
+    out.params.push_back(std::move(pp));
   }
 
   // Line 19: topology constants; lines 16-21: per-path (Omega, Delta).

@@ -49,6 +49,12 @@ struct ScheduleGuard {
 };
 }  // namespace
 
+double escalated_slack(const RecoveryOptions& rec, int replans) {
+  const double esc = std::min(std::pow(rec.retry_backoff, replans),
+                              rec.max_slack_factor);
+  return rec.slack * std::max(esc, 1.0);
+}
+
 sim::Task<void> SinglePathChannel::transfer(gpusim::DeviceBuffer& dst,
                                             std::size_t dst_offset,
                                             const gpusim::DeviceBuffer& src,
@@ -65,7 +71,8 @@ ModelDrivenChannel::ModelDrivenChannel(PipelineEngine& engine,
     : engine_(&engine),
       configurator_(&configurator),
       policy_(policy),
-      options_(options) {}
+      options_(options),
+      health_(options.health) {}
 
 ModelDrivenChannel::ModelDrivenChannel(PipelineEngine& engine,
                                        TransferScheduler& scheduler,
@@ -76,7 +83,8 @@ ModelDrivenChannel::ModelDrivenChannel(PipelineEngine& engine,
       configurator_(&configurator),
       scheduler_(&scheduler),
       policy_(policy),
-      options_(options) {}
+      options_(options),
+      health_(options.health) {}
 
 const std::vector<topo::PathPlan>& ModelDrivenChannel::candidate_paths(
     topo::DeviceId src, topo::DeviceId dst) {
@@ -106,6 +114,7 @@ sim::Task<void> ModelDrivenChannel::transfer(gpusim::DeviceBuffer& dst,
     co_return;
   }
   const auto& paths = candidate_paths(src.device(), dst.device());
+  const double t0 = engine_->runtime().engine().now();
   if (scheduler_ != nullptr) {
     TransferScheduler::Admission adm =
         scheduler_->admit(src.device(), dst.device(), bytes, paths);
@@ -122,6 +131,11 @@ sim::Task<void> ModelDrivenChannel::transfer(gpusim::DeviceBuffer& dst,
                               std::move(plan));
     scheduler_->depart(adm.ticket);
     guard.armed = false;
+    if (options_.recalibrator != nullptr) {
+      options_.recalibrator->observe(src.device(), dst.device(),
+                                     *last_config_,
+                                     engine_->runtime().engine().now() - t0);
+    }
     co_return;
   }
   const auto& config =
@@ -134,6 +148,10 @@ sim::Task<void> ModelDrivenChannel::transfer(gpusim::DeviceBuffer& dst,
   }
   co_await engine_->execute(dst, dst_offset, src, src_offset,
                             std::move(plan));
+  if (options_.recalibrator != nullptr) {
+    options_.recalibrator->observe(src.device(), dst.device(), *last_config_,
+                                   engine_->runtime().engine().now() - t0);
+  }
 }
 
 sim::Task<void> ModelDrivenChannel::transfer_with_recovery(
@@ -144,11 +162,21 @@ sim::Task<void> ModelDrivenChannel::transfer_with_recovery(
   const topo::Topology& topo = engine_->runtime().topology();
   const double t0 = eng.now();
   const RecoveryOptions& rec = options_.recovery;
+  const bool use_health = options_.health.enabled;
+  const topo::DeviceId sdev = src.device();
+  const topo::DeviceId ddev = dst.device();
 
-  // Candidate set for this transfer; paths whose watchdog fires are
-  // removed, so re-plans only consider survivors.
-  std::vector<topo::PathPlan> alive =
-      candidate_paths(src.device(), dst.device());
+  // Full candidate set for this pair. Without health tracking, `alive` is
+  // the PR 2 survivor set: paths whose watchdog fires are removed for the
+  // rest of this transfer. With health tracking, the candidate set is
+  // re-partitioned per attempt from the channel-lifetime state machine, so
+  // a path can come back within (and across) transfers.
+  const std::vector<topo::PathPlan>& candidates =
+      candidate_paths(sdev, ddev);
+  std::vector<topo::PathPlan> alive = candidates;
+  std::vector<topo::PathPlan> active;
+  std::vector<topo::PathPlan> probe_due;
+  std::vector<topo::PathPlan> probes_issued;
   std::vector<std::string> dead_names;
 
   // Undelivered message segments (offsets relative to the transfer). The
@@ -167,13 +195,26 @@ sim::Task<void> ModelDrivenChannel::transfer_with_recovery(
   while (!todo.empty()) {
     const Seg seg = todo.back();
     todo.pop_back();
+    const std::vector<topo::PathPlan>* pool = &alive;
+    if (use_health) {
+      health_.partition(sdev, ddev, candidates, eng.now(), &active,
+                        &probe_due);
+      if (active.empty()) {
+        // Nothing healthy. Plan over whatever is due a probe; if even
+        // those are cooling down, force the full candidate set rather
+        // than stall — the attempt stays bounded by max_replans.
+        active = probe_due.empty() ? candidates : std::move(probe_due);
+        probe_due.clear();
+      }
+      pool = &active;
+    }
     // Small segments stay single-path (on the Direct survivor when alive,
     // else the first survivor), matching the non-recovery channel's
     // min_multipath threshold.
     const std::span<const topo::PathPlan> use =
         seg.bytes >= options_.min_multipath_bytes
-            ? std::span<const topo::PathPlan>(alive)
-            : small_segment_path(alive);
+            ? std::span<const topo::PathPlan>(*pool)
+            : small_segment_path(*pool);
     // By-value snapshot, NOT a reference into the configurator's LRU cache:
     // this config is read again after co_await execute_monitored below, and
     // any concurrent transfer on the same configurator could evict the
@@ -193,6 +234,10 @@ sim::Task<void> ModelDrivenChannel::transfer_with_recovery(
                                              seg.bytes, use);
     }
     last_config_ = config;
+    // Watchdog slack for this attempt: the base factor escalates per
+    // re-plan (bounded exponential backoff), and with health tracking each
+    // path compounds its own failure-streak multiplier on top.
+    const double slack = escalated_slack(rec, replans);
     ExecPlan plan;
     PathWatchList watch;
     plan.reserve(config.paths.size());
@@ -202,29 +247,80 @@ sim::Task<void> ModelDrivenChannel::transfer_with_recovery(
       // Watchdog deadline: model-predicted completion time of this share
       // times the slack factor, floored so that noise on tiny shares
       // cannot trip a healthy path.
+      const double mult =
+          use_health ? health_.slack_multiplier(sdev, ddev, share.plan) : 1.0;
       watch.push_back(PathWatch{
           share.bytes > 0
-              ? std::max(rec.min_deadline_s, rec.slack * share.predicted_time)
+              ? std::max(rec.min_deadline_s,
+                         slack * mult * share.predicted_time)
               : 0.0});
+    }
+    // Probe slices: paths on probation ride along with a small cut of the
+    // anchor's share. A probe that delivers readmits its path into the
+    // planned set from the next attempt on; one that times out only costs
+    // its own (floored) deadline, never the planned paths' bytes.
+    probes_issued.clear();
+    if (use_health && seg.bytes >= options_.min_multipath_bytes) {
+      const std::uint64_t pb = health_.probe_bytes(seg.bytes);
+      for (const topo::PathPlan& pp : probe_due) {
+        // Keep the anchor meaningfully larger than what it donates.
+        if (plan.empty() || plan.front().bytes < 2 * pb) break;
+        plan.front().bytes -= pb;
+        const model::TransferConfig probe_cfg = configurator_->compute_config(
+            sdev, ddev, pb, std::span<const topo::PathPlan>(&pp, 1));
+        const double mult = health_.slack_multiplier(sdev, ddev, pp);
+        plan.push_back(ExecPath{pp, pb, probe_cfg.paths[0].chunks});
+        watch.push_back(PathWatch{
+            std::max(rec.min_deadline_s,
+                     slack * mult * probe_cfg.predicted_time)});
+        probes_issued.push_back(pp);
+        health_.on_probe_issued(sdev, ddev, pp);
+      }
     }
     const TransferOutcome out = co_await engine_->execute_monitored(
         dst, dst_offset + seg.off, src, src_offset + seg.off, std::move(plan),
         std::move(watch));
-    if (out.complete) continue;
+    if (out.complete) {
+      if (use_health) {
+        for (const auto& share : config.paths) {
+          if (share.bytes > 0) health_.on_success(sdev, ddev, share.plan,
+                                                  eng.now());
+        }
+        for (const topo::PathPlan& pp : probes_issued) {
+          health_.on_success(sdev, ddev, pp, eng.now());
+        }
+      }
+      continue;
+    }
 
     if (first_timeout < 0.0) first_timeout = eng.now();
-    // Drop timed-out paths from the candidate set and queue the
-    // undelivered remainder of every path slice.
+    // Mark timed-out paths (dropped from `alive`, or demoted in the health
+    // state machine) and queue the undelivered remainder of every slice —
+    // including probe slices, whose bytes came out of the anchor's share.
     std::size_t path_off = seg.off;
     for (std::size_t i = 0; i < out.paths.size(); ++i) {
       const PathOutcome& po = out.paths[i];
-      const topo::PathPlan dead = config.paths[i].plan;
+      const topo::PathPlan dead =
+          i < config.paths.size()
+              ? config.paths[i].plan
+              : probes_issued[i - config.paths.size()];
       if (po.timed_out) {
         ++stats_.path_timeouts;
         dead_names.push_back(topo::describe(dead, topo));
-        std::erase_if(alive, [&dead](const topo::PathPlan& p) {
-          return p.kind == dead.kind && p.stage == dead.stage;
-        });
+        if (use_health) {
+          health_.on_timeout(sdev, ddev, dead, eng.now());
+        } else {
+          std::erase_if(alive, [&dead](const topo::PathPlan& p) {
+            return p.kind == dead.kind && p.stage == dead.stage;
+          });
+        }
+      } else if (use_health && po.bytes > 0 &&
+                 po.bytes_delivered >= po.bytes) {
+        // Fully delivered its slice even though the transfer as a whole
+        // needs a re-plan: that path is healthy (probes readmit here). A
+        // slice cancelled mid-flight by the abort proves nothing and
+        // changes no state.
+        health_.on_success(sdev, ddev, dead, eng.now());
       }
       if (po.bytes_delivered < po.bytes) {
         todo.push_back(Seg{path_off + po.bytes_delivered,
@@ -233,7 +329,7 @@ sim::Task<void> ModelDrivenChannel::transfer_with_recovery(
       path_off += po.bytes;
     }
     ++replans;
-    if (alive.empty() || replans > rec.max_replans) {
+    if ((!use_health && alive.empty()) || replans > rec.max_replans) {
       ++stats_.transfers_failed;
       std::uint64_t undelivered = 0;
       for (const Seg& s : todo) undelivered += s.bytes;
@@ -261,6 +357,12 @@ sim::Task<void> ModelDrivenChannel::transfer_with_recovery(
   if (first_timeout >= 0.0) {
     ++stats_.transfers_recovered;
     stats_.recovery_time_s += eng.now() - first_timeout;
+  } else if (options_.recalibrator != nullptr && last_config_.has_value()) {
+    // Clean single-plan completion: feed (predicted, actual) back for
+    // online alpha/beta refinement. Transfers that tripped a watchdog are
+    // excluded — a stall is a fault for the health machine, not drift.
+    options_.recalibrator->observe(sdev, ddev, *last_config_,
+                                   eng.now() - t0);
   }
 }
 

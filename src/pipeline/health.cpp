@@ -1,0 +1,90 @@
+#include "mpath/pipeline/health.hpp"
+
+#include <algorithm>
+
+namespace mpath::pipeline {
+
+void PathHealthManager::partition(topo::DeviceId src, topo::DeviceId dst,
+                                  const std::vector<topo::PathPlan>& candidates,
+                                  double now,
+                                  std::vector<topo::PathPlan>* active,
+                                  std::vector<topo::PathPlan>* probes) const {
+  active->clear();
+  probes->clear();
+  for (const topo::PathPlan& plan : candidates) {
+    const auto it = entries_.find(key_of(src, dst, plan));
+    if (it == entries_.end()) {
+      active->push_back(plan);
+    } else if (now >= it->second.next_probe_t) {
+      probes->push_back(plan);
+    }
+    // Unhealthy and not yet due: excluded from this transfer entirely.
+  }
+}
+
+void PathHealthManager::on_probe_issued(topo::DeviceId src,
+                                        topo::DeviceId dst,
+                                        const topo::PathPlan& plan) {
+  Entry& e = entries_[key_of(src, dst, plan)];
+  e.state = PathHealth::kProbation;
+  ++stats_.probes_launched;
+}
+
+void PathHealthManager::on_timeout(topo::DeviceId src, topo::DeviceId dst,
+                                   const topo::PathPlan& plan, double now) {
+  ++stats_.timeouts;
+  Entry& e = entries_[key_of(src, dst, plan)];
+  if (e.state == PathHealth::kProbation) ++stats_.probes_failed;
+  ++e.fail_streak;
+  e.slack_mult =
+      std::min(e.slack_mult * options_.backoff, options_.max_slack_factor);
+  if (e.fail_streak >= options_.dead_after) {
+    if (e.state != PathHealth::kDead) ++stats_.deaths;
+    e.state = PathHealth::kDead;
+    // Exponential readmission cooldown: first death waits dead_cooldown_s,
+    // each further failed readmission probe doubles it (bounded).
+    e.cooldown_s = e.cooldown_s <= 0.0
+                       ? options_.dead_cooldown_s
+                       : std::min(e.cooldown_s * options_.backoff,
+                                  options_.max_cooldown_s);
+    e.next_probe_t = now + e.cooldown_s;
+  } else {
+    e.state = PathHealth::kSuspect;
+    e.next_probe_t = now + options_.suspect_delay_s;
+  }
+}
+
+void PathHealthManager::on_success(topo::DeviceId src, topo::DeviceId dst,
+                                   const topo::PathPlan& plan,
+                                   double /*now*/) {
+  const auto it = entries_.find(key_of(src, dst, plan));
+  if (it == entries_.end()) return;
+  if (it->second.state == PathHealth::kProbation) ++stats_.probes_succeeded;
+  ++stats_.readmissions;
+  // Back to pristine healthy: streak, slack escalation and cooldown all
+  // reset — a readmitted path is trusted like any other.
+  entries_.erase(it);
+}
+
+double PathHealthManager::slack_multiplier(topo::DeviceId src,
+                                           topo::DeviceId dst,
+                                           const topo::PathPlan& plan) const {
+  const auto it = entries_.find(key_of(src, dst, plan));
+  return it != entries_.end() ? it->second.slack_mult : 1.0;
+}
+
+std::uint64_t PathHealthManager::probe_bytes(std::uint64_t total) const {
+  const auto want = static_cast<std::uint64_t>(
+      options_.probe_fraction * static_cast<double>(total));
+  return std::min(total,
+                  std::clamp(want, options_.min_probe_bytes,
+                             options_.max_probe_bytes));
+}
+
+PathHealth PathHealthManager::state(topo::DeviceId src, topo::DeviceId dst,
+                                    const topo::PathPlan& plan) const {
+  const auto it = entries_.find(key_of(src, dst, plan));
+  return it != entries_.end() ? it->second.state : PathHealth::kHealthy;
+}
+
+}  // namespace mpath::pipeline

@@ -9,7 +9,28 @@ namespace mpath::pipeline {
 TransferScheduler::TransferScheduler(PipelineEngine& engine,
                                      model::PathConfigurator& configurator,
                                      SchedulerOptions options)
-    : engine_(&engine), configurator_(&configurator), options_(options) {}
+    : engine_(&engine), configurator_(&configurator), options_(options) {
+  if (options_.observe_capacity) {
+    net_ = &engine_->runtime().binding().network();
+    // Close the residue-integration window at the instant of every
+    // capacity change, while the *old* rates still hold (the network
+    // notifies pre-mutation): the elapsed window integrates at the
+    // capacities that governed it, and the very next plan or query
+    // water-fills against the new ones. Fixes the restore blind spot where
+    // snapshot_links() only saw post-restore capacity retroactively.
+    capacity_listener_ = net_->add_capacity_listener(
+        [this](sim::LinkId, double, double) {
+          integrate_to(engine_->runtime().engine().now());
+          ++stats_.capacity_events;
+        });
+  }
+}
+
+TransferScheduler::~TransferScheduler() {
+  if (net_ != nullptr && capacity_listener_ != 0) {
+    net_->remove_capacity_listener(capacity_listener_);
+  }
+}
 
 util::SmallVec<std::uint32_t, 4> TransferScheduler::plan_links(
     topo::DeviceId src, topo::DeviceId dst, const topo::PathPlan& plan) {

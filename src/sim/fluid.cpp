@@ -53,6 +53,11 @@ void FluidNetwork::set_link_capacity(LinkId id, double bps) {
   // then let the usual dirty-component machinery re-solve: only the
   // component containing this link is touched.
   progress_to_now();
+  // Notify before the mutation lands: listeners integrating modeled state
+  // (the transfer scheduler) must close their window at the rates that
+  // governed it, not retroactively apply the new capacity.
+  const double old_bps = links_[id].spec.capacity_bps;
+  for (auto& [handle, fn] : capacity_listeners_) fn(id, old_bps, bps);
   links_[id].spec.capacity_bps = bps;
   ++stats_.capacity_changes;
   if (tracer_ != nullptr) {
@@ -66,6 +71,23 @@ void FluidNetwork::set_link_capacity(LinkId id, double bps) {
   // dirty unconditionally.
   mark_link_dirty(id);
   request_resolve();
+}
+
+std::uint64_t FluidNetwork::add_capacity_listener(CapacityListener fn) {
+  const std::uint64_t handle = next_listener_++;
+  capacity_listeners_.emplace_back(handle, std::move(fn));
+  return handle;
+}
+
+bool FluidNetwork::remove_capacity_listener(std::uint64_t handle) {
+  for (auto it = capacity_listeners_.begin();
+       it != capacity_listeners_.end(); ++it) {
+    if (it->first == handle) {
+      capacity_listeners_.erase(it);
+      return true;
+    }
+  }
+  return false;
 }
 
 std::size_t FluidNetwork::stalled_flow_count() const {
