@@ -5,10 +5,11 @@
 // traffic). The CalibrationStore closes that gap without perturbing the
 // paper-faithful arithmetic: it holds immutable snapshots of per-path
 // multiplicative corrections {alpha_scale, beta_scale}, published
-// copy-on-write under a writer mutex while readers take a lock-free
-// acquire-load of the current snapshot pointer. A monotonically increasing
-// version number travels with every snapshot so configuration caches can
-// stamp entries and invalidate them on publication instead of being flushed.
+// copy-on-write under a writer mutex while readers take an atomic
+// reference-counted copy of the current snapshot pointer. A monotonically
+// increasing version number travels with every snapshot so configuration
+// caches can stamp entries and invalidate them on publication instead of
+// being flushed.
 //
 // A path with no entry in the current snapshot gets *no* correction applied
 // — not a multiply by 1.0 — so an empty store is bit-identical to running
@@ -22,7 +23,6 @@
 #include <mutex>
 #include <span>
 #include <utility>
-#include <vector>
 
 #include "mpath/topo/paths.hpp"
 
@@ -82,26 +82,25 @@ class CalibrationSnapshot {
 };
 
 /// Read-mostly store of calibration snapshots. Readers (`snapshot()`,
-/// `version()`) are lock-free; writers (`publish()`) serialize on a mutex,
-/// copy the current entry map, apply their updates and install the copy as
-/// version N+1. Every published snapshot is retained for the store's
-/// lifetime so a reader holding a snapshot reference across a publication
-/// never races reclamation — publications are drift-threshold-gated (rare),
-/// so the retained history stays small by construction.
+/// `version()`) take an atomic copy of the current shared snapshot pointer;
+/// writers (`publish()`) serialize on a mutex, copy the current entry map,
+/// apply their updates and install the copy as version N+1. A snapshot
+/// lives exactly as long as the store or an outstanding reader still
+/// references it, so a reader holding a snapshot across a publication never
+/// races reclamation, and superseded snapshots are reclaimed instead of
+/// accumulating for the store's lifetime.
 class CalibrationStore {
  public:
-  CalibrationStore() {
-    auto base = std::make_unique<CalibrationSnapshot>();
-    current_.store(base.get(), std::memory_order_release);
-    history_.push_back(std::move(base));
-  }
+  using SnapshotPtr = std::shared_ptr<const CalibrationSnapshot>;
+
+  CalibrationStore() : current_(std::make_shared<CalibrationSnapshot>()) {}
   CalibrationStore(const CalibrationStore&) = delete;
   CalibrationStore& operator=(const CalibrationStore&) = delete;
 
-  /// The current snapshot. The reference stays valid for the store's
-  /// lifetime even if newer versions are published meanwhile.
-  [[nodiscard]] const CalibrationSnapshot& snapshot() const {
-    return *current_.load(std::memory_order_acquire);
+  /// The current snapshot. The returned pointer keeps it alive even if
+  /// newer versions are published (and reclaim older ones) meanwhile.
+  [[nodiscard]] SnapshotPtr snapshot() const {
+    return current_.load(std::memory_order_acquire);
   }
 
   /// Version of the current snapshot (0 = pristine identity store).
@@ -121,30 +120,25 @@ class CalibrationStore {
   std::uint64_t publish(
       std::span<const std::pair<PathCalKey, PathCalibration>> updates) {
     const std::lock_guard<std::mutex> lock(write_mu_);
-    const CalibrationSnapshot* cur =
-        current_.load(std::memory_order_relaxed);
-    auto next = std::make_unique<CalibrationSnapshot>();
+    const SnapshotPtr cur = current_.load(std::memory_order_relaxed);
+    auto next = std::make_shared<CalibrationSnapshot>();
     next->entries_ = cur->entries_;
     for (const auto& [key, cal] : updates) next->entries_[key] = cal;
     next->version_ = cur->version_ + 1;
     const std::uint64_t version = next->version_;
-    current_.store(next.get(), std::memory_order_release);
-    history_.push_back(std::move(next));
+    current_.store(std::move(next), std::memory_order_release);
     return version;
   }
 
-  /// Snapshots retained so far (including the initial identity snapshot).
+  /// Snapshots published so far, including the initial identity snapshot.
+  /// (Superseded snapshots are freed once the last reader drops them.)
   [[nodiscard]] std::size_t snapshot_count() const {
-    const std::lock_guard<std::mutex> lock(write_mu_);
-    return history_.size();
+    return static_cast<std::size_t>(version()) + 1;
   }
 
  private:
   mutable std::mutex write_mu_;
-  /// All published snapshots, oldest first; guarded by write_mu_. Retained
-  /// so outstanding readers never see a freed snapshot.
-  std::vector<std::unique_ptr<const CalibrationSnapshot>> history_;
-  std::atomic<const CalibrationSnapshot*> current_{nullptr};
+  std::atomic<SnapshotPtr> current_;
 };
 
 }  // namespace mpath::model

@@ -78,14 +78,22 @@ TransferConfig ConcurrentConfigurator::configure(
   fresh.cal_version = cal_version;
   {
     const std::lock_guard<std::mutex> lock(shard.mu);
-    fresh.recency = shard.lru.end();
-    auto [it, inserted] = shard.map.insert_or_assign(key, std::move(fresh));
-    if (inserted) {
-      shard.lru.push_front(key);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      // Replace in place (collision, stale calibration, or a racing thread
+      // that filled this key first): the key already owns an LRU node, so
+      // move that node to the front and keep its iterator across the
+      // assignment — the entry's stored recency must never point at
+      // another key's node or at end().
+      const auto node = it->second.recency;
+      shard.lru.splice(shard.lru.begin(), shard.lru, node);
+      it->second = std::move(fresh);
+      it->second.recency = node;
     } else {
-      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.recency);
+      shard.lru.push_front(key);
+      it = shard.map.emplace(key, std::move(fresh)).first;
+      it->second.recency = shard.lru.begin();
     }
-    it->second.recency = shard.lru.begin();
     while (per_shard_capacity_ > 0 &&
            shard.map.size() > per_shard_capacity_) {
       shard.map.erase(shard.lru.back());

@@ -87,14 +87,21 @@ const TransferConfig& PathConfigurator::configure_over(
   fresh.bytes = bytes;
   fresh.paths.assign(paths.begin(), paths.end());
   fresh.cal_version = cal_version;
-  fresh.recency = lru_.end();
-  auto [it, inserted] = cache_.insert_or_assign(key, std::move(fresh));
-  if (inserted) {
-    lru_.push_front(key);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    // Replace in place (hash collision or superseded calibration): the key
+    // already owns an LRU node, so move that node to the front and keep its
+    // iterator across the assignment — the entry's stored recency must
+    // never point at another key's node or at end().
+    const auto node = it->second.recency;
+    lru_.splice(lru_.begin(), lru_, node);
+    it->second = std::move(fresh);
+    it->second.recency = node;
   } else {
-    lru_.splice(lru_.begin(), lru_, it->second.recency);
+    lru_.push_front(key);
+    it = cache_.emplace(key, std::move(fresh)).first;
+    it->second.recency = lru_.begin();
   }
-  it->second.recency = lru_.begin();
   // Bounded cache: drop least-recently-used entries beyond capacity. The
   // entry just inserted is at the front, so with capacity >= 1 the
   // returned reference always survives eviction.
@@ -118,8 +125,11 @@ PreparedTransfer PathConfigurator::prepare(
   // overlay any learned per-path calibration. Paths with no snapshot entry
   // are left untouched (no arithmetic at all), so a detached or empty
   // store keeps this bit-identical to the offline-calibrated model.
-  const CalibrationSnapshot* cal =
-      calibration_ != nullptr ? &calibration_->snapshot() : nullptr;
+  // The shared pointer keeps the snapshot alive for the duration of this
+  // call even if a publication retires it meanwhile.
+  const CalibrationStore::SnapshotPtr snap =
+      calibration_ != nullptr ? calibration_->snapshot() : nullptr;
+  const CalibrationSnapshot* cal = snap.get();
   out.params.reserve(p);
   for (const auto& plan : paths) {
     PathParams pp = registry_->path_params(src, dst, plan);

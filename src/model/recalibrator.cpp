@@ -25,7 +25,7 @@ void Recalibrator::observe(topo::DeviceId src, topo::DeviceId dst,
   {
     const std::lock_guard<std::mutex> lock(mu_);
     ++stats_.observations;
-    const CalibrationSnapshot& snap = store_->snapshot();
+    const CalibrationStore::SnapshotPtr snap = store_->snapshot();
     for (const PathShare& share : config.paths) {
       if (share.bytes == 0 || share.predicted_time <= 0.0) continue;
       const PathCalKey key = PathCalKey::of(src, dst, share.plan);
@@ -45,20 +45,25 @@ void Recalibrator::observe(topo::DeviceId src, topo::DeviceId dst,
       const double w = path_time > 0.0 ? bw_time / path_time : 1.0;
       const double bw_corr = 1.0 + w * (e.ratio - 1.0);
       const double lat_corr = 1.0 + (1.0 - w) * (e.ratio - 1.0);
-      const PathCalibration* cur = snap.find(src, dst, share.plan);
+      const PathCalibration* cur = snap->find(src, dst, share.plan);
       const PathCalibration base = cur != nullptr ? *cur : PathCalibration{};
       PathCalibration next;
       // Slower than predicted (ratio > 1) means less effective bandwidth
       // (beta_scale shrinks) and more startup latency (alpha_scale grows).
+      // A non-positive bw_corr would flip the correction's sign, so it is
+      // pinned to the guard-rail floor (and counted as clamped below).
+      const double raw_beta =
+          bw_corr > 0.0 ? base.beta_scale / bw_corr : options_.min_scale;
+      const double raw_alpha = base.alpha_scale * lat_corr;
       next.beta_scale =
-          std::clamp(bw_corr > 0.0 ? base.beta_scale / bw_corr
-                                   : options_.min_scale,
-                     options_.min_scale, options_.max_scale);
-      next.alpha_scale = std::clamp(base.alpha_scale * lat_corr,
-                                    options_.min_scale, options_.max_scale);
+          std::clamp(raw_beta, options_.min_scale, options_.max_scale);
+      next.alpha_scale =
+          std::clamp(raw_alpha, options_.min_scale, options_.max_scale);
       next.samples = base.samples + static_cast<std::uint64_t>(e.samples);
-      if ((bw_corr > 0.0 && next.beta_scale * bw_corr != base.beta_scale) ||
-          next.alpha_scale != base.alpha_scale * lat_corr) {
+      // Detect guard-rail hits against the pre-clamp values directly: a
+      // multiply/divide round-trip comparison can misfire on FP rounding.
+      if (bw_corr <= 0.0 || next.beta_scale != raw_beta ||
+          next.alpha_scale != raw_alpha) {
         ++stats_.clamped;
       }
       updates.emplace_back(key, next);

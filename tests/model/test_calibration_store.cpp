@@ -1,7 +1,7 @@
-// CalibrationStore snapshot semantics (copy-on-write versioning, retained
-// history, identity-by-absence), the serial configurator's version-stamped
-// cache invalidation, and the sharded ConcurrentConfigurator — including
-// the multi-threaded races the TSan CI job replays.
+// CalibrationStore snapshot semantics (copy-on-write versioning, shared
+// snapshot lifetime, identity-by-absence), the serial configurator's
+// version-stamped cache invalidation, and the sharded ConcurrentConfigurator
+// — including the multi-threaded races the TSan CI job replays.
 #include "mpath/model/calibration_store.hpp"
 
 #include <gtest/gtest.h>
@@ -73,22 +73,22 @@ TEST(CalibrationStore, PristineStoreIsEmptyIdentityVersionZero) {
   mm::CalibrationStore store;
   EXPECT_EQ(store.version(), 0u);
   EXPECT_EQ(store.snapshot_count(), 1u);
-  const auto& snap = store.snapshot();
-  EXPECT_EQ(snap.size(), 0u);
-  EXPECT_EQ(snap.find(0, 1, direct()), nullptr);
+  const auto snap = store.snapshot();
+  EXPECT_EQ(snap->size(), 0u);
+  EXPECT_EQ(snap->find(0, 1, direct()), nullptr);
 }
 
 TEST(CalibrationStore, PublishInstallsNewVersionAndRetainsOld) {
   mm::CalibrationStore store;
-  const auto& v0 = store.snapshot();
+  const auto v0 = store.snapshot();
   const auto key = mm::PathCalKey::of(0, 1, direct());
   EXPECT_EQ(store.publish(key, {1.1, 0.5, 7}), 1u);
-  // The old snapshot reference stays valid and unchanged (copy-on-write).
-  EXPECT_EQ(v0.version(), 0u);
-  EXPECT_EQ(v0.find(0, 1, direct()), nullptr);
-  const auto& v1 = store.snapshot();
-  EXPECT_EQ(v1.version(), 1u);
-  const auto* cal = v1.find(0, 1, direct());
+  // The held snapshot stays alive and unchanged (copy-on-write).
+  EXPECT_EQ(v0->version(), 0u);
+  EXPECT_EQ(v0->find(0, 1, direct()), nullptr);
+  const auto v1 = store.snapshot();
+  EXPECT_EQ(v1->version(), 1u);
+  const auto* cal = v1->find(0, 1, direct());
   ASSERT_NE(cal, nullptr);
   EXPECT_DOUBLE_EQ(cal->alpha_scale, 1.1);
   EXPECT_DOUBLE_EQ(cal->beta_scale, 0.5);
@@ -96,7 +96,7 @@ TEST(CalibrationStore, PublishInstallsNewVersionAndRetainsOld) {
   EXPECT_FALSE(cal->identity());
   EXPECT_EQ(store.snapshot_count(), 2u);
   // Other paths remain identity-by-absence.
-  EXPECT_EQ(v1.find(1, 0, direct()), nullptr);
+  EXPECT_EQ(v1->find(1, 0, direct()), nullptr);
 }
 
 TEST(CalibrationStore, BatchPublishIsOneVersionAndCarriesOverEntries) {
@@ -107,12 +107,12 @@ TEST(CalibrationStore, BatchPublishIsOneVersionAndCarriesOverEntries) {
       {mm::PathCalKey::of(4, 5, direct()), {0.8, 1.1, 3}},
   };
   EXPECT_EQ(store.publish(batch), 2u);
-  const auto& snap = store.snapshot();
-  EXPECT_EQ(snap.size(), 3u);  // earlier entry carried over
-  ASSERT_NE(snap.find(0, 1, direct()), nullptr);
-  EXPECT_DOUBLE_EQ(snap.find(0, 1, direct())->beta_scale, 0.9);
-  ASSERT_NE(snap.find(2, 3, direct()), nullptr);
-  ASSERT_NE(snap.find(4, 5, direct()), nullptr);
+  const auto snap = store.snapshot();
+  EXPECT_EQ(snap->size(), 3u);  // earlier entry carried over
+  ASSERT_NE(snap->find(0, 1, direct()), nullptr);
+  EXPECT_DOUBLE_EQ(snap->find(0, 1, direct())->beta_scale, 0.9);
+  ASSERT_NE(snap->find(2, 3, direct()), nullptr);
+  ASSERT_NE(snap->find(4, 5, direct()), nullptr);
 }
 
 // Empty-store arithmetic is bit-identical to running with no store at all:
@@ -176,9 +176,78 @@ TEST(CalibrationStore, ConfiguratorCacheInvalidatedByPublication) {
   EXPECT_EQ(cfg.cache_invalidations(), 1u);
 }
 
-// Readers racing a publisher: snapshot() is wait-free for readers, any
-// snapshot observed is internally consistent, and versions never go
-// backwards. This suite runs under TSan in CI.
+// Regression: replacing a cached entry on calibration invalidation must
+// reuse the key's own LRU node. The bookkeeping once repointed the entry at
+// another key's node, so with a bounded cache an eviction after an
+// invalidation left a dangling recency iterator and the next hit spliced
+// freed memory. Interleaving publications, hits, and evictions on a
+// capacity-2 cache walks exactly that path (ASan/UBSan CI replays this).
+TEST(CalibrationStore, InvalidationThenEvictionKeepsLruConsistent) {
+  Fixture f;
+  const auto paths = f.paths(mt::PathPolicy::three_gpus());
+  mm::ConfiguratorOptions opts;
+  opts.cache_capacity = 2;
+  mm::PathConfigurator cfg(f.reg, opts);
+  mm::CalibrationStore store;
+  cfg.set_calibration(&store);
+  const auto g0 = f.gpus[0], g1 = f.gpus[1];
+  const auto key = mm::PathCalKey::of(g0, g1, direct());
+  const std::uint64_t a = 4u << 20, b = 8u << 20, c = 16u << 20;
+  for (int round = 0; round < 8; ++round) {
+    (void)cfg.configure(g0, g1, a, paths);
+    (void)cfg.configure(g0, g1, b, paths);
+    // Invalidate both residents, then refresh them in place (replace path)
+    // and hit the refreshed entries.
+    store.publish(key, {1.0, 0.9 - 0.01 * round, 1});
+    (void)cfg.configure(g0, g1, a, paths);
+    (void)cfg.configure(g0, g1, b, paths);
+    const auto& hit = cfg.configure(g0, g1, b, paths);
+    EXPECT_EQ(hit.total_bytes, b);
+    // A third tuple evicts the LRU resident; the survivor must still hit
+    // through a valid recency iterator.
+    (void)cfg.configure(g0, g1, c, paths);
+    const auto& survivor = cfg.configure(g0, g1, b, paths);
+    EXPECT_EQ(survivor.total_bytes, b);
+    EXPECT_LE(cfg.cache_size(), 2u);
+  }
+  EXPECT_GE(cfg.cache_invalidations(), 8u);
+  EXPECT_GE(cfg.cache_evictions(), 8u);
+  EXPECT_GE(cfg.cache_hits(), 16u);
+}
+
+// Same shape through the sharded concurrent cache: single shard, bounded
+// capacity, publications interleaved with lookups so replaced entries get
+// evicted and re-hit.
+TEST(ConcurrentConfigurator, InvalidationThenEvictionKeepsShardLruConsistent) {
+  Fixture f;
+  const auto paths = f.paths(mt::PathPolicy::three_gpus());
+  mm::CalibrationStore store;
+  mm::ConfiguratorOptions opts;
+  opts.cache_capacity = 2;
+  mm::ConcurrentConfigurator cc(f.reg, opts, &store, 1);
+  const auto g0 = f.gpus[0], g1 = f.gpus[1];
+  const auto key = mm::PathCalKey::of(g0, g1, direct());
+  const std::uint64_t a = 4u << 20, b = 8u << 20, c = 16u << 20;
+  for (int round = 0; round < 8; ++round) {
+    (void)cc.configure(g0, g1, a, paths);
+    (void)cc.configure(g0, g1, b, paths);
+    store.publish(key, {1.0, 0.9 - 0.01 * round, 1});
+    (void)cc.configure(g0, g1, a, paths);
+    (void)cc.configure(g0, g1, b, paths);
+    EXPECT_EQ(cc.configure(g0, g1, b, paths).total_bytes, b);
+    (void)cc.configure(g0, g1, c, paths);
+    EXPECT_EQ(cc.configure(g0, g1, b, paths).total_bytes, b);
+    EXPECT_LE(cc.cache_size(), 2u);
+  }
+  const auto st = cc.stats();
+  EXPECT_GE(st.invalidations, 8u);
+  EXPECT_GE(st.evictions, 8u);
+  EXPECT_GE(st.hits, 16u);
+}
+
+// Readers racing a publisher: snapshot() never blocks on the writer mutex,
+// any snapshot observed is internally consistent (and stays alive while
+// held), and versions never go backwards. This suite runs under TSan in CI.
 TEST(CalibrationStore, ConcurrentReadersNeverSeeTornSnapshots) {
   mm::CalibrationStore store;
   constexpr int kPublications = 200;
@@ -192,13 +261,13 @@ TEST(CalibrationStore, ConcurrentReadersNeverSeeTornSnapshots) {
     readers.emplace_back([&] {
       std::uint64_t last = 0;
       while (!stop.load(std::memory_order_acquire)) {
-        const auto& snap = store.snapshot();
-        const std::uint64_t v = snap.version();
+        const auto snap = store.snapshot();
+        const std::uint64_t v = snap->version();
         if (v < last) ok.store(false, std::memory_order_relaxed);
         // Snapshot invariant: version v holds exactly min(v, 1) entries
         // for the single key this test publishes, with beta == 1/(v+1).
         if (v > 0) {
-          const auto* cal = snap.find(0, 1, direct());
+          const auto* cal = snap->find(0, 1, direct());
           if (cal == nullptr ||
               cal->beta_scale != 1.0 / static_cast<double>(v + 1)) {
             ok.store(false, std::memory_order_relaxed);

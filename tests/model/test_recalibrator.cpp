@@ -98,7 +98,7 @@ TEST(Recalibrator, LargeMessageDriftLandsOnBeta) {
   for (int i = 0; i < 10; ++i) {
     rec.observe(f.gpus[0], f.gpus[1], config, 1.5 * config.predicted_time);
   }
-  const auto* cal = store.snapshot().find(f.gpus[0], f.gpus[1], direct());
+  const auto* cal = store.snapshot()->find(f.gpus[0], f.gpus[1], direct());
   ASSERT_NE(cal, nullptr);
   EXPECT_LT(cal->beta_scale, 0.95);
   EXPECT_NEAR(cal->alpha_scale, 1.0, 0.05);
@@ -117,7 +117,7 @@ TEST(Recalibrator, SmallMessageDriftLandsOnAlpha) {
   for (int i = 0; i < 10; ++i) {
     rec.observe(f.gpus[0], f.gpus[1], config, 1.5 * config.predicted_time);
   }
-  const auto* cal = store.snapshot().find(f.gpus[0], f.gpus[1], direct());
+  const auto* cal = store.snapshot()->find(f.gpus[0], f.gpus[1], direct());
   ASSERT_NE(cal, nullptr);
   EXPECT_GT(cal->alpha_scale, 1.05);
   EXPECT_GT(cal->beta_scale, 0.9);
@@ -138,7 +138,7 @@ TEST(Recalibrator, GuardRailsClampRunawayCorrections) {
   for (int i = 0; i < 60; ++i) {
     rec.observe(f.gpus[0], f.gpus[1], config, 100.0 * config.predicted_time);
   }
-  const auto* cal = store.snapshot().find(f.gpus[0], f.gpus[1], direct());
+  const auto* cal = store.snapshot()->find(f.gpus[0], f.gpus[1], direct());
   ASSERT_NE(cal, nullptr);
   EXPECT_GE(cal->beta_scale, 0.25);
   EXPECT_LE(cal->alpha_scale, 4.0);
@@ -178,7 +178,7 @@ TEST(Recalibrator, ClosedLoopConvergesOnSlowLink) {
     EXPECT_LE(errors[i], errors[i - 1] + 1e-9) << "at iteration " << i;
   }
   EXPECT_GE(rec.stats().publications, 2u);  // converged in multiple steps
-  const auto* cal = store.snapshot().find(f.gpus[0], f.gpus[1], direct());
+  const auto* cal = store.snapshot()->find(f.gpus[0], f.gpus[1], direct());
   ASSERT_NE(cal, nullptr);
   EXPECT_NEAR(cal->beta_scale, 0.5, 0.05);
 }
@@ -209,7 +209,7 @@ TEST(Recalibrator, ConcurrentObserversAreRaceFree) {
             static_cast<std::uint64_t>(kThreads) * kIters);
   EXPECT_GE(rec.stats().publications, 1u);
   EXPECT_GE(store.version(), 1u);
-  const auto* cal = store.snapshot().find(f.gpus[0], f.gpus[1], direct());
+  const auto* cal = store.snapshot()->find(f.gpus[0], f.gpus[1], direct());
   ASSERT_NE(cal, nullptr);
   EXPECT_LT(cal->beta_scale, 1.0);
   EXPECT_GE(cal->beta_scale, rec.options().min_scale);

@@ -406,7 +406,7 @@ TEST(DriftConvergence, RecalibratedPredictionsConvergeOnDriftedLink) {
   EXPECT_GE(store.version(), 1u);
   EXPECT_GE(recal.stats().publications, 1u);
   // The learned correction says the direct path is slower than fitted.
-  const auto* cal = store.snapshot().find(f.gpus[0], f.gpus[1], direct());
+  const auto* cal = store.snapshot()->find(f.gpus[0], f.gpus[1], direct());
   ASSERT_NE(cal, nullptr);
   EXPECT_LT(cal->beta_scale, 1.0);
 }
