@@ -1,0 +1,57 @@
+// Prediction-accuracy and policy-regret metrics for the mispredict hunter
+// (benchcore/hunter.hpp) and the corpus replay tests.
+//
+// Two orthogonal failure modes of the model are measured:
+//   * prediction error — the model's predicted bandwidth for the CHOSEN
+//     configuration deviates from what the simulated fabric delivers
+//     (the paper's Section 5.2 "percentage deviation" metric);
+//   * policy regret — the configuration the model picked under its policy
+//     delivers less bandwidth than the best policy in the enumerated set
+//     would have (the model was confidently wrong about the ranking).
+// A scenario can exhibit either alone: a uniformly-biased model has error
+// but zero regret; a model wrong only about path ORDER has regret with
+// small per-config error.
+#pragma once
+
+#include <string_view>
+
+namespace mpath::model {
+
+/// |predicted - observed| / observed. Zero when observed <= 0 (a transfer
+/// that delivered nothing is a simulation failure, not a model error —
+/// callers surface those separately).
+[[nodiscard]] double prediction_error(double predicted, double observed);
+
+/// (best - chosen) / best, clamped to [0, 1]. Zero when best <= 0 or the
+/// chosen policy matched (or beat) the best enumerated one.
+[[nodiscard]] double policy_regret(double chosen_bw, double best_bw);
+
+/// Flagging thresholds for the hunter. Defaults are deliberately loose
+/// relative to the paper's <6% headline claim: fuzzed topologies are far
+/// outside the calibrated envelope and small structural error is expected;
+/// the hunter is after gross mispredictions.
+struct AccuracyThresholds {
+  double max_error = 0.25;
+  double max_regret = 0.20;
+};
+
+enum class MispredictKind {
+  kNone,    ///< both metrics under threshold
+  kError,   ///< prediction error exceeded
+  kRegret,  ///< policy regret exceeded
+  kBoth,
+};
+
+[[nodiscard]] MispredictKind classify(double error, double regret,
+                                      const AccuracyThresholds& thresholds);
+
+/// True when `kind` covers every failure mode of `wanted` (kBoth covers
+/// kError and kRegret; everything covers kNone). The minimizer uses this:
+/// a shrunken scenario must still reproduce the ORIGINAL flag kind, not
+/// merely some flag.
+[[nodiscard]] bool covers(MispredictKind kind, MispredictKind wanted);
+
+[[nodiscard]] std::string_view to_string(MispredictKind kind);
+[[nodiscard]] MispredictKind mispredict_kind_from_string(std::string_view s);
+
+}  // namespace mpath::model

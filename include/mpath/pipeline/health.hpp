@@ -68,13 +68,22 @@ struct HealthStats {
   std::uint64_t probes_failed = 0;
   std::uint64_t probes_succeeded = 0;
   std::uint64_t deaths = 0;           ///< transitions into kDead
-  std::uint64_t readmissions = 0;     ///< non-healthy paths restored
+  /// Paths restored by a successful probation probe — the readmission
+  /// mechanism actually proving the path healthy again.
+  std::uint64_t readmissions = 0;
+  /// Tracked-but-unprobed paths (suspect, or dead paths force-included when
+  /// nothing else was healthy) cleared by delivering a regular share. Not a
+  /// readmission: no probe was issued.
+  std::uint64_t suspect_clears = 0;
 };
 
 class PathHealthManager {
  public:
+  /// Throws std::invalid_argument when the options are inconsistent (e.g.
+  /// min_probe_bytes > max_probe_bytes, which would make the probe-size
+  /// clamp undefined behaviour, or backoff factors below 1).
   explicit PathHealthManager(HealthOptions options = {})
-      : options_(options) {}
+      : options_(validated(options)) {}
 
   /// Split `candidates` into paths to plan over (`active`) and paths due a
   /// probe slice right now (`probes`). Healthy paths are always active;
@@ -135,6 +144,9 @@ class PathHealthManager {
                                   const topo::PathPlan& plan) {
     return Key{src, dst, plan.kind, plan.stage};
   }
+
+  /// Returns `options` unchanged or throws std::invalid_argument.
+  [[nodiscard]] static HealthOptions validated(const HealthOptions& options);
 
   HealthOptions options_;
   /// Only unhealthy paths are tracked; absence means healthy.

@@ -9,7 +9,9 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -61,7 +63,16 @@ struct Edge {
 
 class Topology {
  public:
-  explicit Topology(std::string system_name) : name_(std::move(system_name)) {}
+  explicit Topology(std::string system_name)
+      : name_(std::move(system_name)),
+        route_mutex_(std::make_unique<std::shared_mutex>()) {}
+
+  // Copies get their own lock and a snapshot of the source's route cache;
+  // moves transfer the lock (the moved-from topology must not be used).
+  Topology(const Topology& other);
+  Topology& operator=(const Topology& other);
+  Topology(Topology&&) noexcept = default;
+  Topology& operator=(Topology&&) noexcept = default;
 
   DeviceId add_device(DeviceKind kind, int numa_node, std::string name);
 
@@ -108,8 +119,19 @@ class Topology {
   /// capacity); memory-channel edges are appended for Host endpoints but
   /// never used in transit (PCIe peer-to-peer does not touch DRAM).
   /// Throws std::runtime_error if no route exists.
+  ///
+  /// Thread safety: concurrent route() calls on one const Topology are safe
+  /// (the memoization cache is guarded by a shared mutex; sweep workers
+  /// share one topo::System snapshot). The returned reference stays valid
+  /// for the topology's lifetime — cache entries are never evicted, only
+  /// invalidated wholesale by the (non-concurrent) mutators above.
   [[nodiscard]] const std::vector<EdgeId>& route(DeviceId from,
                                                  DeviceId to) const;
+
+  /// Pre-compute every (device, device) route so that subsequent route()
+  /// calls are pure cache reads. Optional — route() is thread-safe either
+  /// way — but warming before a fan-out keeps workers off the mutex.
+  void warm_route_cache() const;
 
   /// Bottleneck capacity along a route (min over edges), bytes/s.
   [[nodiscard]] double route_capacity(std::span<const EdgeId> route) const;
@@ -127,6 +149,11 @@ class Topology {
   std::vector<std::vector<EdgeId>> adjacency_;
   // Host device -> its memory channel edge
   std::map<DeviceId, EdgeId> memory_channels_;
+  // Route memoization. Guarded by route_mutex_ (shared for lookups,
+  // exclusive for fills and for the mutators' invalidation); node-based, so
+  // references handed out by route() survive later insertions. Behind a
+  // unique_ptr only to keep Topology movable.
+  std::unique_ptr<std::shared_mutex> route_mutex_;
   mutable std::map<std::pair<DeviceId, DeviceId>, std::vector<EdgeId>>
       route_cache_;
 };

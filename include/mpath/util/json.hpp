@@ -1,0 +1,107 @@
+// Minimal JSON reader/writer for the fuzz-scenario corpus (tests/corpus/)
+// and structured bench artifacts. Supports the full JSON value grammar;
+// objects preserve insertion order so that serialization is deterministic
+// (byte-identical dumps for identical values — the fuzz corpus and the
+// fuzz_hunt determinism gate depend on that).
+//
+// Deliberately tiny: no SAX interface, no allocator hooks, no UTF-16
+// surrogate handling beyond pass-through of \uXXXX escapes for the BMP.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mpath::util::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+/// Insertion-ordered object representation. Lookup is linear — corpus
+/// documents have a handful of keys; determinism beats asymptotics here.
+using Object = std::vector<std::pair<std::string, Value>>;
+
+enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+/// Thrown on malformed input (parse) and on kind-mismatched access.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Value {
+ public:
+  Value() = default;  // null
+  Value(bool b) : kind_(Kind::kBool), bool_(b) {}                // NOLINT
+  Value(double d) : kind_(Kind::kNumber), num_(d) {}             // NOLINT
+  Value(int v) : kind_(Kind::kNumber), num_(v) {}                // NOLINT
+  Value(std::int64_t v)                                          // NOLINT
+      : kind_(Kind::kNumber), num_(static_cast<double>(v)) {}
+  Value(std::uint64_t v)                                         // NOLINT
+      : kind_(Kind::kNumber), num_(static_cast<double>(v)) {}
+  Value(const char* s) : kind_(Kind::kString), str_(s) {}        // NOLINT
+  Value(std::string s)                                           // NOLINT
+      : kind_(Kind::kString), str_(std::move(s)) {}
+  Value(std::string_view s) : kind_(Kind::kString), str_(s) {}   // NOLINT
+  Value(Array a) : kind_(Kind::kArray), arr_(std::move(a)) {}    // NOLINT
+  Value(Object o) : kind_(Kind::kObject), obj_(std::move(o)) {}  // NOLINT
+
+  /// Parse a complete JSON document (trailing whitespace allowed, trailing
+  /// garbage rejected). Throws json::Error with position info.
+  [[nodiscard]] static Value parse(std::string_view text);
+
+  /// Serialize. indent > 0 pretty-prints with that many spaces per level;
+  /// indent == 0 emits the compact single-line form.
+  [[nodiscard]] std::string dump(int indent = 2) const;
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  /// as_number() checked to be integral and in range of the target type.
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] std::uint64_t as_uint() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+  [[nodiscard]] Array& as_array();
+  [[nodiscard]] Object& as_object();
+
+  // -- object helpers -----------------------------------------------------
+  /// First member with `key`, or nullptr. Null (not a throw) on non-objects
+  /// would hide bugs, so this throws on kind mismatch like the accessors.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+  /// Member access that throws json::Error when the key is absent.
+  [[nodiscard]] const Value& at(std::string_view key) const;
+  /// `at(key)` if present, else `fallback` — for optional corpus fields.
+  [[nodiscard]] const Value& get_or(std::string_view key,
+                                    const Value& fallback) const;
+  /// Append/overwrite a member (object kind required; a default-constructed
+  /// null value is promoted to an empty object first).
+  Value& set(std::string_view key, Value v);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+/// Deterministic number formatting: integral doubles in the exactly-
+/// representable range print without a decimal point, everything else with
+/// the shortest round-trip form ("%.17g"). Exposed for tests.
+[[nodiscard]] std::string format_number(double v);
+
+}  // namespace mpath::util::json

@@ -1,0 +1,61 @@
+#include "mpath/model/accuracy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace mpath::model {
+
+double prediction_error(double predicted, double observed) {
+  if (!(observed > 0.0)) return 0.0;
+  return std::fabs(predicted - observed) / observed;
+}
+
+double policy_regret(double chosen_bw, double best_bw) {
+  if (!(best_bw > 0.0)) return 0.0;
+  return std::clamp((best_bw - chosen_bw) / best_bw, 0.0, 1.0);
+}
+
+MispredictKind classify(double error, double regret,
+                        const AccuracyThresholds& thresholds) {
+  const bool e = error > thresholds.max_error;
+  const bool r = regret > thresholds.max_regret;
+  if (e && r) return MispredictKind::kBoth;
+  if (e) return MispredictKind::kError;
+  if (r) return MispredictKind::kRegret;
+  return MispredictKind::kNone;
+}
+
+bool covers(MispredictKind kind, MispredictKind wanted) {
+  const auto bits = [](MispredictKind k) {
+    switch (k) {
+      case MispredictKind::kNone: return 0;
+      case MispredictKind::kError: return 1;
+      case MispredictKind::kRegret: return 2;
+      case MispredictKind::kBoth: return 3;
+    }
+    return 0;
+  };
+  return (bits(kind) & bits(wanted)) == bits(wanted);
+}
+
+std::string_view to_string(MispredictKind kind) {
+  switch (kind) {
+    case MispredictKind::kNone: return "none";
+    case MispredictKind::kError: return "error";
+    case MispredictKind::kRegret: return "regret";
+    case MispredictKind::kBoth: return "both";
+  }
+  return "none";
+}
+
+MispredictKind mispredict_kind_from_string(std::string_view s) {
+  if (s == "none") return MispredictKind::kNone;
+  if (s == "error") return MispredictKind::kError;
+  if (s == "regret") return MispredictKind::kRegret;
+  if (s == "both") return MispredictKind::kBoth;
+  throw std::invalid_argument("unknown mispredict kind: " + std::string(s));
+}
+
+}  // namespace mpath::model

@@ -1,8 +1,41 @@
 #include "mpath/pipeline/health.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 namespace mpath::pipeline {
+
+HealthOptions PathHealthManager::validated(const HealthOptions& options) {
+  const auto fail = [](const std::string& what) {
+    throw std::invalid_argument("PathHealthManager: " + what);
+  };
+  if (options.min_probe_bytes > options.max_probe_bytes) {
+    // std::clamp(x, lo, hi) with lo > hi is undefined behaviour; reject it
+    // here instead of letting probe_bytes() hit it on the hot path.
+    fail("min_probe_bytes (" + std::to_string(options.min_probe_bytes) +
+         ") > max_probe_bytes (" + std::to_string(options.max_probe_bytes) +
+         ")");
+  }
+  if (!(options.probe_fraction >= 0.0 && options.probe_fraction <= 1.0)) {
+    fail("probe_fraction must be in [0, 1]");
+  }
+  if (options.dead_after < 1) fail("dead_after must be >= 1");
+  if (!(options.backoff >= 1.0)) fail("backoff must be >= 1");
+  if (!(options.max_slack_factor >= 1.0)) {
+    fail("max_slack_factor must be >= 1");
+  }
+  if (!(options.suspect_delay_s >= 0.0)) {
+    fail("suspect_delay_s must be >= 0");
+  }
+  if (!(options.dead_cooldown_s >= 0.0)) {
+    fail("dead_cooldown_s must be >= 0");
+  }
+  if (!(options.max_cooldown_s >= options.dead_cooldown_s)) {
+    fail("max_cooldown_s must be >= dead_cooldown_s");
+  }
+  return options;
+}
 
 void PathHealthManager::partition(topo::DeviceId src, topo::DeviceId dst,
                                   const std::vector<topo::PathPlan>& candidates,
@@ -59,8 +92,17 @@ void PathHealthManager::on_success(topo::DeviceId src, topo::DeviceId dst,
                                    double /*now*/) {
   const auto it = entries_.find(key_of(src, dst, plan));
   if (it == entries_.end()) return;
-  if (it->second.state == PathHealth::kProbation) ++stats_.probes_succeeded;
-  ++stats_.readmissions;
+  if (it->second.state == PathHealth::kProbation) {
+    // A probe slice delivered: the readmission mechanism worked.
+    ++stats_.probes_succeeded;
+    ++stats_.readmissions;
+  } else {
+    // A merely-suspect (or force-included dead) path delivered a regular
+    // share before any probe was issued. It clears its tracked state, but
+    // no probe proved anything — counting it as a readmission would
+    // overstate the probation machinery.
+    ++stats_.suspect_clears;
+  }
   // Back to pristine healthy: streak, slack escalation and cooldown all
   // reset — a readmitted path is trusted like any other.
   entries_.erase(it);

@@ -2,10 +2,30 @@
 
 #include <algorithm>
 #include <limits>
+#include <mutex>
 #include <queue>
 #include <stdexcept>
 
 namespace mpath::topo {
+
+Topology::Topology(const Topology& other)
+    : name_(other.name_),
+      devices_(other.devices_),
+      edges_(other.edges_),
+      adjacency_(other.adjacency_),
+      memory_channels_(other.memory_channels_),
+      route_mutex_(std::make_unique<std::shared_mutex>()) {
+  std::shared_lock lock(*other.route_mutex_);
+  route_cache_ = other.route_cache_;
+}
+
+Topology& Topology::operator=(const Topology& other) {
+  if (this != &other) {
+    Topology copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
 
 std::string_view to_string(LinkKind kind) {
   switch (kind) {
@@ -36,7 +56,10 @@ DeviceId Topology::add_device(DeviceKind kind, int numa_node,
   const auto id = static_cast<DeviceId>(devices_.size());
   devices_.push_back(DeviceInfo{id, kind, numa_node, std::move(name)});
   adjacency_.emplace_back();
-  route_cache_.clear();
+  {
+    std::unique_lock lock(*route_mutex_);
+    route_cache_.clear();
+  }
   return id;
 }
 
@@ -54,7 +77,10 @@ EdgeId Topology::connect(DeviceId from, DeviceId to, LinkKind kind,
   edges_.push_back(
       Edge{id, from, to, kind, capacity_bps, latency_s, std::move(name), false});
   adjacency_[from].push_back(id);
-  route_cache_.clear();
+  {
+    std::unique_lock lock(*route_mutex_);
+    route_cache_.clear();
+  }
   return id;
 }
 
@@ -81,7 +107,10 @@ EdgeId Topology::add_memory_channel(DeviceId host, double capacity_bps,
   edges_.push_back(Edge{id, host, host, LinkKind::MemChan, capacity_bps,
                         latency_s, devices_[host].name + ":MemChan", true});
   memory_channels_.emplace(host, id);
-  route_cache_.clear();
+  {
+    std::unique_lock lock(*route_mutex_);
+    route_cache_.clear();
+  }
   return id;
 }
 
@@ -140,11 +169,31 @@ std::optional<EdgeId> Topology::direct_edge(DeviceId a, DeviceId b) const {
 
 const std::vector<EdgeId>& Topology::route(DeviceId from, DeviceId to) const {
   const auto key = std::make_pair(from, to);
-  auto it = route_cache_.find(key);
-  if (it == route_cache_.end()) {
-    it = route_cache_.emplace(key, compute_route(from, to)).first;
+  {
+    std::shared_lock lock(*route_mutex_);
+    if (auto it = route_cache_.find(key); it != route_cache_.end()) {
+      return it->second;
+    }
   }
+  // Cold lookup: compute outside any lock (Dijkstra is the expensive part),
+  // then insert. A racing thread may have filled the slot meanwhile;
+  // try_emplace keeps the first value so both callers observe one route.
+  std::vector<EdgeId> computed = compute_route(from, to);
+  std::unique_lock lock(*route_mutex_);
+  auto [it, inserted] = route_cache_.try_emplace(key, std::move(computed));
   return it->second;
+}
+
+void Topology::warm_route_cache() const {
+  for (const DeviceInfo& a : devices_) {
+    for (const DeviceInfo& b : devices_) {
+      try {
+        (void)route(a.id, b.id);
+      } catch (const std::runtime_error&) {
+        // Unreachable pairs simply stay uncached.
+      }
+    }
+  }
 }
 
 std::vector<EdgeId> Topology::compute_route(DeviceId from, DeviceId to) const {
@@ -156,47 +205,69 @@ std::vector<EdgeId> Topology::compute_route(DeviceId from, DeviceId to) const {
     // Dijkstra over non-memory-channel edges. Edge weight approximates the
     // cost of pushing a reference-sized transfer (1 MiB) through the edge,
     // so higher-bandwidth links are preferred and latency breaks ties.
+    //
+    // A GPU cannot transparently forward traffic: data only transits a GPU
+    // when the hardware routes it (AMD xGMI rings). NVLink/PCIe forwarding
+    // requires explicit staging, which is modeled as separate hop transfers
+    // by the pipeline engine, not as routing. Whether an edge out of a
+    // transit GPU is admissible therefore depends on HOW the data arrived
+    // there (on xGMI or not) — predecessor-dependent admissibility breaks
+    // Dijkstra's subpath-optimality assumption, so the search state is
+    // (device, arrived-via-xGMI) rather than the device alone. Otherwise a
+    // cheaper non-xGMI arrival at a ring GPU would mask the xGMI arrival
+    // that the onward ring hop needs, yielding spurious "no route" or a
+    // worse detour.
     constexpr double kRefBytes = 1.0 * (1 << 20);
     const double inf = std::numeric_limits<double>::infinity();
-    std::vector<double> dist(devices_.size(), inf);
-    std::vector<EdgeId> via(devices_.size(), 0);
-    std::vector<bool> has_via(devices_.size(), false);
-    using Item = std::pair<double, DeviceId>;
+    const std::size_t n = devices_.size();
+    const auto state_of = [n](DeviceId dev, bool via_xgmi) {
+      return static_cast<std::size_t>(dev) + (via_xgmi ? n : 0);
+    };
+    std::vector<double> dist(2 * n, inf);
+    std::vector<EdgeId> via(2 * n, 0);
+    std::vector<std::size_t> prev_state(2 * n, 0);
+    using Item = std::pair<double, std::size_t>;
     std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
-    dist[from] = 0.0;
-    heap.emplace(0.0, from);
+    const std::size_t start = state_of(from, false);
+    dist[start] = 0.0;
+    heap.emplace(0.0, start);
+    std::size_t goal = start;  // best arrival state at `to`, once found
+    bool found = false;
     while (!heap.empty()) {
-      auto [d, u] = heap.top();
+      const auto [d, s] = heap.top();
       heap.pop();
-      if (d > dist[u]) continue;
-      if (u == to) break;
-      // A GPU cannot transparently forward traffic: data only transits a
-      // GPU when the hardware routes it (AMD xGMI rings). NVLink/PCIe
-      // forwarding requires explicit staging, which is modeled as separate
-      // hop transfers by the pipeline engine, not as routing.
+      if (d > dist[s]) continue;
+      const DeviceId u = static_cast<DeviceId>(s < n ? s : s - n);
+      const bool arrived_xgmi = s >= n;
+      if (u == to) {
+        // First popped arrival state is the global optimum; ties break on
+        // the lower state index (non-xGMI first) for determinism.
+        goal = s;
+        found = true;
+        break;
+      }
       const bool gpu_transit = u != from && devices_[u].kind == DeviceKind::Gpu;
       for (EdgeId e : adjacency_[u]) {
         const Edge& edge = edges_[e];
-        if (gpu_transit && (edge.kind != LinkKind::XGMI ||
-                            edges_[via[u]].kind != LinkKind::XGMI)) {
+        if (gpu_transit && (edge.kind != LinkKind::XGMI || !arrived_xgmi)) {
           continue;
         }
         const double w = edge.latency_s + kRefBytes / edge.capacity_bps;
-        if (dist[u] + w < dist[edge.to]) {
-          dist[edge.to] = dist[u] + w;
-          via[edge.to] = e;
-          has_via[edge.to] = true;
-          heap.emplace(dist[edge.to], edge.to);
+        const std::size_t t = state_of(edge.to, edge.kind == LinkKind::XGMI);
+        if (dist[s] + w < dist[t]) {
+          dist[t] = dist[s] + w;
+          via[t] = e;
+          prev_state[t] = s;
+          heap.emplace(dist[t], t);
         }
       }
     }
-    if (!has_via[to]) {
+    if (!found) {
       throw std::runtime_error("Topology: no route " + devices_[from].name +
                                " -> " + devices_[to].name);
     }
-    for (DeviceId v = to; v != from;) {
-      path.push_back(via[v]);
-      v = edges_[via[v]].from;
+    for (std::size_t s = goal; s != start; s = prev_state[s]) {
+      path.push_back(via[s]);
     }
     std::reverse(path.begin(), path.end());
   }

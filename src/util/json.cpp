@@ -1,0 +1,401 @@
+#include "mpath/util/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mpath::util::json {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw Error("json: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (take() != c) {
+      --pos_;
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Value(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return Value(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return Value(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Value();
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Object obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Value(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      const char sep = take();
+      if (sep == '}') break;
+      if (sep != ',') {
+        --pos_;
+        fail("expected ',' or '}' in object");
+      }
+    }
+    return Value(std::move(obj));
+  }
+
+  Value parse_array() {
+    expect('[');
+    Array arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Value(std::move(arr));
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      const char sep = take();
+      if (sep == ']') break;
+      if (sep != ',') {
+        --pos_;
+        fail("expected ',' or ']' in array");
+      }
+    }
+    return Value(std::move(arr));
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = take();
+      if (c == '"') break;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = take();
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad \\u escape");
+            }
+          }
+          // UTF-8 encode (BMP only; surrogate pairs unsupported — the
+          // corpus is ASCII in practice).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+    return out;
+  }
+
+  Value parse_number() {
+    const std::size_t begin = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == begin) fail("invalid value");
+    const std::string token(text_.substr(begin, pos_ - begin));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      pos_ = begin;
+      fail("bad number '" + token + "'");
+    }
+    return Value(v);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void escape_into(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void dump_into(std::string& out, const Value& v, int indent, int depth) {
+  const auto newline = [&](int d) {
+    if (indent <= 0) return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (v.kind()) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += v.as_bool() ? "true" : "false"; break;
+    case Kind::kNumber: out += format_number(v.as_number()); break;
+    case Kind::kString: escape_into(out, v.as_string()); break;
+    case Kind::kArray: {
+      const Array& arr = v.as_array();
+      if (arr.empty()) {
+        out += "[]";
+        break;
+      }
+      out.push_back('[');
+      for (std::size_t i = 0; i < arr.size(); ++i) {
+        if (i != 0) out.push_back(',');
+        newline(depth + 1);
+        dump_into(out, arr[i], indent, depth + 1);
+      }
+      newline(depth);
+      out.push_back(']');
+      break;
+    }
+    case Kind::kObject: {
+      const Object& obj = v.as_object();
+      if (obj.empty()) {
+        out += "{}";
+        break;
+      }
+      out.push_back('{');
+      for (std::size_t i = 0; i < obj.size(); ++i) {
+        if (i != 0) out.push_back(',');
+        newline(depth + 1);
+        escape_into(out, obj[i].first);
+        out.push_back(':');
+        if (indent > 0) out.push_back(' ');
+        dump_into(out, obj[i].second, indent, depth + 1);
+      }
+      newline(depth);
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+[[noreturn]] void kind_error(const char* want, Kind got) {
+  static constexpr const char* kNames[] = {"null",   "bool",  "number",
+                                           "string", "array", "object"};
+  throw Error(std::string("json: expected ") + want + ", have " +
+              kNames[static_cast<int>(got)]);
+}
+
+}  // namespace
+
+Value Value::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dump_into(out, *this, indent, 0);
+  if (indent > 0) out.push_back('\n');
+  return out;
+}
+
+bool Value::as_bool() const {
+  if (kind_ != Kind::kBool) kind_error("bool", kind_);
+  return bool_;
+}
+
+double Value::as_number() const {
+  if (kind_ != Kind::kNumber) kind_error("number", kind_);
+  return num_;
+}
+
+std::int64_t Value::as_int() const {
+  const double v = as_number();
+  // Bounds first: casting an out-of-range double to int64 is UB.
+  constexpr double kLimit = 9223372036854775808.0;  // 2^63
+  if (!(v >= -kLimit && v < kLimit)) {
+    throw Error("json: number out of int64 range");
+  }
+  const auto i = static_cast<std::int64_t>(v);
+  if (static_cast<double>(i) != v) {
+    throw Error("json: number " + format_number(v) + " is not an integer");
+  }
+  return i;
+}
+
+std::uint64_t Value::as_uint() const {
+  const std::int64_t i = as_int();
+  if (i < 0) throw Error("json: number is negative");
+  return static_cast<std::uint64_t>(i);
+}
+
+const std::string& Value::as_string() const {
+  if (kind_ != Kind::kString) kind_error("string", kind_);
+  return str_;
+}
+
+const Array& Value::as_array() const {
+  if (kind_ != Kind::kArray) kind_error("array", kind_);
+  return arr_;
+}
+
+const Object& Value::as_object() const {
+  if (kind_ != Kind::kObject) kind_error("object", kind_);
+  return obj_;
+}
+
+Array& Value::as_array() {
+  if (kind_ != Kind::kArray) kind_error("array", kind_);
+  return arr_;
+}
+
+Object& Value::as_object() {
+  if (kind_ != Kind::kObject) kind_error("object", kind_);
+  return obj_;
+}
+
+const Value* Value::find(std::string_view key) const {
+  for (const auto& [k, v] : as_object()) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Value& Value::at(std::string_view key) const {
+  if (const Value* v = find(key)) return *v;
+  throw Error("json: missing key '" + std::string(key) + "'");
+}
+
+const Value& Value::get_or(std::string_view key, const Value& fallback) const {
+  const Value* v = find(key);
+  return v != nullptr ? *v : fallback;
+}
+
+Value& Value::set(std::string_view key, Value v) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  Object& obj = as_object();
+  for (auto& [k, existing] : obj) {
+    if (k == key) {
+      existing = std::move(v);
+      return existing;
+    }
+  }
+  obj.emplace_back(std::string(key), std::move(v));
+  return obj.back().second;
+}
+
+std::string format_number(double v) {
+  if (std::isfinite(v)) {
+    constexpr double kExact = 9007199254740992.0;  // 2^53
+    if (v == std::floor(v) && std::fabs(v) < kExact) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+      return buf;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+  }
+  // JSON has no Inf/NaN; the corpus never stores them, but dump() must not
+  // emit invalid documents if one sneaks in.
+  throw Error("json: cannot serialize non-finite number");
+}
+
+}  // namespace mpath::util::json

@@ -1,0 +1,57 @@
+#include "mpath/model/accuracy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mm = mpath::model;
+
+TEST(Accuracy, PredictionError) {
+  EXPECT_DOUBLE_EQ(mm::prediction_error(110.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(mm::prediction_error(90.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(mm::prediction_error(100.0, 100.0), 0.0);
+  // A zero observation is a simulation failure, not a model error.
+  EXPECT_DOUBLE_EQ(mm::prediction_error(50.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(mm::prediction_error(50.0, -1.0), 0.0);
+}
+
+TEST(Accuracy, PolicyRegret) {
+  EXPECT_DOUBLE_EQ(mm::policy_regret(80.0, 100.0), 0.2);
+  EXPECT_DOUBLE_EQ(mm::policy_regret(100.0, 100.0), 0.0);
+  // Chosen beating "best" clamps to zero, never negative.
+  EXPECT_DOUBLE_EQ(mm::policy_regret(120.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(mm::policy_regret(50.0, 0.0), 0.0);
+  // Negative chosen bandwidth can't exceed full regret.
+  EXPECT_DOUBLE_EQ(mm::policy_regret(-10.0, 100.0), 1.0);
+}
+
+TEST(Accuracy, ClassifyAgainstThresholds) {
+  const mm::AccuracyThresholds th{0.25, 0.20};
+  EXPECT_EQ(mm::classify(0.10, 0.10, th), mm::MispredictKind::kNone);
+  EXPECT_EQ(mm::classify(0.30, 0.10, th), mm::MispredictKind::kError);
+  EXPECT_EQ(mm::classify(0.10, 0.30, th), mm::MispredictKind::kRegret);
+  EXPECT_EQ(mm::classify(0.30, 0.30, th), mm::MispredictKind::kBoth);
+  // Thresholds are exclusive: exactly-at-threshold does not flag.
+  EXPECT_EQ(mm::classify(0.25, 0.20, th), mm::MispredictKind::kNone);
+}
+
+TEST(Accuracy, CoversIsASupersetCheck) {
+  using K = mm::MispredictKind;
+  EXPECT_TRUE(mm::covers(K::kBoth, K::kError));
+  EXPECT_TRUE(mm::covers(K::kBoth, K::kRegret));
+  EXPECT_TRUE(mm::covers(K::kBoth, K::kBoth));
+  EXPECT_TRUE(mm::covers(K::kError, K::kError));
+  EXPECT_FALSE(mm::covers(K::kError, K::kRegret));
+  EXPECT_FALSE(mm::covers(K::kError, K::kBoth));
+  EXPECT_FALSE(mm::covers(K::kNone, K::kError));
+  // Everything covers kNone.
+  EXPECT_TRUE(mm::covers(K::kNone, K::kNone));
+  EXPECT_TRUE(mm::covers(K::kRegret, K::kNone));
+}
+
+TEST(Accuracy, KindStringsRoundTrip) {
+  using K = mm::MispredictKind;
+  for (const K k : {K::kNone, K::kError, K::kRegret, K::kBoth}) {
+    EXPECT_EQ(mm::mispredict_kind_from_string(mm::to_string(k)), k);
+  }
+  EXPECT_THROW((void)mm::mispredict_kind_from_string("sometimes"),
+               std::invalid_argument);
+}

@@ -431,3 +431,88 @@ TEST(FlapRecovery, DisabledPoliciesStayInert) {
   EXPECT_EQ(hs.timeouts + hs.readmissions + hs.deaths, 0u);
   EXPECT_EQ(ch.health().tracked_count(), 0u);
 }
+
+// ---------------------------------------------------------------------------
+// Option validation and the readmission/suspect-clear stat split
+// ---------------------------------------------------------------------------
+
+TEST(Health, RejectsInconsistentOptions) {
+  // min > max probe bytes would make the probe-size std::clamp UB.
+  auto opts = health_opts();
+  opts.min_probe_bytes = 8_MiB;
+  opts.max_probe_bytes = 1_MiB;
+  EXPECT_THROW(mp::PathHealthManager{opts}, std::invalid_argument);
+
+  opts = health_opts();
+  opts.probe_fraction = 1.5;
+  EXPECT_THROW(mp::PathHealthManager{opts}, std::invalid_argument);
+  opts.probe_fraction = -0.1;
+  EXPECT_THROW(mp::PathHealthManager{opts}, std::invalid_argument);
+
+  opts = health_opts();
+  opts.dead_after = 0;
+  EXPECT_THROW(mp::PathHealthManager{opts}, std::invalid_argument);
+
+  opts = health_opts();
+  opts.backoff = 0.5;
+  EXPECT_THROW(mp::PathHealthManager{opts}, std::invalid_argument);
+
+  opts = health_opts();
+  opts.max_slack_factor = 0.9;
+  EXPECT_THROW(mp::PathHealthManager{opts}, std::invalid_argument);
+
+  opts = health_opts();
+  opts.suspect_delay_s = -1.0;
+  EXPECT_THROW(mp::PathHealthManager{opts}, std::invalid_argument);
+
+  opts = health_opts();
+  opts.dead_cooldown_s = -1e-3;
+  EXPECT_THROW(mp::PathHealthManager{opts}, std::invalid_argument);
+
+  opts = health_opts();
+  opts.max_cooldown_s = opts.dead_cooldown_s / 2;
+  EXPECT_THROW(mp::PathHealthManager{opts}, std::invalid_argument);
+
+  // Defaults (and the boundary probe_fraction values) are valid.
+  EXPECT_NO_THROW(mp::PathHealthManager{health_opts()});
+  opts = health_opts();
+  opts.probe_fraction = 0.0;
+  EXPECT_NO_THROW(mp::PathHealthManager{opts});
+  opts.probe_fraction = 1.0;
+  EXPECT_NO_THROW(mp::PathHealthManager{opts});
+}
+
+TEST(Health, EqualProbeBoundsAreValidAndDegenerate) {
+  auto opts = health_opts();
+  opts.min_probe_bytes = 1_MiB;
+  opts.max_probe_bytes = 1_MiB;
+  mp::PathHealthManager hm(opts);
+  EXPECT_EQ(hm.probe_bytes(64_MiB), 1_MiB);
+  EXPECT_EQ(hm.probe_bytes(512_KiB), 512_KiB);  // still capped by segment
+}
+
+TEST(Health, SuspectClearedByRegularShareIsNotAReadmission) {
+  mp::PathHealthManager hm(health_opts());
+  hm.on_timeout(0, 1, direct(), 1.0);
+  EXPECT_EQ(hm.state(0, 1, direct()), mp::PathHealth::kSuspect);
+  // The path delivers a planned (non-probe) share before any probe was
+  // issued: tracked state clears, but the probation machinery proved
+  // nothing.
+  hm.on_success(0, 1, direct(), 1.5);
+  EXPECT_EQ(hm.state(0, 1, direct()), mp::PathHealth::kHealthy);
+  EXPECT_EQ(hm.stats().suspect_clears, 1u);
+  EXPECT_EQ(hm.stats().readmissions, 0u);
+  EXPECT_EQ(hm.stats().probes_succeeded, 0u);
+
+  // The probe-proven flavour increments readmissions, not suspect_clears.
+  hm.on_timeout(0, 1, staged(2), 2.0);
+  hm.on_probe_issued(0, 1, staged(2));
+  hm.on_success(0, 1, staged(2), 2.5);
+  EXPECT_EQ(hm.stats().readmissions, 1u);
+  EXPECT_EQ(hm.stats().suspect_clears, 1u);
+
+  // Untracked paths stay a no-op for both counters.
+  hm.on_success(0, 1, direct(), 3.0);
+  EXPECT_EQ(hm.stats().readmissions, 1u);
+  EXPECT_EQ(hm.stats().suspect_clears, 1u);
+}

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <map>
+#include <thread>
+#include <vector>
+
 #include "mpath/util/units.hpp"
 
 namespace mt = mpath::topo;
@@ -136,4 +141,135 @@ TEST(Topology, LinkKindNames) {
   EXPECT_EQ(mt::to_string(mt::LinkKind::NVLink3), "NVLink3");
   EXPECT_EQ(mt::to_string(mt::LinkKind::MemChan), "MemChan");
   EXPECT_EQ(mt::to_string(mt::DeviceKind::Gpu), "GPU");
+}
+
+// ---------------------------------------------------------------------------
+// xGMI transit routing (regression).
+//
+// Transit through a GPU is only admissible when the data ARRIVES on xGMI
+// and LEAVES on xGMI (hardware ring routing). That makes edge admissibility
+// depend on the predecessor edge, so the Dijkstra state must be
+// (device, arrived-via-xGMI). A device-keyed search records only the
+// cheapest arrival; when that arrival is a faster non-xGMI link, the
+// onward ring hop gets rejected and the search reports a spurious
+// "no route".
+// ---------------------------------------------------------------------------
+
+TEST(Topology, XgmiTransitSurvivesFasterNonXgmiArrival) {
+  mt::Topology t("ring");
+  const auto g0 = t.add_device(mt::DeviceKind::Gpu, 0, "g0");
+  const auto g1 = t.add_device(mt::DeviceKind::Gpu, 0, "g1");
+  const auto g2 = t.add_device(mt::DeviceKind::Gpu, 0, "g2");
+  t.connect_duplex(g0, g1, mt::LinkKind::XGMI, gbps(50), usec(1.1));
+  t.connect_duplex(g1, g2, mt::LinkKind::XGMI, gbps(50), usec(1.1));
+  // Cheaper non-xGMI arrival at the ring GPU: this must not mask the xGMI
+  // arrival state that the onward ring hop needs.
+  t.connect_duplex(g0, g1, mt::LinkKind::NVLink4, gbps(300), usec(0.5));
+
+  const auto& r = t.route(g0, g2);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(t.edges()[r[0]].kind, mt::LinkKind::XGMI);
+  EXPECT_EQ(t.edges()[r[1]].kind, mt::LinkKind::XGMI);
+
+  // The one-hop neighbour still takes the faster link.
+  const auto& d = t.route(g0, g1);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(t.edges()[d[0]].kind, mt::LinkKind::NVLink4);
+}
+
+TEST(Topology, XgmiRingRoutesAroundTheRing) {
+  mt::Topology t("ring4");
+  mt::DeviceId g[4];
+  for (int i = 0; i < 4; ++i) {
+    g[i] = t.add_device(mt::DeviceKind::Gpu, 0, "g" + std::to_string(i));
+  }
+  for (int i = 0; i < 4; ++i) {
+    t.connect_duplex(g[i], g[(i + 1) % 4], mt::LinkKind::XGMI, gbps(50),
+                     usec(1.1));
+  }
+  const auto& r = t.route(g[0], g[2]);
+  ASSERT_EQ(r.size(), 2u);
+  for (auto e : r) EXPECT_EQ(t.edges()[e].kind, mt::LinkKind::XGMI);
+}
+
+TEST(Topology, NonXgmiGpuChainDoesNotTransit) {
+  // NVLink forwarding through a GPU is staging, not routing: with only a
+  // g0-g1-g2 NVLink chain there is no g0->g2 route.
+  mt::Topology t("chain");
+  const auto g0 = t.add_device(mt::DeviceKind::Gpu, 0, "g0");
+  const auto g1 = t.add_device(mt::DeviceKind::Gpu, 0, "g1");
+  const auto g2 = t.add_device(mt::DeviceKind::Gpu, 0, "g2");
+  t.connect_duplex(g0, g1, mt::LinkKind::NVLink3, gbps(92), usec(1.0));
+  t.connect_duplex(g1, g2, mt::LinkKind::NVLink3, gbps(92), usec(1.0));
+  EXPECT_THROW((void)t.route(g0, g2), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent route() lookups (regression; runs under TSan in CI).
+//
+// Sweep workers share one const topo::System snapshot and race cold route()
+// lookups. The memoization cache behind route() must tolerate that: shared
+// lock for hits, compute outside the lock, first-writer-wins fill.
+// ---------------------------------------------------------------------------
+
+TEST(ConcurrentRoute, ParallelColdLookupsAgreeWithSerial) {
+  const auto build = [] {
+    mt::Topology t("ring4h");
+    const auto h = t.add_device(mt::DeviceKind::Host, 0, "h");
+    t.add_memory_channel(h, gbps(30), usec(0.2));
+    mt::DeviceId g[4];
+    for (int i = 0; i < 4; ++i) {
+      g[i] = t.add_device(mt::DeviceKind::Gpu, 0, "g" + std::to_string(i));
+      t.connect_duplex(g[i], h, mt::LinkKind::PCIe4, gbps(24), usec(1.6));
+    }
+    for (int i = 0; i < 4; ++i) {
+      t.connect_duplex(g[i], g[(i + 1) % 4], mt::LinkKind::XGMI, gbps(50),
+                       usec(1.1));
+    }
+    return t;
+  };
+
+  // Serial reference: every pair's route on a private instance.
+  mt::Topology ref = build();
+  std::map<std::pair<mt::DeviceId, mt::DeviceId>, std::vector<mt::EdgeId>>
+      expect;
+  for (const auto& a : ref.devices()) {
+    for (const auto& b : ref.devices()) {
+      expect[{a.id, b.id}] = ref.route(a.id, b.id);
+    }
+  }
+
+  // Cold shared instance, hammered from many threads.
+  const mt::Topology shared = build();
+  constexpr int kThreads = 8;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&] {
+      for (int rep = 0; rep < 25; ++rep) {
+        for (const auto& a : shared.devices()) {
+          for (const auto& b : shared.devices()) {
+            const auto& r = shared.route(a.id, b.id);
+            if (r != expect[{a.id, b.id}]) mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : workers) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // References handed out stay stable once the cache is warm.
+  const auto* first = &shared.route(1, 2);
+  EXPECT_EQ(first, &shared.route(1, 2));
+}
+
+TEST(ConcurrentRoute, CopyTakesCacheSnapshot) {
+  MiniNode n;
+  (void)n.topo.route(n.g0, n.g1);
+  const mt::Topology copy = n.topo;  // snapshots under the source's lock
+  const auto& r = copy.route(n.g0, n.g1);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(copy.edges()[r[0]].kind, mt::LinkKind::NVLink2);
 }
