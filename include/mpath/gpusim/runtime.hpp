@@ -84,6 +84,19 @@ class GpuRuntime {
   // -- object creation ------------------------------------------------------
   [[nodiscard]] StreamId create_stream(topo::DeviceId device);
   [[nodiscard]] EventId create_event();
+  /// Recycled event reservation: pop a previously released event or create
+  /// a fresh one. Reuse is safe because every consumer captures an event's
+  /// latch when its op is *enqueued* and record_event re-arms the latch
+  /// synchronously at enqueue — a reacquired id can never be observed
+  /// through stale state. Long-lived holders (compiled transfer graphs)
+  /// reserve events once and keep them across replays.
+  [[nodiscard]] EventId acquire_event();
+  /// Return an event to the runtime free list for acquire_event reuse. The
+  /// caller must no longer use the id.
+  void release_event(EventId event);
+  [[nodiscard]] std::size_t events_pooled() const {
+    return event_free_list_.size();
+  }
   /// Make a cancellation token bound to this runtime's fluid network.
   [[nodiscard]] CancelTokenPtr make_cancel_token() const;
 
@@ -203,6 +216,7 @@ class GpuRuntime {
   util::Rng rng_;
   std::vector<Stream> streams_;
   std::vector<Event> events_;
+  std::vector<EventId> event_free_list_;  ///< released ids, LIFO reuse
   std::set<std::pair<topo::DeviceId, BufferId>> ipc_cache_;
   std::uint64_t bytes_copied_ = 0;
   std::uint64_t ops_issued_ = 0;

@@ -110,6 +110,17 @@ class PathConfigurator {
     return calibration_;
   }
 
+  /// Attach (or detach, with nullptr) the topology the candidate paths are
+  /// routed over. prepare() then derates paths whose hop routes share a
+  /// fluid edge with another candidate: per-path composition alone treats
+  /// each candidate's bottleneck as private, but when e.g. a transit-routed
+  /// direct path and a staged copy both cross the same link of a parallel
+  /// duplicate pair, max-min arbitration splits that link between them.
+  /// Without a topology (default) the composition is unchanged — the legacy
+  /// per-path model. The topology must outlive the configurator.
+  void set_topology(const topo::Topology* topo) { topology_ = topo; }
+  [[nodiscard]] const topo::Topology* topology() const { return topology_; }
+
   /// Algorithm 1: returns the cached or freshly computed optimal
   /// configuration. `paths` must be non-empty with the direct path first.
   [[nodiscard]] const TransferConfig& configure(
@@ -214,9 +225,17 @@ class PathConfigurator {
     }
   };
 
+  /// Shared-edge bandwidth derates for one request's candidate set: 1.0
+  /// for paths whose hop routes touch no edge used by another candidate,
+  /// else bottleneck(cap_e) / bottleneck(cap_e / users_e) >= 1.
+  [[nodiscard]] std::vector<double> shared_edge_derates(
+      topo::DeviceId src, topo::DeviceId dst,
+      std::span<const topo::PathPlan> paths) const;
+
   const ModelRegistry* registry_;
   ConfiguratorOptions options_;
   const CalibrationStore* calibration_ = nullptr;
+  const topo::Topology* topology_ = nullptr;
   std::unordered_map<std::uint64_t, CacheEntry> cache_;
   std::list<std::uint64_t> lru_;  ///< keys, most-recently-used first
   std::uint64_t cache_hits_ = 0;

@@ -23,6 +23,7 @@
 namespace mpath::pipeline {
 
 class TransferScheduler;
+class GraphCache;
 
 class SinglePathChannel final : public gpusim::DataChannel {
  public:
@@ -86,6 +87,29 @@ struct ModelDrivenOptions {
   /// recalibrator must outlive the channel. Null (default) keeps the model
   /// static — paper-faithful mode.
   model::Recalibrator* recalibrator = nullptr;
+  /// Compiled-plan replay: when set, multi-path transfers consult this
+  /// template cache first. A hit replays the precompiled op list (skipping
+  /// the theta solve, plan construction, and per-chunk setup); a miss
+  /// compiles the fresh plan into a template for next time. Replay falls
+  /// back to the uncompiled path whenever it could diverge from it: the
+  /// template is mid-replay, one of its paths is unhealthy, link
+  /// capacities changed since compile, or the scheduler sees contention
+  /// the compiled split did not. The cache must outlive the channel and be
+  /// destroyed before the engine's runtime. Null (default) disables
+  /// compiled replay entirely.
+  GraphCache* graphs = nullptr;
+};
+
+/// Monotonic counters describing compiled-graph usage on a channel.
+struct GraphUseStats {
+  std::uint64_t compiles = 0;          ///< templates built (cache misses)
+  std::uint64_t compile_failures = 0;  ///< staging pool full; uncompiled
+  std::uint64_t replays = 0;           ///< cache-hit fast-path executions
+  std::uint64_t replays_fresh = 0;     ///< executions right after a compile
+  std::uint64_t busy_fallbacks = 0;    ///< template mid-replay
+  std::uint64_t health_fallbacks = 0;  ///< a template path is unhealthy
+  std::uint64_t epoch_fallbacks = 0;   ///< link capacities changed
+  std::uint64_t contended_rejects = 0; ///< scheduler refused admit_replay
 };
 
 class ModelDrivenChannel final : public gpusim::DataChannel {
@@ -124,10 +148,29 @@ class ModelDrivenChannel final : public gpusim::DataChannel {
   /// The channel-lifetime path-health state machine (tracks nothing and
   /// changes nothing unless options().health.enabled with recovery on).
   [[nodiscard]] const PathHealthManager& health() const { return health_; }
+  /// Compiled-graph activity (all zero unless options().graphs is set).
+  [[nodiscard]] const GraphUseStats& graph_stats() const {
+    return graph_stats_;
+  }
 
  private:
   [[nodiscard]] const std::vector<topo::PathPlan>& candidate_paths(
       topo::DeviceId src, topo::DeviceId dst);
+  /// Calibration version templates are stamped with (0 = no store).
+  [[nodiscard]] std::uint64_t graph_cal_version() const;
+  /// Cache lookup plus every replay-safety gate that does not need the
+  /// scheduler: busy templates, unhealthy template paths, and (on scheduled
+  /// channels) superseded capacity epochs all return nullptr — the caller
+  /// then takes the uncompiled path.
+  [[nodiscard]] std::shared_ptr<TransferGraph> find_replayable(
+      topo::DeviceId src, topo::DeviceId dst, std::uint64_t bytes,
+      const std::vector<topo::PathPlan>& paths);
+  /// Compile `config` into a template, stamp it with the current capacity
+  /// epoch, and insert it into the cache. Returns nullptr (and counts a
+  /// compile failure) when the staging pool has no free slot.
+  [[nodiscard]] std::shared_ptr<TransferGraph> compile_template(
+      topo::DeviceId src, topo::DeviceId dst,
+      const model::TransferConfig& config);
   [[nodiscard]] sim::Task<void> transfer_with_recovery(
       gpusim::DeviceBuffer& dst, std::size_t dst_offset,
       const gpusim::DeviceBuffer& src, std::size_t src_offset,
@@ -140,6 +183,7 @@ class ModelDrivenChannel final : public gpusim::DataChannel {
   ModelDrivenOptions options_;
   PathHealthManager health_;
   RecoveryStats stats_;
+  GraphUseStats graph_stats_;
   std::optional<model::TransferConfig> last_config_;
   // Candidate path cache per (src, dst).
   std::map<std::pair<topo::DeviceId, topo::DeviceId>,

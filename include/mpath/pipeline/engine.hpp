@@ -18,14 +18,18 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "mpath/gpusim/runtime.hpp"
+#include "mpath/model/configurator.hpp"
 #include "mpath/pipeline/staging.hpp"
 #include "mpath/topo/paths.hpp"
 #include "mpath/util/small_vec.hpp"
 
 namespace mpath::pipeline {
+
+class TransferGraph;
 
 /// One path's assignment inside a transfer.
 struct ExecPath {
@@ -97,6 +101,31 @@ class PipelineEngine {
       const gpusim::DeviceBuffer& src, std::size_t src_offset, ExecPlan plan,
       PathWatchList watch);
 
+  /// Compile `config` into a reusable TransferGraph template: resolve
+  /// streams, reserve events, acquire a persistent staging slot per staged
+  /// share, and flatten the chunk-op issue order. Takes no simulated time
+  /// (staging uses the non-blocking try_acquire). Returns nullptr when a
+  /// staging slot is unavailable right now — callers fall back to the
+  /// uncompiled path rather than deadlocking the pool with persistent
+  /// leases. Throws std::invalid_argument on malformed configs, mirroring
+  /// execute_monitored's validation.
+  [[nodiscard]] std::shared_ptr<TransferGraph> compile_graph(
+      topo::DeviceId src_dev, topo::DeviceId dst_dev,
+      const model::TransferConfig& config);
+
+  /// Execute a compiled template: one driver frame walks the precompiled op
+  /// list — no theta solve, no plan construction, no per-chunk setup. The
+  /// issued runtime-call / issue-cost sequence is identical to
+  /// execute_monitored on the equivalent plan, so completion times (and rng
+  /// draws under jitter) match the uncompiled path bit for bit. `watch`
+  /// must be empty or sized like graph->config().paths. Throws
+  /// std::logic_error if the graph is already replaying (templates are not
+  /// reentrant), std::invalid_argument on endpoint/graph mismatches.
+  [[nodiscard]] sim::Task<TransferOutcome> replay(
+      std::shared_ptr<TransferGraph> graph, gpusim::DeviceBuffer& dst,
+      std::size_t dst_offset, const gpusim::DeviceBuffer& src,
+      std::size_t src_offset, PathWatchList watch);
+
   [[nodiscard]] gpusim::GpuRuntime& runtime() { return *runtime_; }
   [[nodiscard]] std::uint64_t transfers_executed() const {
     return transfers_;
@@ -135,19 +164,12 @@ class PipelineEngine {
 
   gpusim::StreamId stream_for(const StreamKey& key, topo::DeviceId device);
   [[nodiscard]] sim::Engine::DelayAwaiter issue_cost();
-  /// Recycled gpusim event: pop from the pool or create a fresh one.
-  [[nodiscard]] gpusim::EventId acquire_event();
 
   gpusim::GpuRuntime* runtime_;
   StagingPool staging_;
   std::map<StreamKey, gpusim::StreamId> streams_;
   std::uint64_t transfers_ = 0;
   std::map<topo::PathKind, std::uint64_t> bytes_by_kind_;
-  /// gpusim events recycled across transfers. Safe because every consumer
-  /// of an event captures its latch when the op is *enqueued*, and
-  /// record_event re-arms the event synchronously at enqueue — a released
-  /// id can therefore never be observed through a stale latch.
-  std::vector<gpusim::EventId> event_pool_;
 };
 
 }  // namespace mpath::pipeline

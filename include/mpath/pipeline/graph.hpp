@@ -1,0 +1,245 @@
+// Compiled transfer graphs: build the plan once, replay it per message.
+//
+// The authors' follow-up work moves multi-path transfers into CUDA Graphs —
+// capture the chunk-op DAG once, then replay it at ~zero launch cost. This
+// mirrors that shape in the simulator: PipelineEngine::compile_graph bakes a
+// TransferConfig into a TransferGraph holding every host-side decision the
+// per-transfer path would otherwise redo (stream resolution, event
+// reservation, staging-slot acquisition, chunk splits, and the flattened
+// issue-order op list), and PipelineEngine::replay walks the precompiled op
+// list in one driver frame. A GraphCache keyed like the config cache makes
+// the steady state: lookup, replay, done — no theta solve, no plan
+// construction, no per-chunk setup.
+//
+// Replay is timing-identical to the uncompiled path by construction: the op
+// list reproduces execute_monitored's exact runtime-call/issue-cost
+// sequence (same rng draws under jitter), and compile itself takes no
+// simulated time. The one intentional divergence is resource residency —
+// a graph keeps its staging lease and events across replays — so identity
+// holds whenever the staging pool is uncontended (sized at least as large
+// as the live template + transfer count per device).
+//
+// Lifetime: a graph borrows streams/events/staging from the runtime that
+// compiled it; graphs (and any cache holding them) must be destroyed before
+// that runtime. Graphs are shared_ptr-held so LRU eviction while a replay
+// is executing is safe (the replay frame keeps its snapshot alive — the
+// same by-value discipline as the PR 6 config-cache fix).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "mpath/gpusim/runtime.hpp"
+#include "mpath/model/configurator.hpp"
+#include "mpath/pipeline/staging.hpp"
+#include "mpath/topo/paths.hpp"
+#include "mpath/util/small_vec.hpp"
+
+namespace mpath::pipeline {
+
+class PipelineEngine;
+
+/// One precompiled operation. Ops store indices, not sizes: chunk offsets
+/// and lengths live in the per-path arrays, so patching a new message size
+/// rewrites those arrays without touching the op list structure.
+struct GraphOp {
+  enum class Kind : std::uint8_t {
+    kCopyDirect,     ///< direct path: memcpy src -> dst on the first stream
+    kWaitSlot,       ///< first stream waits bwd[c-2] (staging slot reuse)
+    kCopyToStage,    ///< memcpy src -> staging slot on the first stream
+    kRecordFwd,      ///< record fwd[c] on the first stream
+    kWaitFwd,        ///< second stream waits fwd[c]
+    kStageDelay,     ///< host-staging sync delay on the second stream
+    kCopyFromStage,  ///< memcpy staging slot -> dst on the second stream
+    kRecordBwd,      ///< record bwd[c] on the second stream
+  };
+  Kind kind{};
+  /// First op of its (path, chunk) group. Replay re-checks the path's
+  /// watchdog here and nowhere else — exactly where the uncompiled issue
+  /// loop checks once per (path, round) before issuing the chunk's ops.
+  bool chunk_head = false;
+  std::uint16_t path = 0;   ///< index into TransferGraph path state
+  std::uint16_t chunk = 0;  ///< chunk index within the path
+};
+
+/// A reusable compiled transfer template for one (src, dst, bytes,
+/// candidate-path-set) tuple. Built by PipelineEngine::compile_graph;
+/// executed by PipelineEngine::replay. Default-constructed graphs are empty
+/// shells (no resources) — valid() is false; the cache machinery accepts
+/// them, which is what the concurrent cache tests exercise.
+class TransferGraph {
+ public:
+  /// Pre-resolved per-path issue state (the compiled twin of the engine's
+  /// per-transfer PathIssue).
+  struct Path {
+    topo::PathPlan plan;
+    std::uint64_t bytes = 0;
+    int chunks = 1;              ///< after the min(chunks, bytes) clamp
+    std::size_t offset = 0;      ///< slice start within the message
+    std::size_t plan_index = 0;  ///< index into config().paths and watches
+    bool staged = false;
+    double extra_sync_s = 0.0;
+    gpusim::StreamId first_stream = 0;
+    gpusim::StreamId second_stream = 0;
+    std::size_t slot_bytes = 0;  ///< staging slot capacity (half the buffer)
+    StagingPool::Lease lease;    ///< persistent staging reservation
+    util::SmallVec<gpusim::EventId, 16> fwd_events;
+    util::SmallVec<gpusim::EventId, 16> bwd_events;
+    util::SmallVec<std::size_t, 16> chunk_offsets;
+    util::SmallVec<std::size_t, 16> chunk_sizes;
+  };
+
+  TransferGraph() = default;
+  ~TransferGraph();
+  TransferGraph(const TransferGraph&) = delete;
+  TransferGraph& operator=(const TransferGraph&) = delete;
+
+  [[nodiscard]] bool valid() const { return runtime_ != nullptr; }
+  [[nodiscard]] topo::DeviceId src_device() const { return src_dev_; }
+  [[nodiscard]] topo::DeviceId dst_device() const { return dst_dev_; }
+  [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
+  /// The full candidate list the template was planned over (cache
+  /// identity), including zero-byte shares.
+  [[nodiscard]] std::span<const topo::PathPlan> key_paths() const {
+    return key_paths_;
+  }
+  /// The compiled configuration (by-value snapshot; patch() keeps its byte
+  /// shares, thetas, and predicted times in sync with the template).
+  [[nodiscard]] const model::TransferConfig& config() const { return config_; }
+  [[nodiscard]] std::span<const Path> paths() const {
+    return {paths_.data(), paths_.size()};
+  }
+  [[nodiscard]] std::span<const GraphOp> ops() const {
+    return {ops_.data(), ops_.size()};
+  }
+  /// A replay of this template is currently executing. Templates are not
+  /// reentrant (they share events and the staging slot); callers fall back
+  /// to the uncompiled path instead of queueing.
+  [[nodiscard]] bool busy() const { return busy_; }
+  [[nodiscard]] std::uint64_t replays() const { return replays_; }
+  /// Scheduler capacity-event count at compile time: a joint-theta channel
+  /// refuses to replay a template compiled under superseded link
+  /// capacities. Opaque to the graph itself.
+  [[nodiscard]] std::uint64_t capacity_epoch() const {
+    return capacity_epoch_;
+  }
+  void set_capacity_epoch(std::uint64_t epoch) { capacity_epoch_ = epoch; }
+
+  /// Re-split the template for a new total size, keeping the compiled theta
+  /// split points and chunk counts: per-path bytes are re-derived exactly
+  /// as config_from_theta would (floor(theta_i * n), remainder to the
+  /// anchor), chunk arrays are rebuilt, and the config's byte shares and
+  /// predicted times are refreshed. Returns false — leaving the template
+  /// untouched — when the new size does not fit the compiled resources
+  /// (a staged chunk would overflow its staging slot, or a share that
+  /// compiled to zero bytes would need resources it never acquired);
+  /// callers then recompile. patch(total_bytes()) is a no-op.
+  [[nodiscard]] bool patch(std::uint64_t new_bytes);
+
+ private:
+  friend class PipelineEngine;
+
+  /// Rebuild chunk_offsets/chunk_sizes and the flattened op list from the
+  /// current per-path byte shares (interleaved round-robin issue order,
+  /// matching the uncompiled loop).
+  void rebuild_ops();
+
+  gpusim::GpuRuntime* runtime_ = nullptr;
+  topo::DeviceId src_dev_ = topo::kInvalidDevice;
+  topo::DeviceId dst_dev_ = topo::kInvalidDevice;
+  std::uint64_t total_bytes_ = 0;
+  std::vector<topo::PathPlan> key_paths_;
+  model::TransferConfig config_;
+  util::SmallVec<Path, 4> paths_;  ///< active (bytes > 0) shares only
+  std::vector<GraphOp> ops_;
+  bool busy_ = false;
+  std::uint64_t replays_ = 0;
+  std::uint64_t capacity_epoch_ = 0;
+};
+
+using GraphPtr = std::shared_ptr<TransferGraph>;
+
+struct GraphCacheOptions {
+  /// Maximum cached templates; least-recently-used entries are evicted past
+  /// this (releasing their staging slot and events unless a replay still
+  /// holds the graph). 0 = unbounded. Size this at most as large as the
+  /// staging pool's buffers_per_device, or templates starve transfers.
+  std::size_t capacity = 32;
+  /// Key width test hook, exactly as ConfiguratorOptions::cache_key_bits:
+  /// narrowing forces FNV collisions between distinct tuples.
+  int key_bits = 64;
+};
+
+struct GraphCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t evictions = 0;
+  /// Entries whose tuple matched but were compiled under a superseded
+  /// calibration snapshot; each is dropped so the caller recompiles.
+  std::uint64_t invalidations = 0;
+  /// Distinct tuples that hashed onto an occupied key (lookup must miss).
+  std::uint64_t collisions = 0;
+};
+
+/// LRU-bounded, calibration-version-stamped template cache, keyed like the
+/// config cache on the full (src, dst, bytes, path-set) tuple with FNV-1a
+/// bucket addressing plus full-tuple verification on hit. Mutex-protected:
+/// the replay hot path is engine-single-threaded (the lock is uncontended),
+/// but sweep tooling may build/inspect caches from multiple threads.
+class GraphCache {
+ public:
+  explicit GraphCache(GraphCacheOptions options = {});
+  GraphCache(const GraphCache&) = delete;
+  GraphCache& operator=(const GraphCache&) = delete;
+
+  /// The cached template for the tuple, or nullptr (miss, collision, or a
+  /// stale calibration stamp — stale entries are dropped so the caller
+  /// recompiles under the current snapshot).
+  [[nodiscard]] GraphPtr lookup(topo::DeviceId src, topo::DeviceId dst,
+                                std::uint64_t bytes,
+                                std::span<const topo::PathPlan> paths,
+                                std::uint64_t cal_version);
+
+  /// Insert (or replace) the template under its own tuple, stamped with the
+  /// calibration version it was compiled under.
+  void insert(GraphPtr graph, std::uint64_t cal_version);
+
+  /// Drop the entry for the tuple if present (explicit invalidation, e.g. a
+  /// template path entered health probation). Returns true if removed.
+  bool remove(topo::DeviceId src, topo::DeviceId dst, std::uint64_t bytes,
+              std::span<const topo::PathPlan> paths);
+
+  void clear();
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] GraphCacheStats stats() const;  ///< by-value snapshot
+  [[nodiscard]] const GraphCacheOptions& options() const { return options_; }
+
+  /// FNV-1a bucket address (same mixing as PathConfigurator::cache_key).
+  [[nodiscard]] std::uint64_t cache_key(
+      topo::DeviceId src, topo::DeviceId dst, std::uint64_t bytes,
+      std::span<const topo::PathPlan> paths) const;
+
+ private:
+  struct Entry {
+    GraphPtr graph;
+    std::uint64_t cal_version = 0;
+    std::list<std::uint64_t>::iterator recency;
+  };
+  [[nodiscard]] static bool entry_matches(
+      const Entry& e, topo::DeviceId src, topo::DeviceId dst,
+      std::uint64_t bytes, std::span<const topo::PathPlan> paths);
+
+  mutable std::mutex mutex_;
+  GraphCacheOptions options_;
+  std::unordered_map<std::uint64_t, Entry> map_;
+  std::list<std::uint64_t> lru_;  ///< keys, most-recently-used first
+  GraphCacheStats stats_;
+};
+
+}  // namespace mpath::pipeline

@@ -77,6 +77,14 @@ class TransferScheduler {
   struct Admission {
     TicketId ticket = kInvalidTicket;
     model::TransferConfig config;
+    /// The plan was solved with nothing else on its links: no live flow
+    /// shares them, no background traffic, and the joint water-fill applied
+    /// no rate override (or the scheduler runs in solo mode, where plans
+    /// never depend on contention). Only uncontended admissions produce
+    /// configs worth compiling into a replay template — their split is a
+    /// pure function of (tuple, calibration), so a later admit_replay can
+    /// reproduce the identical ledger entry.
+    bool uncontended = false;
   };
 
   /// One admitted transfer's ledger entry (kept after departure).
@@ -98,6 +106,15 @@ class TransferScheduler {
     std::uint64_t replans = 0;
     std::uint64_t joint_iterations = 0;  ///< summed solver rounds
     std::uint64_t capacity_events = 0;   ///< observed link capacity changes
+    std::uint64_t replay_admits = 0;     ///< admit_replay accepted
+    std::uint64_t replay_rejects = 0;    ///< admit_replay: links contended
+    /// admit_replay: compiled config no longer describes the request
+    /// (size/path-set drift) — caller must recompile.
+    std::uint64_t replay_plan_mismatches = 0;
+    /// Departure-side invariant: every depart/fail re-derives the ticket's
+    /// link footprint and checks it against what admission charged.
+    std::uint64_t footprint_checks = 0;
+    std::uint64_t footprint_mismatches = 0;  ///< should stay 0
   };
 
   /// Both references must outlive the scheduler. The configurator supplies
@@ -119,6 +136,22 @@ class TransferScheduler {
   /// every request's split accounts for all the others plus live traffic.
   [[nodiscard]] std::vector<Admission> admit_batch(
       std::span<const Request> requests);
+
+  /// Admit a transfer that will *replay* a compiled template instead of
+  /// being freshly planned. Accepts only when the compiled split is still
+  /// exactly what a fresh admission would produce: the template must
+  /// describe this request (same bytes and candidate paths — else
+  /// replay_plan_mismatches), and under joint planning nothing else may
+  /// touch the template's links (no live scheduled flow, no background
+  /// traffic — else replay_rejects). On acceptance the ticket and history
+  /// record are registered exactly as admit() would, using the compiled
+  /// config's terms, so the departure-side ledger is indistinguishable
+  /// from a fresh admission. A rejected admission returns kInvalidTicket;
+  /// the caller falls back to a fresh compile.
+  [[nodiscard]] Admission admit_replay(topo::DeviceId src, topo::DeviceId dst,
+                                       std::uint64_t bytes,
+                                       std::span<const topo::PathPlan> paths,
+                                       const model::TransferConfig& compiled);
 
   /// Recovery re-plan: replace the ticket's footprint with a fresh joint
   /// plan for the undelivered `bytes` over the `survivors` subset
@@ -159,6 +192,11 @@ class TransferScheduler {
     topo::DeviceId dst = 0;
     bool frozen = false;  ///< prediction final (clock moved past t_admit)
     util::SmallVec<LivePath, 4> paths;
+    /// Sorted link ids admission charged to this ticket (its attributed
+    /// water-fill weight). depart/fail re-derive the footprint from the
+    /// live paths and verify it matches — a mismatch means a replay or
+    /// replan released different weight than admission charged.
+    util::SmallVec<std::uint32_t, 8> charged;
   };
 
   /// Advance every live path's modeled residue to `now` at the current
@@ -182,6 +220,15 @@ class TransferScheduler {
       std::span<const std::pair<std::size_t, std::size_t>> owners);
   [[nodiscard]] std::size_t find(TicketId ticket);
   void release(std::size_t index);
+  /// Sorted union (with multiplicity) of the ticket's live-path links.
+  [[nodiscard]] static util::SmallVec<std::uint32_t, 8> footprint_of(
+      const Ticket& t);
+  /// Check the satellite invariant before releasing `index`: the footprint
+  /// being released is the one admission charged.
+  void verify_footprint(std::size_t index);
+  /// True when any live scheduled flow or (if snapshotting) background
+  /// traffic touches one of `cand` (sorted link ids).
+  [[nodiscard]] bool links_contended(std::span<const std::uint32_t> cand);
 
   PipelineEngine* engine_;
   model::PathConfigurator* configurator_;

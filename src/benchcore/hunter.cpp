@@ -192,6 +192,9 @@ double run_policy(const topo::System& system,
     return static_cast<int>(it - gpus.begin());
   };
   model::PathConfigurator configurator(registry);
+  // Shared-edge composition: let the model see candidates whose hop routes
+  // collide on one link (the planted-xgmi-ring fixture's NVLink+xGMI pair).
+  configurator.set_topology(&system.topology);
   benchcore::SimStack stack =
       benchcore::SimStack::model_driven(system, configurator, policy);
   stack.network().set_solver_mode(solver);

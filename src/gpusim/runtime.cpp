@@ -56,6 +56,21 @@ EventId GpuRuntime::create_event() {
   return static_cast<EventId>(events_.size() - 1);
 }
 
+EventId GpuRuntime::acquire_event() {
+  MPATH_ASSERT_OWNER(owner_, "gpusim::GpuRuntime (acquire_event)");
+  if (!event_free_list_.empty()) {
+    const EventId ev = event_free_list_.back();
+    event_free_list_.pop_back();
+    return ev;
+  }
+  return create_event();
+}
+
+void GpuRuntime::release_event(EventId event) {
+  MPATH_ASSERT_OWNER(owner_, "gpusim::GpuRuntime (release_event)");
+  event_free_list_.push_back(event);
+}
+
 CancelTokenPtr GpuRuntime::make_cancel_token() const {
   return sim::make_pooled<CancelToken>(*network_);
 }

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <stdexcept>
 #include <utility>
+
+#include "mpath/topo/paths.hpp"
+#include "mpath/topo/topology.hpp"
 
 namespace mpath::model {
 
@@ -114,6 +118,61 @@ const TransferConfig& PathConfigurator::configure_over(
   return it->second.config;
 }
 
+std::vector<double> PathConfigurator::shared_edge_derates(
+    topo::DeviceId src, topo::DeviceId dst,
+    std::span<const topo::PathPlan> paths) const {
+  const std::size_t p = paths.size();
+  std::vector<double> derates(p, 1.0);
+  if (topology_ == nullptr || p < 2) return derates;
+  // Resolve every candidate's hop routes once, then count how many DISTINCT
+  // candidates use each edge. An edge inside a single path (e.g. the DRAM
+  // channel crossed by both hops of a host-staged path) is not shared in
+  // this sense — intra-path contention is already the staged composition's
+  // job; what per-path composition misses is two candidates streaming
+  // concurrently over one link, which max-min arbitration then splits.
+  std::vector<std::vector<std::vector<topo::EdgeId>>> routes;
+  routes.reserve(p);
+  for (const auto& plan : paths) {
+    routes.push_back(topo::path_hop_routes(*topology_, src, dst, plan));
+  }
+  std::map<topo::EdgeId, std::pair<std::size_t, int>> users;  // last path, n
+  for (std::size_t i = 0; i < p; ++i) {
+    for (const auto& hop : routes[i]) {
+      for (const topo::EdgeId e : hop) {
+        auto [it, inserted] = users.try_emplace(e, i, 1);
+        if (!inserted && it->second.first != i) {
+          it->second = {i, it->second.second + 1};
+        }
+      }
+    }
+  }
+  const std::span<const topo::Edge> edges = topology_->edges();
+  for (std::size_t i = 0; i < p; ++i) {
+    double solo_bottleneck = 0.0;    // min cap_e, links private
+    double shared_bottleneck = 0.0;  // min cap_e / users_e, links split
+    bool first = true;
+    for (const auto& hop : routes[i]) {
+      for (const topo::EdgeId e : hop) {
+        const double cap = edges[e].capacity_bps;
+        if (cap <= 0.0) continue;
+        const double share = cap / static_cast<double>(users.at(e).second);
+        if (first) {
+          solo_bottleneck = cap;
+          shared_bottleneck = share;
+          first = false;
+        } else {
+          solo_bottleneck = std::min(solo_bottleneck, cap);
+          shared_bottleneck = std::min(shared_bottleneck, share);
+        }
+      }
+    }
+    if (!first && shared_bottleneck < solo_bottleneck) {
+      derates[i] = solo_bottleneck / shared_bottleneck;
+    }
+  }
+  return derates;
+}
+
 PreparedTransfer PathConfigurator::prepare(
     topo::DeviceId src, topo::DeviceId dst, std::uint64_t bytes,
     std::span<const topo::PathPlan> paths) const {
@@ -149,6 +208,12 @@ PreparedTransfer PathConfigurator::prepare(
   // Line 19: topology constants; lines 16-21: per-path (Omega, Delta).
   out.phis.resize(p);
   out.terms.resize(p);
+  // Shared-edge composition (requires an attached topology): candidates
+  // whose hop routes meet on one fluid edge — a transit-routed direct path
+  // and a staged copy crossing the same link of a parallel duplicate pair —
+  // each see only their max-min share of that edge, not the full capacity
+  // the per-path bottleneck assumes.
+  const std::vector<double> derates = shared_edge_derates(src, dst, paths);
   const double theta_hint = 1.0 / static_cast<double>(p);
   for (std::size_t i = 0; i < p; ++i) {
     if (options_.pipelining) {
@@ -167,6 +232,12 @@ PreparedTransfer PathConfigurator::prepare(
       if (const auto f = registry_->contention_factor(src, dst, paths[i])) {
         out.terms[i].omega *= *f;
       }
+    }
+    // Structural (topology-derived) cross-path sharing applies at every
+    // message size: the arbitration split exists as soon as both paths
+    // stream, unlike the measured large-message contention factors above.
+    if (derates[i] > 1.0) {
+      out.terms[i].omega *= derates[i];
     }
     // Per-message protocol prefix (rendezvous, ack): paid before any path
     // moves data, so it shifts every path's Delta equally.

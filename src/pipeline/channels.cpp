@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "mpath/pipeline/graph.hpp"
 #include "mpath/pipeline/scheduler.hpp"
 
 namespace mpath::pipeline {
@@ -99,6 +100,64 @@ const std::vector<topo::PathPlan>& ModelDrivenChannel::candidate_paths(
   return it->second;
 }
 
+std::uint64_t ModelDrivenChannel::graph_cal_version() const {
+  const model::CalibrationStore* cal = configurator_->calibration();
+  return cal != nullptr ? cal->version() : 0;
+}
+
+std::shared_ptr<TransferGraph> ModelDrivenChannel::find_replayable(
+    topo::DeviceId src, topo::DeviceId dst, std::uint64_t bytes,
+    const std::vector<topo::PathPlan>& paths) {
+  std::shared_ptr<TransferGraph> g =
+      options_.graphs->lookup(src, dst, bytes, paths, graph_cal_version());
+  if (g == nullptr) return nullptr;
+  if (g->busy()) {
+    // Templates are not reentrant (shared events + staging slot); a second
+    // identical transfer in flight takes the uncompiled path.
+    ++graph_stats_.busy_fallbacks;
+    return nullptr;
+  }
+  if (options_.health.enabled) {
+    for (const topo::PathPlan& plan : g->key_paths()) {
+      if (health_.state(src, dst, plan) != PathHealth::kHealthy) {
+        // One of the template's candidates is on probation: the classic
+        // path would plan around it, so the compiled split is stale. Drop
+        // the template; a healthy one is compiled once the path recovers
+        // (or the split without it gets compiled fresh).
+        ++graph_stats_.health_fallbacks;
+        (void)options_.graphs->remove(src, dst, bytes, g->key_paths());
+        return nullptr;
+      }
+    }
+  }
+  if (scheduler_ != nullptr &&
+      g->capacity_epoch() != scheduler_->stats().capacity_events) {
+    // Link capacities changed since compile (sever/degrade/restore): the
+    // joint solve could pick a different split now. Recompile.
+    ++graph_stats_.epoch_fallbacks;
+    (void)options_.graphs->remove(src, dst, bytes, g->key_paths());
+    return nullptr;
+  }
+  return g;
+}
+
+std::shared_ptr<TransferGraph> ModelDrivenChannel::compile_template(
+    topo::DeviceId src, topo::DeviceId dst,
+    const model::TransferConfig& config) {
+  std::shared_ptr<TransferGraph> g =
+      engine_->compile_graph(src, dst, config);
+  if (g == nullptr) {
+    ++graph_stats_.compile_failures;
+    return nullptr;
+  }
+  ++graph_stats_.compiles;
+  if (scheduler_ != nullptr) {
+    g->set_capacity_epoch(scheduler_->stats().capacity_events);
+  }
+  options_.graphs->insert(g, graph_cal_version());
+  return g;
+}
+
 sim::Task<void> ModelDrivenChannel::transfer(gpusim::DeviceBuffer& dst,
                                              std::size_t dst_offset,
                                              const gpusim::DeviceBuffer& src,
@@ -116,11 +175,55 @@ sim::Task<void> ModelDrivenChannel::transfer(gpusim::DeviceBuffer& dst,
   const auto& paths = candidate_paths(src.device(), dst.device());
   const double t0 = engine_->runtime().engine().now();
   if (scheduler_ != nullptr) {
+    // Compiled fast path: a cached template admitted as a replay skips the
+    // joint solve and plan construction entirely.
+    if (options_.graphs != nullptr) {
+      if (auto g = find_replayable(src.device(), dst.device(), bytes, paths)) {
+        TransferScheduler::Admission adm = scheduler_->admit_replay(
+            src.device(), dst.device(), bytes, paths, g->config());
+        if (adm.ticket != TransferScheduler::kInvalidTicket) {
+          ScheduleGuard guard;
+          guard.sched = scheduler_;
+          guard.ticket = adm.ticket;
+          last_config_ = std::move(adm.config);
+          ++graph_stats_.replays;
+          (void)co_await engine_->replay(std::move(g), dst, dst_offset, src,
+                                         src_offset, {});
+          scheduler_->depart(adm.ticket);
+          guard.armed = false;
+          if (options_.recalibrator != nullptr) {
+            options_.recalibrator->observe(
+                src.device(), dst.device(), *last_config_,
+                engine_->runtime().engine().now() - t0);
+          }
+          co_return;
+        }
+        ++graph_stats_.contended_rejects;
+      }
+    }
     TransferScheduler::Admission adm =
         scheduler_->admit(src.device(), dst.device(), bytes, paths);
     ScheduleGuard guard;
     guard.sched = scheduler_;
     guard.ticket = adm.ticket;
+    // Only uncontended admissions compile: their split is reproducible, so
+    // a later admit_replay can register the identical ledger entry.
+    if (options_.graphs != nullptr && adm.uncontended) {
+      if (auto g = compile_template(src.device(), dst.device(), adm.config)) {
+        last_config_ = std::move(adm.config);
+        ++graph_stats_.replays_fresh;
+        (void)co_await engine_->replay(std::move(g), dst, dst_offset, src,
+                                       src_offset, {});
+        scheduler_->depart(adm.ticket);
+        guard.armed = false;
+        if (options_.recalibrator != nullptr) {
+          options_.recalibrator->observe(
+              src.device(), dst.device(), *last_config_,
+              engine_->runtime().engine().now() - t0);
+        }
+        co_return;
+      }
+    }
     ExecPlan plan;
     plan.reserve(adm.config.paths.size());
     for (const auto& share : adm.config.paths) {
@@ -138,12 +241,39 @@ sim::Task<void> ModelDrivenChannel::transfer(gpusim::DeviceBuffer& dst,
     }
     co_return;
   }
+  if (options_.graphs != nullptr) {
+    if (auto g = find_replayable(src.device(), dst.device(), bytes, paths)) {
+      last_config_ = g->config();
+      ++graph_stats_.replays;
+      (void)co_await engine_->replay(std::move(g), dst, dst_offset, src,
+                                     src_offset, {});
+      if (options_.recalibrator != nullptr) {
+        options_.recalibrator->observe(src.device(), dst.device(),
+                                       *last_config_,
+                                       engine_->runtime().engine().now() - t0);
+      }
+      co_return;
+    }
+  }
   const auto& config =
       configurator_->configure(src.device(), dst.device(), bytes, paths);
   last_config_ = config;
+  if (options_.graphs != nullptr) {
+    if (auto g = compile_template(src.device(), dst.device(), config)) {
+      ++graph_stats_.replays_fresh;
+      (void)co_await engine_->replay(std::move(g), dst, dst_offset, src,
+                                     src_offset, {});
+      if (options_.recalibrator != nullptr) {
+        options_.recalibrator->observe(src.device(), dst.device(),
+                                       *last_config_,
+                                       engine_->runtime().engine().now() - t0);
+      }
+      co_return;
+    }
+  }
   ExecPlan plan;
   plan.reserve(config.paths.size());
-  for (const auto& share : config.paths) {
+  for (const auto& share : last_config_->paths) {
     plan.push_back(ExecPath{share.plan, share.bytes, share.chunks});
   }
   co_await engine_->execute(dst, dst_offset, src, src_offset,
@@ -215,23 +345,64 @@ sim::Task<void> ModelDrivenChannel::transfer_with_recovery(
         seg.bytes >= options_.min_multipath_bytes
             ? std::span<const topo::PathPlan>(*pool)
             : small_segment_path(*pool);
+    // Compiled fast path, first whole-message attempt only: replans have
+    // shrunken candidate sets and partial segments, which a frozen template
+    // cannot express. The lookup runs whenever the request shape fits —
+    // find_replayable vetoes (and evicts) templates with any non-healthy
+    // candidate, so a hit guarantees the health-partitioned pool IS the
+    // full candidate set and no probe carving is pending.
+    const bool replay_shape =
+        options_.graphs != nullptr && replans == 0 && seg.off == 0 &&
+        seg.bytes == bytes && seg.bytes >= options_.min_multipath_bytes;
+    // Compiling additionally requires the planned pool to be the whole
+    // candidate set with no probe slices: a template is keyed under (and
+    // replays) the full-tuple plan only — a subset config would compile an
+    // unfindable template and strand its staging slot.
+    const bool compile_eligible = replay_shape && probe_due.empty() &&
+                                  pool->size() == candidates.size();
+    std::shared_ptr<TransferGraph> graph;
+    bool graph_from_cache = false;
+    if (replay_shape) {
+      graph = find_replayable(sdev, ddev, seg.bytes, candidates);
+      graph_from_cache = graph != nullptr;
+    }
     // By-value snapshot, NOT a reference into the configurator's LRU cache:
     // this config is read again after co_await execute_monitored below, and
     // any concurrent transfer on the same configurator could evict the
     // entry mid-await — a use-after-free with a shared bounded cache.
     model::TransferConfig config;
-    if (scheduler_ != nullptr) {
-      if (guard.ticket == TransferScheduler::kInvalidTicket) {
-        TransferScheduler::Admission adm =
-            scheduler_->admit(src.device(), dst.device(), seg.bytes, use);
+    bool uncontended = scheduler_ == nullptr;
+    if (graph != nullptr && scheduler_ != nullptr) {
+      TransferScheduler::Admission adm = scheduler_->admit_replay(
+          sdev, ddev, seg.bytes, candidates, graph->config());
+      if (adm.ticket == TransferScheduler::kInvalidTicket) {
+        ++graph_stats_.contended_rejects;
+        graph = nullptr;
+      } else {
         guard.ticket = adm.ticket;
         config = std::move(adm.config);
-      } else {
-        config = scheduler_->replan(guard.ticket, seg.bytes, use);
       }
-    } else {
-      config = configurator_->configure_over(src.device(), dst.device(),
-                                             seg.bytes, use);
+    } else if (graph != nullptr) {
+      config = graph->config();
+    }
+    if (graph == nullptr) {
+      if (scheduler_ != nullptr) {
+        if (guard.ticket == TransferScheduler::kInvalidTicket) {
+          TransferScheduler::Admission adm =
+              scheduler_->admit(src.device(), dst.device(), seg.bytes, use);
+          guard.ticket = adm.ticket;
+          config = std::move(adm.config);
+          uncontended = adm.uncontended;
+        } else {
+          config = scheduler_->replan(guard.ticket, seg.bytes, use);
+        }
+      } else {
+        config = configurator_->configure_over(src.device(), dst.device(),
+                                               seg.bytes, use);
+      }
+      if (compile_eligible && uncontended) {
+        graph = compile_template(sdev, ddev, config);
+      }
     }
     last_config_ = config;
     // Watchdog slack for this attempt: the base factor escalates per
@@ -240,10 +411,14 @@ sim::Task<void> ModelDrivenChannel::transfer_with_recovery(
     const double slack = escalated_slack(rec, replans);
     ExecPlan plan;
     PathWatchList watch;
-    plan.reserve(config.paths.size());
+    if (graph == nullptr) plan.reserve(config.paths.size());
     watch.reserve(config.paths.size());
     for (const auto& share : config.paths) {
-      plan.push_back(ExecPath{share.plan, share.bytes, share.chunks});
+      // A replayed template carries its own precompiled plan; only the
+      // watchdog deadlines are built per attempt (identically either way).
+      if (graph == nullptr) {
+        plan.push_back(ExecPath{share.plan, share.bytes, share.chunks});
+      }
       // Watchdog deadline: model-predicted completion time of this share
       // times the slack factor, floored so that noise on tiny shares
       // cannot trip a healthy path.
@@ -258,9 +433,11 @@ sim::Task<void> ModelDrivenChannel::transfer_with_recovery(
     // Probe slices: paths on probation ride along with a small cut of the
     // anchor's share. A probe that delivers readmits its path into the
     // planned set from the next attempt on; one that times out only costs
-    // its own (floored) deadline, never the planned paths' bytes.
+    // its own (floored) deadline, never the planned paths' bytes. (Never
+    // reached on a graph attempt: eligibility requires no pending probes.)
     probes_issued.clear();
-    if (use_health && seg.bytes >= options_.min_multipath_bytes) {
+    if (graph == nullptr && use_health &&
+        seg.bytes >= options_.min_multipath_bytes) {
       const std::uint64_t pb = health_.probe_bytes(seg.bytes);
       for (const topo::PathPlan& pp : probe_due) {
         // Keep the anchor meaningfully larger than what it donates.
@@ -277,9 +454,21 @@ sim::Task<void> ModelDrivenChannel::transfer_with_recovery(
         health_.on_probe_issued(sdev, ddev, pp);
       }
     }
-    const TransferOutcome out = co_await engine_->execute_monitored(
-        dst, dst_offset + seg.off, src, src_offset + seg.off, std::move(plan),
-        std::move(watch));
+    TransferOutcome out;
+    if (graph != nullptr) {
+      if (graph_from_cache) {
+        ++graph_stats_.replays;
+      } else {
+        ++graph_stats_.replays_fresh;
+      }
+      out = co_await engine_->replay(std::move(graph), dst,
+                                     dst_offset + seg.off, src,
+                                     src_offset + seg.off, std::move(watch));
+    } else {
+      out = co_await engine_->execute_monitored(
+          dst, dst_offset + seg.off, src, src_offset + seg.off,
+          std::move(plan), std::move(watch));
+    }
     if (out.complete) {
       if (use_health) {
         for (const auto& share : config.paths) {

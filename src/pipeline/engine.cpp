@@ -1,6 +1,8 @@
 #include "mpath/pipeline/engine.hpp"
 
 #include <algorithm>
+
+#include "mpath/pipeline/graph.hpp"
 #include <cstring>
 #include <limits>
 #include <memory>
@@ -102,15 +104,6 @@ sim::Task<void> PipelineEngine::execute(gpusim::DeviceBuffer& dst,
                                    std::move(plan), {});
 }
 
-gpusim::EventId PipelineEngine::acquire_event() {
-  if (!event_pool_.empty()) {
-    const gpusim::EventId ev = event_pool_.back();
-    event_pool_.pop_back();
-    return ev;
-  }
-  return runtime_->create_event();
-}
-
 sim::Task<TransferOutcome> PipelineEngine::execute_monitored(
     gpusim::DeviceBuffer& dst, std::size_t dst_offset,
     const gpusim::DeviceBuffer& src, std::size_t src_offset, ExecPlan plan,
@@ -193,8 +186,8 @@ sim::Task<TransferOutcome> PipelineEngine::execute_monitored(
       pi.lease =
           co_await staging_.acquire(spec.plan.stage, 2 * max_chunk, src_dev);
       for (int c = 0; c < k; ++c) {
-        pi.fwd_events.push_back(acquire_event());
-        pi.bwd_events.push_back(acquire_event());
+        pi.fwd_events.push_back(runtime_->acquire_event());
+        pi.bwd_events.push_back(runtime_->acquire_event());
       }
     } else {
       pi.first_stream = stream_for({src_dev, dst_dev, i, 0}, src_dev);
@@ -330,8 +323,8 @@ sim::Task<TransferOutcome> PipelineEngine::execute_monitored(
   // late watchdog timers bail out on finished/timed-out entries before
   // consulting events — so a reused id can never alias stale state.
   for (PathIssue& pi : paths) {
-    for (gpusim::EventId ev : pi.fwd_events) event_pool_.push_back(ev);
-    for (gpusim::EventId ev : pi.bwd_events) event_pool_.push_back(ev);
+    for (gpusim::EventId ev : pi.fwd_events) runtime_->release_event(ev);
+    for (gpusim::EventId ev : pi.bwd_events) runtime_->release_event(ev);
   }
 
   // -- assemble the outcome ---------------------------------------------------
@@ -355,6 +348,284 @@ sim::Task<TransferOutcome> PipelineEngine::execute_monitored(
   }
   co_return out;
   // Leases release on scope exit, returning staging buffers to the pool.
+}
+
+std::shared_ptr<TransferGraph> PipelineEngine::compile_graph(
+    topo::DeviceId src_dev, topo::DeviceId dst_dev,
+    const model::TransferConfig& config) {
+  // Validate the whole config first, mirroring execute_monitored: a
+  // malformed config must not leak reserved events or staging slots.
+  std::uint64_t total = 0;
+  for (const model::PathShare& share : config.paths) {
+    if (share.bytes > 0 && share.chunks < 1) {
+      throw std::invalid_argument("PipelineEngine: chunks must be >= 1");
+    }
+    if (share.bytes > 0 && share.plan.kind != topo::PathKind::Direct &&
+        share.plan.stage == topo::kInvalidDevice) {
+      throw std::invalid_argument("PipelineEngine: staged path without stage");
+    }
+    if (share.bytes > std::numeric_limits<std::uint64_t>::max() - total) {
+      throw std::invalid_argument("PipelineEngine: plan byte total overflows");
+    }
+    total += share.bytes;
+  }
+  if (config.paths.empty() || total == 0) {
+    throw std::invalid_argument("PipelineEngine: cannot compile empty config");
+  }
+
+  const auto& costs = runtime_->costs();
+  auto graph = std::make_shared<TransferGraph>();
+  graph->runtime_ = runtime_;
+  graph->src_dev_ = src_dev;
+  graph->dst_dev_ = dst_dev;
+  graph->total_bytes_ = total;
+  graph->config_ = config;
+  graph->key_paths_.reserve(config.paths.size());
+  for (const model::PathShare& share : config.paths) {
+    graph->key_paths_.push_back(share.plan);
+  }
+
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < config.paths.size(); ++i) {
+    const model::PathShare& share = config.paths[i];
+    if (share.bytes == 0) continue;
+    TransferGraph::Path p;
+    p.plan = share.plan;
+    p.bytes = share.bytes;
+    p.offset = offset;
+    p.plan_index = i;
+    offset += share.bytes;
+    const int k = static_cast<int>(std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(share.chunks), share.bytes));
+    p.chunks = k;
+    p.staged = share.plan.kind != topo::PathKind::Direct;
+    if (p.staged) {
+      p.first_stream = stream_for({src_dev, dst_dev, i, 0}, src_dev);
+      p.second_stream = stream_for({src_dev, dst_dev, i, 1}, share.plan.stage);
+      p.extra_sync_s = share.plan.kind == topo::PathKind::HostStaged
+                           ? costs.host_stage_sync_s
+                           : costs.stage_sync_s;
+      // Largest chunk under the base/remainder split; double-buffered slot.
+      const std::uint64_t base = share.bytes / static_cast<std::uint64_t>(k);
+      const std::uint64_t max_chunk =
+          base + (share.bytes % static_cast<std::uint64_t>(k) != 0 ? 1 : 0);
+      p.lease = staging_.try_acquire(
+          share.plan.stage, 2 * static_cast<std::size_t>(max_chunk), src_dev);
+      if (!p.lease.valid()) {
+        // Pool exhausted: refuse to compile rather than block. The partial
+        // graph's destructor returns any already-reserved resources.
+        return nullptr;
+      }
+      p.slot_bytes = p.lease.buffer().size() / 2;
+      for (int c = 0; c < k; ++c) {
+        p.fwd_events.push_back(runtime_->acquire_event());
+        p.bwd_events.push_back(runtime_->acquire_event());
+      }
+    } else {
+      p.first_stream = stream_for({src_dev, dst_dev, i, 0}, src_dev);
+    }
+    graph->paths_.push_back(std::move(p));
+  }
+  graph->rebuild_ops();
+  return graph;
+}
+
+sim::Task<TransferOutcome> PipelineEngine::replay(
+    std::shared_ptr<TransferGraph> graph, gpusim::DeviceBuffer& dst,
+    std::size_t dst_offset, const gpusim::DeviceBuffer& src,
+    std::size_t src_offset, PathWatchList watch) {
+  if (graph == nullptr || !graph->valid()) {
+    throw std::invalid_argument("PipelineEngine: replay of an invalid graph");
+  }
+  TransferGraph& g = *graph;
+  if (g.runtime_ != runtime_) {
+    throw std::invalid_argument(
+        "PipelineEngine: graph was compiled by a different runtime");
+  }
+  if (g.busy_) {
+    throw std::logic_error(
+        "PipelineEngine: graph replay already in flight (not reentrant)");
+  }
+  if (!watch.empty() && watch.size() != g.config_.paths.size()) {
+    throw std::invalid_argument(
+        "PipelineEngine: watch must be empty or match the compiled paths");
+  }
+  if (src.device() != g.src_dev_ || dst.device() != g.dst_dev_) {
+    throw std::invalid_argument(
+        "PipelineEngine: replay endpoints do not match the compiled graph");
+  }
+  src.check_region(src_offset, g.total_bytes_);
+  dst.check_region(dst_offset, g.total_bytes_);
+
+  g.busy_ = true;
+  ++g.replays_;
+  struct BusyReset {
+    TransferGraph* g;
+    ~BusyReset() { g->busy_ = false; }
+  } busy_reset{&g};
+
+  const std::size_t plan_size = g.config_.paths.size();
+  bool any_watch = false;
+  for (const PathWatch& w : watch) any_watch |= w.deadline_s > 0.0;
+  std::shared_ptr<MonitorState> mon;
+  if (any_watch) {
+    mon = sim::make_pooled<MonitorState>();
+    mon->rt = runtime_;
+    mon->entries.resize(plan_size);
+  }
+
+  // -- prepare monitor entries + accounting (no issue state to build) -------
+  util::SmallVec<std::uint8_t, 4> monitored;
+  monitored.resize(g.paths_.size());
+  for (std::size_t pidx = 0; pidx < g.paths_.size(); ++pidx) {
+    const TransferGraph::Path& pi = g.paths_[pidx];
+    const bool m =
+        mon != nullptr && watch[pi.plan_index].deadline_s > 0.0;
+    monitored[pidx] = m ? 1 : 0;
+    if (m) {
+      MonitorState::Entry& e = mon->entries[pi.plan_index];
+      e.token = runtime_->make_cancel_token();
+      e.bytes = pi.bytes;
+      e.chunk_sizes = pi.chunk_sizes;
+      e.staged = pi.staged;
+      if (pi.staged) e.done_events = pi.bwd_events;
+    }
+    bytes_by_kind_[pi.plan.kind] += pi.bytes;
+  }
+
+  // -- arm watchdogs (same relative-deadline semantics as the slow path) ----
+  if (mon != nullptr) {
+    sim::Engine& engine = runtime_->engine();
+    for (std::size_t pidx = 0; pidx < g.paths_.size(); ++pidx) {
+      if (monitored[pidx] == 0) continue;
+      const std::size_t i = g.paths_[pidx].plan_index;
+      engine.schedule_callback(engine.now() + watch[i].deadline_s,
+                               [mon, i] { mon->on_deadline(i); });
+    }
+  }
+
+  // -- replay the precompiled op list ---------------------------------------
+  // One flat walk; every op issues exactly one runtime call followed by one
+  // issue-cost await, in the same order the uncompiled loop would. Chunk
+  // heads re-check the watchdog (the once-per-(path, round) check of the
+  // uncompiled loop) and skip the rest of a timed-out chunk group.
+  bool skipping = false;
+  for (const GraphOp& op : g.ops_) {
+    if (op.chunk_head) {
+      // Each (path, chunk) group's ops are contiguous, so one flag carries
+      // the skip decision to the end of the group.
+      skipping = monitored[op.path] != 0 &&
+                 mon->entries[g.paths_[op.path].plan_index].timed_out;
+    }
+    if (skipping) continue;
+    TransferGraph::Path& pi = g.paths_[op.path];
+    const bool m = monitored[op.path] != 0;
+    gpusim::CancelTokenPtr token =
+        m ? mon->entries[pi.plan_index].token : nullptr;
+    const std::size_t c = op.chunk;
+    switch (op.kind) {
+      case GraphOp::Kind::kCopyDirect: {
+        const std::size_t sz = pi.chunk_sizes[c];
+        const std::size_t src_at =
+            src_offset + pi.offset + pi.chunk_offsets[c];
+        const std::size_t dst_at =
+            dst_offset + pi.offset + pi.chunk_offsets[c];
+        gpusim::GpuRuntime::DoneHook hook;
+        if (m) {
+          hook = [mon, i = pi.plan_index, sz](bool delivered) {
+            if (delivered) mon->entries[i].delivered += sz;
+          };
+        }
+        runtime_->memcpy_async(dst, dst_at, src, src_at, sz, pi.first_stream,
+                               std::move(token), std::move(hook));
+        break;
+      }
+      case GraphOp::Kind::kWaitSlot:
+        runtime_->wait_event(pi.first_stream, pi.bwd_events[c - 2]);
+        break;
+      case GraphOp::Kind::kCopyToStage: {
+        gpusim::DeviceBuffer& stage = pi.lease.buffer();
+        const std::size_t slot_off = (c % 2) * (stage.size() / 2);
+        runtime_->memcpy_async(stage, slot_off, src,
+                               src_offset + pi.offset + pi.chunk_offsets[c],
+                               pi.chunk_sizes[c], pi.first_stream,
+                               std::move(token));
+        break;
+      }
+      case GraphOp::Kind::kRecordFwd:
+        runtime_->record_event(pi.fwd_events[c], pi.first_stream);
+        break;
+      case GraphOp::Kind::kWaitFwd:
+        runtime_->wait_event(pi.second_stream, pi.fwd_events[c]);
+        break;
+      case GraphOp::Kind::kStageDelay:
+        runtime_->stream_delay(pi.second_stream, pi.extra_sync_s);
+        break;
+      case GraphOp::Kind::kCopyFromStage: {
+        gpusim::DeviceBuffer& stage = pi.lease.buffer();
+        const std::size_t slot_off = (c % 2) * (stage.size() / 2);
+        runtime_->memcpy_async(dst,
+                               dst_offset + pi.offset + pi.chunk_offsets[c],
+                               stage, slot_off, pi.chunk_sizes[c],
+                               pi.second_stream, std::move(token));
+        break;
+      }
+      case GraphOp::Kind::kRecordBwd:
+        runtime_->record_event(pi.bwd_events[c], pi.second_stream);
+        if (m) ++mon->entries[pi.plan_index].records_issued;
+        break;
+    }
+    co_await issue_cost();
+  }
+
+  // -- completion (same order as the slow path; leases are RETAINED) --------
+  for (std::size_t pidx = 0; pidx < g.paths_.size(); ++pidx) {
+    TransferGraph::Path& pi = g.paths_[pidx];
+    if (!pi.staged) continue;
+    co_await runtime_->synchronize(pi.second_stream);
+    const bool timed_out =
+        monitored[pidx] != 0 && mon->entries[pi.plan_index].timed_out;
+    if (src.materialized() && dst.materialized() &&
+        !pi.lease.buffer().materialized()) {
+      const std::size_t land =
+          timed_out
+              ? static_cast<std::size_t>(mon->entries[pi.plan_index].delivered)
+              : static_cast<std::size_t>(pi.bytes);
+      if (land > 0) {
+        std::memcpy(dst.region(dst_offset + pi.offset, land).data(),
+                    src.region(src_offset + pi.offset, land).data(), land);
+      }
+    }
+    // The staging lease stays with the template — that is the point of the
+    // compiled graph (persistent reservation, no per-transfer acquire).
+  }
+  for (const TransferGraph::Path& pi : g.paths_) {
+    if (pi.staged) continue;
+    co_await runtime_->synchronize(pi.first_stream);
+  }
+  ++transfers_;
+  // No event recycling either: the template keeps its reserved events.
+
+  // -- assemble the outcome -------------------------------------------------
+  TransferOutcome out;
+  out.paths.resize(plan_size);
+  for (std::size_t i = 0; i < plan_size; ++i) {
+    out.paths[i].bytes = g.config_.paths[i].bytes;
+    out.paths[i].bytes_delivered = g.config_.paths[i].bytes;
+  }
+  if (mon != nullptr) {
+    for (std::size_t i = 0; i < plan_size; ++i) {
+      MonitorState::Entry& e = mon->entries[i];
+      if (e.timed_out) {
+        out.paths[i].timed_out = true;
+        out.paths[i].bytes_delivered = e.delivered;
+        out.complete = false;
+      } else {
+        e.finished = true;  // disarm any still-pending watchdog timer
+      }
+    }
+  }
+  co_return out;
 }
 
 }  // namespace mpath::pipeline

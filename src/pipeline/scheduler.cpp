@@ -1,6 +1,7 @@
 #include "mpath/pipeline/scheduler.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
 #include <utility>
 
@@ -199,13 +200,29 @@ std::vector<TransferScheduler::Admission> TransferScheduler::admit_batch(
       // config, so predicted times — and the recovery watchdog deadlines
       // derived from them — are contention-aware instead of optimistic.
       model::PreparedTransfer eff = pending[k].prepared;
+      bool overridden = false;
       for (std::size_t i = 0; i < eff.terms.size(); ++i) {
         const double rate = jsol.path_rates[k][i];
         const double cap = 1.0 / pending[k].prepared.terms[i].omega;
-        if (rate > 0.0 && rate < cap) eff.terms[i].omega = 1.0 / rate;
+        if (rate > 0.0 && rate < cap) {
+          eff.terms[i].omega = 1.0 / rate;
+          overridden = true;
+        }
       }
       out[k].config = configurator_->config_from_theta(
           eff, requests[k].bytes, requests[k].paths, jsol.transfers[k]);
+      // Replay eligibility: the split depended on nothing but the tuple
+      // and calibration. Checked against the pre-admission state (this
+      // batch's own tickets are not registered yet).
+      if (requests.size() == 1 && !overridden) {
+        util::SmallVec<std::uint32_t, 8> cand;
+        for (const model::JointPath& jp : pending[k].jpaths) {
+          for (std::uint32_t l : jp.links) cand.push_back(l);
+        }
+        std::sort(cand.begin(), cand.end());
+        out[k].uncontended =
+            !links_contended({cand.data(), cand.size()});
+      }
     }
     // In-flight (and same-instant, still unfrozen) transfers now share
     // links with the arrivals: refresh their recorded predictions.
@@ -216,6 +233,8 @@ std::vector<TransferScheduler::Admission> TransferScheduler::admit_batch(
           pending[k].prepared.terms, static_cast<double>(requests[k].bytes));
       out[k].config = configurator_->config_from_theta(
           pending[k].prepared, requests[k].bytes, requests[k].paths, sol);
+      // Solo planning never looks at contention: always reproducible.
+      out[k].uncontended = true;
     }
   }
 
@@ -236,6 +255,7 @@ std::vector<TransferScheduler::Admission> TransferScheduler::admit_batch(
           static_cast<double>(out[k].config.paths[i].bytes);
       t.paths.push_back(std::move(p));
     }
+    t.charged = footprint_of(t);
     out[k].ticket = t.id;
     Record rec;
     rec.t_admit = now;
@@ -307,6 +327,9 @@ model::TransferConfig TransferScheduler::replan(
     p.remaining_bytes = static_cast<double>(config.paths[i].bytes);
     t.paths.push_back(std::move(p));
   }
+  // Re-plans replace the footprint: the charge the departure check expects
+  // is the latest one.
+  t.charged = footprint_of(t);
   ++records_[t.record].replans;
   ++stats_.replans;
   return config;
@@ -316,6 +339,7 @@ void TransferScheduler::depart(TicketId ticket) {
   const double now = engine_->runtime().engine().now();
   integrate_to(now);
   const std::size_t idx = find(ticket);
+  verify_footprint(idx);
   records_[live_[idx].record].t_depart = now;
   ++stats_.departed;
   release(idx);
@@ -325,11 +349,133 @@ void TransferScheduler::fail(TicketId ticket) {
   const double now = engine_->runtime().engine().now();
   integrate_to(now);
   const std::size_t idx = find(ticket);
+  verify_footprint(idx);
   Record& rec = records_[live_[idx].record];
   rec.t_depart = now;
   rec.failed = true;
   ++stats_.failed;
   release(idx);
+}
+
+util::SmallVec<std::uint32_t, 8> TransferScheduler::footprint_of(
+    const Ticket& t) {
+  util::SmallVec<std::uint32_t, 8> out;
+  for (const LivePath& p : t.paths) {
+    for (std::uint32_t l : p.links) out.push_back(l);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void TransferScheduler::verify_footprint(std::size_t index) {
+  // The attributed link weight being released must be exactly what the
+  // latest admission/replan charged — a replayed transfer in particular
+  // must not depart with a footprint its template never registered.
+  ++stats_.footprint_checks;
+  const Ticket& t = live_[index];
+  const util::SmallVec<std::uint32_t, 8> current = footprint_of(t);
+  bool equal = current.size() == t.charged.size();
+  for (std::size_t i = 0; equal && i < current.size(); ++i) {
+    equal = current[i] == t.charged[i];
+  }
+  if (!equal) {
+    ++stats_.footprint_mismatches;
+    assert(false && "TransferScheduler: departure footprint mismatch");
+  }
+}
+
+bool TransferScheduler::links_contended(std::span<const std::uint32_t> cand) {
+  for (const Ticket& t : live_) {
+    for (const LivePath& p : t.paths) {
+      if (p.remaining_bytes <= 0.0) continue;
+      for (std::uint32_t l : p.links) {
+        if (std::binary_search(cand.begin(), cand.end(), l)) return true;
+      }
+    }
+  }
+  if (options_.network_snapshot) {
+    const auto links = snapshot_links();
+    for (std::uint32_t l : cand) {
+      if (links[l].background_flows > 0.0) return true;
+    }
+  }
+  return false;
+}
+
+TransferScheduler::Admission TransferScheduler::admit_replay(
+    topo::DeviceId src, topo::DeviceId dst, std::uint64_t bytes,
+    std::span<const topo::PathPlan> paths,
+    const model::TransferConfig& compiled) {
+  const double now = engine_->runtime().engine().now();
+  integrate_to(now);
+  if (paths.empty()) {
+    throw std::invalid_argument("TransferScheduler: no candidate paths");
+  }
+  if (bytes == 0) {
+    throw std::invalid_argument("TransferScheduler: zero-byte transfer");
+  }
+
+  // Template integrity: the compiled config must describe exactly this
+  // request, or replaying it would execute a stale split.
+  bool matches = compiled.total_bytes == bytes &&
+                 compiled.paths.size() == paths.size();
+  for (std::size_t i = 0; matches && i < paths.size(); ++i) {
+    matches = compiled.paths[i].plan == paths[i];
+  }
+  if (!matches) {
+    ++stats_.replay_plan_mismatches;
+    return {};
+  }
+
+  // Resolve the candidate footprint once; it doubles as the contention
+  // probe and (filtered to carrying paths) the ticket registration.
+  util::SmallVec<util::SmallVec<std::uint32_t, 4>, 4> path_links;
+  util::SmallVec<std::uint32_t, 8> cand;
+  for (const topo::PathPlan& plan : paths) {
+    path_links.push_back(plan_links(src, dst, plan));
+    for (std::uint32_t l : path_links.back()) cand.push_back(l);
+  }
+  std::sort(cand.begin(), cand.end());
+
+  if (options_.joint && links_contended({cand.data(), cand.size()})) {
+    // Contention changed since compile: a fresh joint solve could pick a
+    // different split, so the template is not admissible as-is.
+    ++stats_.replay_rejects;
+    return {};
+  }
+
+  Admission out;
+  out.config = compiled;
+  out.uncontended = true;
+  Ticket t;
+  t.id = next_id_++;
+  t.record = records_.size();
+  t.t_admit = now;
+  t.src = src;
+  t.dst = dst;
+  for (std::size_t i = 0; i < compiled.paths.size(); ++i) {
+    const model::PathShare& share = compiled.paths[i];
+    if (share.bytes == 0) continue;
+    LivePath p;
+    p.links = path_links[i];
+    // Uncontended templates carry solo terms (no omega override), so this
+    // registers the identical cap/residue a fresh admission would.
+    p.cap_bps = 1.0 / share.terms.omega;
+    p.remaining_delta = share.terms.delta;
+    p.remaining_bytes = static_cast<double>(share.bytes);
+    t.paths.push_back(std::move(p));
+  }
+  t.charged = footprint_of(t);
+  out.ticket = t.id;
+  Record rec;
+  rec.t_admit = now;
+  rec.predicted_s = compiled.predicted_time;
+  rec.bytes = bytes;
+  records_.push_back(rec);
+  live_.push_back(std::move(t));
+  ++stats_.admitted;
+  ++stats_.replay_admits;
+  return out;
 }
 
 std::size_t TransferScheduler::find(TicketId ticket) {

@@ -396,3 +396,76 @@ TEST(Configurator, PrepareAndConfigFromThetaMatchCompute) {
     }
   }
 }
+
+// Shared-edge composition rule (the planted-xgmi-ring fix): candidates
+// whose hop routes meet on one fluid edge each see only their max-min
+// share of it. A ring where the direct path transits the stage GPU shares
+// the onward hop with the staged copy, so both omegas derate by the
+// distinct-user count at the bottleneck; without an attached topology the
+// legacy per-path composition is bit-identical.
+TEST(Configurator, SharedEdgeDerateSplitsTheCommonBottleneck) {
+  // A --(NVLink4 300G || xGMI 50G)-- B --(xGMI 50G)-- C, no direct A-C
+  // edge: the direct A->C route transits B, and staged-via-B crosses the
+  // same B->C hop. Both candidates bottleneck on B->C at 50G shared two
+  // ways.
+  mt::Topology topo("shared-ring");
+  const mt::DeviceId a = topo.add_device(mt::DeviceKind::Gpu, 0, "gpuA");
+  const mt::DeviceId b = topo.add_device(mt::DeviceKind::Gpu, 0, "gpuB");
+  const mt::DeviceId c = topo.add_device(mt::DeviceKind::Gpu, 0, "gpuC");
+  topo.connect_duplex(a, b, mt::LinkKind::NVLink4, 300e9, 0.5e-6);
+  topo.connect_duplex(a, b, mt::LinkKind::XGMI, 50e9, 1.1e-6);
+  topo.connect_duplex(b, c, mt::LinkKind::XGMI, 50e9, 1.1e-6);
+
+  mm::ModelRegistry reg{"shared-ring"};
+  for (mt::DeviceId x : {a, b, c}) {
+    for (mt::DeviceId y : {a, b, c}) {
+      if (x != y) reg.set_route_params(x, y, {3e-6, 46e9});
+    }
+  }
+  reg.set_epsilon(mt::PathKind::GpuStaged, 1.5e-6);
+
+  const std::vector<mt::PathPlan> paths =
+      mt::enumerate_paths(topo, a, c, mt::PathPolicy::two_gpus());
+  ASSERT_EQ(paths.size(), 2u);
+  ASSERT_EQ(paths[0].kind, mt::PathKind::Direct);
+  ASSERT_EQ(paths[1].kind, mt::PathKind::GpuStaged);
+  ASSERT_EQ(paths[1].stage, b);
+
+  const std::uint64_t n = 8u << 20;
+  mm::PathConfigurator cfg(reg);
+  const mm::PreparedTransfer legacy = cfg.prepare(a, c, n, paths);
+  cfg.set_topology(&topo);
+  const mm::PreparedTransfer derated = cfg.prepare(a, c, n, paths);
+  ASSERT_EQ(derated.terms.size(), 2u);
+  // Both candidates cross the 50G B->C edge (and possibly the same A->B
+  // edge): bottleneck halves, so omega exactly doubles. Delta is latency
+  // bookkeeping and must not move.
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_DOUBLE_EQ(derated.terms[i].omega, 2.0 * legacy.terms[i].omega);
+    EXPECT_DOUBLE_EQ(derated.terms[i].delta, legacy.terms[i].delta);
+  }
+  // The derated model predicts a strictly slower transfer.
+  const auto slow = cfg.compute_config(a, c, n, paths);
+  cfg.set_topology(nullptr);
+  const auto fast = cfg.compute_config(a, c, n, paths);
+  EXPECT_GT(slow.predicted_time, fast.predicted_time);
+}
+
+// Disjoint candidates (fully connected NVLink box) have no shared edge:
+// attaching the topology must leave every term bit-identical — the derate
+// only fires when routes actually collide.
+TEST(Configurator, SharedEdgeDerateLeavesDisjointPathsUntouched) {
+  Fixture f;
+  const auto paths = f.paths(mt::PathPolicy::two_gpus());
+  const std::uint64_t n = 32u << 20;
+  mm::PathConfigurator cfg(f.reg);
+  const mm::PreparedTransfer legacy = cfg.prepare(f.gpus[0], f.gpus[1], n, paths);
+  cfg.set_topology(&f.sys.topology);
+  const mm::PreparedTransfer attached =
+      cfg.prepare(f.gpus[0], f.gpus[1], n, paths);
+  ASSERT_EQ(attached.terms.size(), legacy.terms.size());
+  for (std::size_t i = 0; i < legacy.terms.size(); ++i) {
+    EXPECT_EQ(attached.terms[i].omega, legacy.terms[i].omega);
+    EXPECT_EQ(attached.terms[i].delta, legacy.terms[i].delta);
+  }
+}
