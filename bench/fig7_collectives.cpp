@@ -12,6 +12,7 @@
 // gains are larger on Beluga (Observation 1).
 #include <algorithm>
 #include <cstdio>
+#include <sstream>
 
 #include "bench_common.hpp"
 #include "mpath/mpisim/collectives.hpp"
@@ -60,12 +61,36 @@ double collective_latency(bc::SimStack& stack, Op op, std::size_t bytes) {
       opt);
 }
 
+/// --graphs=on|off: run the dynamic stacks with collective graph chaining.
+/// Defaults to off; CI diffs the two fingerprints for bit-identity.
+bool graphs_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a(argv[i]);
+    if (a == "--graphs=on") return true;
+    if (a == "--graphs=off") return false;
+  }
+  return false;
+}
+
+/// --fingerprint=FILE: dump every cell latency at full precision for CI's
+/// byte-identity gates (graphs on vs off, --jobs 1 vs 2).
+std::string fingerprint_path(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a(argv[i]);
+    if (a.rfind("--fingerprint=", 0) == 0) return a.substr(14);
+  }
+  return {};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const bool quick = mb::quick_mode(argc, argv);
   const int jobs = mb::jobs_mode(argc, argv);
-  std::printf("FIG-7: collective latency speedup (paper Figure 7)\n\n");
+  const bool graphs = graphs_mode(argc, argv);
+  const std::string fp_path = fingerprint_path(argc, argv);
+  std::printf("FIG-7: collective latency speedup (paper Figure 7)%s\n\n",
+              graphs ? " [collective graphs ON]" : "");
 
   const std::vector<std::string> systems = {"beluga", "narval"};
   // Host staging is excluded for collectives, as in the paper.
@@ -122,6 +147,7 @@ int main(int argc, char** argv) {
     double direct = 0.0;
     double static_s = 0.0;
     double dynamic = 0.0;
+    std::uint64_t chain_replays = 0;  ///< chained steps replayed (graphs on)
   };
   auto cells = runner.run(
       systems.size() * n_pol * n_op * n_size, [&](std::size_t idx) {
@@ -141,9 +167,14 @@ int main(int argc, char** argv) {
         cell.static_s = collective_latency(static_stack, op, bytes);
 
         mpath::model::PathConfigurator configurator(cal.registry);
+        bc::StackOptions dyn_opt;
+        dyn_opt.collective_graphs = graphs;
         auto dyn_stack = bc::SimStack::model_driven(cal.system, configurator,
-                                                    policies[p]);
+                                                    policies[p], dyn_opt);
         cell.dynamic = collective_latency(dyn_stack, op, bytes);
+        if (dyn_stack.chain() != nullptr) {
+          cell.chain_replays = dyn_stack.chain()->stats().replayed_steps;
+        }
         return cell;
       });
 
@@ -179,5 +210,42 @@ int main(int argc, char** argv) {
   std::printf("CSV written to %s/fig7_collectives.csv\n",
               mb::results_dir().c_str());
   mb::report_sweep("fig7", runner.stats());
+
+  if (!fp_path.empty()) {
+    // Full-precision latencies in grid order: identical bytes on disk means
+    // identical simulated timelines (the chained-replay bit-identity gate).
+    std::ostringstream fp;
+    std::size_t k = 0;
+    for (std::size_t s = 0; s < systems.size(); ++s) {
+      for (std::size_t p = 0; p < n_pol; ++p) {
+        for (Op op : ops) {
+          for (std::size_t bytes : sizes) {
+            const Cell& cell = cells[k++];
+            char line[256];
+            std::snprintf(line, sizeof(line), "%s,%s,%s,%zu,%.17g,%.17g,%.17g\n",
+                          systems[s].c_str(),
+                          op == Op::Alltoall ? "Alltoall" : "Allreduce",
+                          policies[p].label().c_str(), bytes, cell.direct,
+                          cell.static_s, cell.dynamic);
+            fp << line;
+          }
+        }
+      }
+    }
+    mu::write_file_atomic(fp_path, fp.str());
+    std::printf("fingerprint written to %s\n", fp_path.c_str());
+  }
+  if (graphs) {
+    std::uint64_t replays = 0;
+    for (const Cell& cell : cells) replays += cell.chain_replays;
+    std::printf("collective graph chaining: %llu chained steps replayed\n",
+                static_cast<unsigned long long>(replays));
+    if (replays == 0) {
+      std::fprintf(stderr,
+                   "FIG-7: --graphs=on but no chained step replayed — the "
+                   "capture/replay path is not engaging\n");
+      return 3;
+    }
+  }
   return 0;
 }

@@ -8,6 +8,7 @@
 
 #include "mpath/mpisim/world.hpp"
 #include "mpath/pipeline/channels.hpp"
+#include "mpath/pipeline/collective_graph.hpp"
 #include "mpath/pipeline/scheduler.hpp"
 
 namespace mpath::benchcore {
@@ -18,6 +19,12 @@ struct StackOptions {
   pipeline::ModelDrivenOptions model;
   mpisim::WorldOptions world;
   int nranks = 0;  ///< 0 = one rank per GPU
+  /// Collective graph chaining: capture each collective's whole transfer
+  /// DAG on first invocation, replay it (with batched joint-theta
+  /// admission on scheduled stacks) on later ones. Model-driven stacks
+  /// only; ignored (with recovery enabled: rejected) elsewhere.
+  bool collective_graphs = false;
+  pipeline::ChainOptions chain;
 };
 
 class SimStack {
@@ -63,6 +70,9 @@ class SimStack {
   [[nodiscard]] pipeline::TransferScheduler* scheduler() {
     return scheduler_.get();
   }
+  /// Non-null only when StackOptions::collective_graphs was set on a
+  /// model-driven stack.
+  [[nodiscard]] pipeline::ChainController* chain() { return chain_.get(); }
 
  private:
   SimStack(topo::System system, StackOptions options);
@@ -76,6 +86,10 @@ class SimStack {
   std::unique_ptr<pipeline::PipelineEngine> pipeline_;
   std::unique_ptr<pipeline::TransferScheduler> scheduler_;
   std::unique_ptr<gpusim::DataChannel> channel_;
+  // Declared after channel_ and before world_: the World detaches the tap
+  // first, then the controller's chains release their compiled templates
+  // (runtime events / staging leases) while the channel and runtime live.
+  std::unique_ptr<pipeline::ChainController> chain_;
   std::unique_ptr<mpisim::World> world_;
 };
 

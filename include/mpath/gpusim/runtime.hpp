@@ -97,6 +97,13 @@ class GpuRuntime {
   [[nodiscard]] std::size_t events_pooled() const {
     return event_free_list_.size();
   }
+  /// Events currently reserved via acquire_event and not yet released.
+  /// Long-lived holders (compiled transfer graphs, chained collectives)
+  /// must return this to its pre-acquisition baseline on destruction — the
+  /// chain/graph leak check in the tests asserts exactly that.
+  [[nodiscard]] std::uint64_t events_outstanding() const {
+    return events_acquired_ - events_released_;
+  }
   /// Make a cancellation token bound to this runtime's fluid network.
   [[nodiscard]] CancelTokenPtr make_cancel_token() const;
 
@@ -217,6 +224,8 @@ class GpuRuntime {
   std::vector<Stream> streams_;
   std::vector<Event> events_;
   std::vector<EventId> event_free_list_;  ///< released ids, LIFO reuse
+  std::uint64_t events_acquired_ = 0;     ///< acquire_event calls
+  std::uint64_t events_released_ = 0;     ///< release_event calls
   std::set<std::pair<topo::DeviceId, BufferId>> ipc_cache_;
   std::uint64_t bytes_copied_ = 0;
   std::uint64_t ops_issued_ = 0;

@@ -12,6 +12,10 @@
 #include "mpath/sim/sync.hpp"
 #include "mpath/transport/fabric.hpp"
 
+namespace mpath::pipeline {
+class ChainController;
+}  // namespace mpath::pipeline
+
 namespace mpath::mpisim {
 
 struct WorldOptions {
@@ -56,11 +60,22 @@ class World {
   [[nodiscard]] sim::Barrier& barrier() { return barrier_; }
   [[nodiscard]] const WorldOptions& options() const { return options_; }
 
+  /// Enable collective graph chaining: installs the fabric's transfer tap
+  /// pointing at `ctl` (also attaching it to the channel) so the
+  /// collectives capture/replay whole invocations. Null detaches. The
+  /// controller must outlive the attachment; destroy this World (or detach)
+  /// before destroying the controller.
+  void set_chain_controller(pipeline::ChainController* ctl);
+  [[nodiscard]] pipeline::ChainController* chain_controller() const {
+    return chain_ctl_;
+  }
+
  private:
   gpusim::GpuRuntime* runtime_;
   WorldOptions options_;
   transport::Fabric fabric_;
   sim::Barrier barrier_;
+  pipeline::ChainController* chain_ctl_ = nullptr;
   std::vector<std::unique_ptr<Communicator>> comms_;
 };
 

@@ -24,6 +24,7 @@ namespace mpath::pipeline {
 
 class TransferScheduler;
 class GraphCache;
+class ChainController;
 
 class SinglePathChannel final : public gpusim::DataChannel {
  public:
@@ -110,6 +111,13 @@ struct GraphUseStats {
   std::uint64_t health_fallbacks = 0;  ///< a template path is unhealthy
   std::uint64_t epoch_fallbacks = 0;   ///< link capacities changed
   std::uint64_t contended_rejects = 0; ///< scheduler refused admit_replay
+  /// Host wall-nanoseconds spent in the channel's *synchronous* planning
+  /// sections: configure solves, admissions, template compiles, chain
+  /// claim/record bookkeeping. Never spans a co_await, so it measures the
+  /// per-transfer host-side cost a real (non-simulated) stack would pay on
+  /// the CPU — the thing graph replay exists to amortise — with simulated
+  /// device/network event processing excluded.
+  std::uint64_t plan_ns = 0;
 };
 
 class ModelDrivenChannel final : public gpusim::DataChannel {
@@ -152,8 +160,17 @@ class ModelDrivenChannel final : public gpusim::DataChannel {
   [[nodiscard]] const GraphUseStats& graph_stats() const {
     return graph_stats_;
   }
+  /// Attach (or detach, with null) a collective chain controller: every
+  /// transfer then consumes the controller's pending step — replaying a
+  /// chained template when one is claimable, and reporting its
+  /// configuration back during capture. The controller must outlive the
+  /// attachment and requires recovery disabled on this channel.
+  void attach_chain(ChainController* chain);
+  /// The attached chain controller (null when collective chaining is off).
+  [[nodiscard]] ChainController* chain() const { return chain_; }
 
  private:
+  friend class ChainController;
   [[nodiscard]] const std::vector<topo::PathPlan>& candidate_paths(
       topo::DeviceId src, topo::DeviceId dst);
   /// Calibration version templates are stamped with (0 = no store).
@@ -175,8 +192,25 @@ class ModelDrivenChannel final : public gpusim::DataChannel {
       gpusim::DeviceBuffer& dst, std::size_t dst_offset,
       const gpusim::DeviceBuffer& src, std::size_t src_offset,
       std::size_t bytes);
+  /// Outcome of one uncaptured transfer. `reproducible` says whether a
+  /// later identical transfer would deterministically pick `config` again —
+  /// exactly the bar a captured chain step must meet to compile. The
+  /// configuration travels here as a coroutine-local copy because
+  /// concurrent transfers interleave at co_await points: by the time the
+  /// caller resumes, the shared last_config_ member may already belong to
+  /// another in-flight transfer.
+  struct UncapturedOutcome {
+    bool reproducible = false;
+    std::optional<model::TransferConfig> config;
+  };
+  /// The whole non-recovery transfer body minus chain interplay.
+  [[nodiscard]] sim::Task<UncapturedOutcome> transfer_uncaptured(
+      gpusim::DeviceBuffer& dst, std::size_t dst_offset,
+      const gpusim::DeviceBuffer& src, std::size_t src_offset,
+      std::size_t bytes);
 
   PipelineEngine* engine_;
+  ChainController* chain_ = nullptr;
   model::PathConfigurator* configurator_;
   TransferScheduler* scheduler_ = nullptr;
   topo::PathPolicy policy_;

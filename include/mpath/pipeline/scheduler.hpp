@@ -115,6 +115,19 @@ class TransferScheduler {
     /// link footprint and checks it against what admission charged.
     std::uint64_t footprint_checks = 0;
     std::uint64_t footprint_mismatches = 0;  ///< should stay 0
+    /// Collective-round batch admissions (admit_chain): rounds accepted,
+    /// rounds refused (a flow would be squeezed below its solo cap, or
+    /// background traffic sits on a round link), and per-step tickets
+    /// registered by accepted rounds.
+    std::uint64_t chain_round_admits = 0;
+    std::uint64_t chain_round_rejects = 0;
+    std::uint64_t chain_step_admits = 0;
+    /// admit_chain: a step's compiled config no longer describes its
+    /// request (size/path-set drift) — the whole round is refused.
+    std::uint64_t chain_plan_mismatches = 0;
+    /// Tickets released by depart_chain without ever carrying a replay
+    /// (chain died mid-round; the pre-admitted remainder is unwound).
+    std::uint64_t chain_unwound = 0;
   };
 
   /// Both references must outlive the scheduler. The configurator supplies
@@ -152,6 +165,41 @@ class TransferScheduler {
                                        std::uint64_t bytes,
                                        std::span<const topo::PathPlan> paths,
                                        const model::TransferConfig& compiled);
+
+  /// One step of a chained collective round offered for batched replay
+  /// admission. `compiled` is the step's template config (solo terms — the
+  /// graph was compiled from an uncontended admission) and must outlive the
+  /// admit_chain call.
+  struct ChainStepRequest {
+    topo::DeviceId src = 0;
+    topo::DeviceId dst = 0;
+    std::uint64_t bytes = 0;
+    std::span<const topo::PathPlan> paths;  ///< full candidate set
+    const model::TransferConfig* compiled = nullptr;
+  };
+
+  /// Batched replay admission for one chained collective round: all K steps
+  /// are validated with ONE JointThetaSolver water-fill (the PR 6 storm
+  /// solve inverted into a gate) instead of K independent admit_replay
+  /// probes. The round is accepted iff every compiled config still
+  /// describes its request AND the joint water-fill of the round's carrying
+  /// paths plus every live flow leaves *all* of them at their solo caps
+  /// with no background traffic on a round link — exactly the condition
+  /// under which a fresh joint solve of any step, at any instant while the
+  /// round is in flight, would reproduce the compiled solo split. On
+  /// acceptance each step gets a ticket registered from its compiled
+  /// shares (admit_replay ledger semantics — departures are
+  /// indistinguishable from fresh admissions); the returned ids align with
+  /// `steps`. An empty vector means the round was refused and the caller
+  /// must fall back to per-step fresh admission.
+  [[nodiscard]] std::vector<TicketId> admit_chain(
+      std::span<const ChainStepRequest> steps);
+
+  /// Unwind tickets pre-registered by admit_chain that no replay ever
+  /// claimed (the chain died mid-round): verify and release each footprint
+  /// and mark the records failed so the history never confuses them with
+  /// transfers that ran. Invalid ids are skipped.
+  void depart_chain(std::span<const TicketId> tickets);
 
   /// Recovery re-plan: replace the ticket's footprint with a fresh joint
   /// plan for the undelivered `bytes` over the `survivors` subset

@@ -36,6 +36,25 @@ struct TransportOptions {
 
 class Worker;
 
+/// One matched message about to move through the data channel, as observed
+/// by the transfer tap: the rendezvous (or eager) handshake is done and the
+/// very next awaited operation is the channel transfer itself. Collective
+/// graph capture keys on (tag, src_rank, dst_rank) to identify the step.
+struct TransferSite {
+  int src_rank = -1;
+  int dst_rank = -1;
+  int tag = -1;
+  std::size_t bytes = 0;
+  topo::DeviceId src_device = topo::kInvalidDevice;
+  topo::DeviceId dst_device = topo::kInvalidDevice;
+};
+
+/// Synchronous observer invoked immediately before every channel transfer
+/// (same coroutine frame — no suspension between the tap and the transfer,
+/// so a tap-side "pending step" slot cannot be raced by another message).
+/// Inline storage: the observer is one controller pointer.
+using TransferTap = sim::InlineFn<void(const TransferSite&), 32>;
+
 class Fabric {
  public:
   Fabric(gpusim::GpuRuntime& runtime, gpusim::DataChannel& channel,
@@ -54,6 +73,11 @@ class Fabric {
   [[nodiscard]] gpusim::GpuRuntime& runtime() { return *runtime_; }
   [[nodiscard]] gpusim::DataChannel& channel() { return *channel_; }
   [[nodiscard]] const TransportOptions& options() const { return options_; }
+
+  /// Install (or clear, with a default-constructed tap) the transfer
+  /// observer. At most one; the caller owns the observed controller's
+  /// lifetime and must clear the tap before destroying it.
+  void set_transfer_tap(TransferTap tap) { tap_ = std::move(tap); }
 
   // -- statistics -----------------------------------------------------------
   [[nodiscard]] std::uint64_t messages_sent() const { return messages_; }
@@ -98,6 +122,7 @@ class Fabric {
   gpusim::GpuRuntime* runtime_;
   gpusim::DataChannel* channel_;
   TransportOptions options_;
+  TransferTap tap_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::map<double, Wake> wakes_;
   std::uint64_t messages_ = 0;

@@ -15,8 +15,16 @@ SimStack::SimStack(topo::System system, StackOptions options)
 void SimStack::finish(std::unique_ptr<gpusim::DataChannel> channel,
                       const StackOptions& options) {
   channel_ = std::move(channel);
+  if (options.collective_graphs) {
+    if (auto* mdc = dynamic_cast<pipeline::ModelDrivenChannel*>(
+            channel_.get())) {
+      chain_ = std::make_unique<pipeline::ChainController>(*mdc,
+                                                           options.chain);
+    }
+  }
   world_ = std::make_unique<mpisim::World>(*runtime_, *channel_,
                                            options.nranks, options.world);
+  if (chain_ != nullptr) world_->set_chain_controller(chain_.get());
 }
 
 SimStack SimStack::direct(topo::System system, StackOptions options) {

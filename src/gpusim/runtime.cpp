@@ -1,6 +1,7 @@
 #include "mpath/gpusim/runtime.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cstring>
 #include <stdexcept>
 
@@ -58,6 +59,7 @@ EventId GpuRuntime::create_event() {
 
 EventId GpuRuntime::acquire_event() {
   MPATH_ASSERT_OWNER(owner_, "gpusim::GpuRuntime (acquire_event)");
+  ++events_acquired_;
   if (!event_free_list_.empty()) {
     const EventId ev = event_free_list_.back();
     event_free_list_.pop_back();
@@ -68,6 +70,9 @@ EventId GpuRuntime::acquire_event() {
 
 void GpuRuntime::release_event(EventId event) {
   MPATH_ASSERT_OWNER(owner_, "gpusim::GpuRuntime (release_event)");
+  assert(events_released_ < events_acquired_ &&
+         "GpuRuntime: release_event without a matching acquire_event");
+  ++events_released_;
   event_free_list_.push_back(event);
 }
 

@@ -3,11 +3,24 @@
 #include <bit>
 #include <stdexcept>
 
+#include "mpath/pipeline/collective_graph.hpp"
+
 namespace mpath::mpisim {
 
 namespace {
 
 bool is_pow2(int x) { return x > 0 && (x & (x - 1)) == 0; }
+
+/// Algorithm ids for chain identity (ChainKey::algo). Values are stable
+/// across releases — cached chains key on them.
+enum ChainAlgo : int {
+  kChainAllreduceRhd = 0,
+  kChainAllreduceRing = 1,
+  kChainAlltoallPairwise = 2,
+  kChainAlltoallBruck = 3,
+  kChainAllgatherRing = 4,
+  kChainBcastBinomial = 5,
+};
 
 /// data[dst_off..] += tmp[0..floats) elementwise, charging reduce time.
 sim::Task<void> reduce_into(Communicator& comm, gpusim::DeviceBuffer& data,
@@ -36,6 +49,8 @@ sim::Task<void> allreduce_rhd(Communicator& comm, gpusim::DeviceBuffer& data) {
   const int rank = comm.rank();
   const std::size_t count = data.size() / sizeof(float);
   const int tag = comm.next_collective_tag();
+  pipeline::ChainScope chain(comm.world().chain_controller(), "allreduce-rhd",
+                             p, data.size(), kChainAllreduceRhd, 0, tag);
   gpusim::DeviceBuffer tmp(comm.device(), count / 2 * sizeof(float),
                            payload_of(data));
 
@@ -76,6 +91,8 @@ sim::Task<void> allreduce_ring(Communicator& comm,
   const std::size_t count = data.size() / sizeof(float);
   const std::size_t blk = count / static_cast<std::size_t>(p);
   const int tag = comm.next_collective_tag();
+  pipeline::ChainScope chain(comm.world().chain_controller(), "allreduce-ring",
+                             p, data.size(), kChainAllreduceRing, 0, tag);
   const int right = (rank + 1) % p;
   const int left = (rank - 1 + p) % p;
   gpusim::DeviceBuffer tmp(comm.device(), blk * sizeof(float),
@@ -111,6 +128,9 @@ sim::Task<void> alltoall_pairwise(Communicator& comm,
   const int p = comm.size();
   const int rank = comm.rank();
   const int tag = comm.next_collective_tag();
+  pipeline::ChainScope chain(comm.world().chain_controller(),
+                             "alltoall-pairwise", p, blk,
+                             kChainAlltoallPairwise, 0, tag);
   // s = 0 is the local block; then p-1 pairwise exchanges.
   co_await comm.local_copy(recv, static_cast<std::size_t>(rank) * blk, send,
                            static_cast<std::size_t>(rank) * blk, blk);
@@ -132,6 +152,8 @@ sim::Task<void> alltoall_bruck(Communicator& comm,
   const int p = comm.size();
   const int rank = comm.rank();
   const int tag = comm.next_collective_tag();
+  pipeline::ChainScope chain(comm.world().chain_controller(), "alltoall-bruck",
+                             p, blk, kChainAlltoallBruck, 0, tag);
   const auto payload = payload_of(send);
   gpusim::DeviceBuffer tmp(comm.device(),
                            static_cast<std::size_t>(p) * blk, payload);
@@ -230,6 +252,8 @@ sim::Task<void> allgather(Communicator& comm, gpusim::DeviceBuffer& data,
     throw std::invalid_argument("allgather: buffer must hold p blocks");
   }
   const int tag = comm.next_collective_tag();
+  pipeline::ChainScope chain(comm.world().chain_controller(), "allgather-ring",
+                             p, block_bytes, kChainAllgatherRing, 0, tag);
   const int right = (rank + 1) % p;
   const int left = (rank - 1 + p) % p;
   for (int s = 0; s < p - 1; ++s) {
@@ -250,6 +274,10 @@ sim::Task<void> broadcast(Communicator& comm, gpusim::DeviceBuffer& data,
   }
   if (p == 1 || bytes == 0) co_return;
   const int tag = comm.next_collective_tag();
+  // Root is part of the chain identity (variant): the tree shape depends
+  // on it, and two roots must not share one captured template.
+  pipeline::ChainScope chain(comm.world().chain_controller(), "bcast-binomial",
+                             p, bytes, kChainBcastBinomial, root, tag);
   // Binomial tree in the rank space rotated so that root maps to 0.
   const int vrank = (comm.rank() - root + p) % p;
   int mask = 1;

@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "mpath/pipeline/channels.hpp"
+#include "mpath/pipeline/collective_graph.hpp"
+
 namespace mpath::mpisim {
 
 World::World(gpusim::GpuRuntime& runtime, gpusim::DataChannel& channel,
@@ -26,7 +29,28 @@ World::World(gpusim::GpuRuntime& runtime, gpusim::DataChannel& channel,
   }
 }
 
-World::~World() = default;
+World::~World() {
+  // The fabric (and its tap into the controller) dies with this World;
+  // detach the channel's side too so a controller outliving the World is
+  // not reachable through a channel reused by another World.
+  if (chain_ctl_ != nullptr) set_chain_controller(nullptr);
+}
+
+void World::set_chain_controller(pipeline::ChainController* ctl) {
+  auto* mdc = dynamic_cast<pipeline::ModelDrivenChannel*>(&fabric_.channel());
+  if (ctl != nullptr && mdc == nullptr) {
+    throw std::invalid_argument(
+        "World::set_chain_controller: channel is not model-driven");
+  }
+  chain_ctl_ = ctl;
+  if (mdc != nullptr) mdc->attach_chain(ctl);
+  if (ctl != nullptr) {
+    fabric_.set_transfer_tap(transport::TransferTap(
+        [ctl](const transport::TransferSite& site) { ctl->on_transfer(site); }));
+  } else {
+    fabric_.set_transfer_tap({});
+  }
+}
 
 Communicator& World::comm(int rank) {
   if (rank < 0 || rank >= size()) {

@@ -1,18 +1,32 @@
 #include "mpath/pipeline/channels.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "mpath/pipeline/collective_graph.hpp"
 #include "mpath/pipeline/graph.hpp"
 #include "mpath/pipeline/scheduler.hpp"
 
 namespace mpath::pipeline {
 
 namespace {
+using PlanClock = std::chrono::steady_clock;
+
+/// Nanoseconds since `t0`, for GraphUseStats::plan_ns sections. Callers
+/// must never let a section span a co_await: suspended wall time belongs
+/// to other coroutines and the event loop, not to this transfer's planner.
+std::uint64_t plan_ns_since(PlanClock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(PlanClock::now() -
+                                                           t0)
+          .count());
+}
+
 ExecPlan direct_plan(std::size_t bytes) {
   return {ExecPath{topo::PathPlan{topo::PathKind::Direct, topo::kInvalidDevice},
                    bytes, 1}};
@@ -158,6 +172,15 @@ std::shared_ptr<TransferGraph> ModelDrivenChannel::compile_template(
   return g;
 }
 
+void ModelDrivenChannel::attach_chain(ChainController* chain) {
+  if (chain != nullptr && options_.recovery.enabled) {
+    throw std::invalid_argument(
+        "ModelDrivenChannel: cannot attach a chain controller with recovery "
+        "enabled");
+  }
+  chain_ = chain;
+}
+
 sim::Task<void> ModelDrivenChannel::transfer(gpusim::DeviceBuffer& dst,
                                              std::size_t dst_offset,
                                              const gpusim::DeviceBuffer& src,
@@ -167,13 +190,78 @@ sim::Task<void> ModelDrivenChannel::transfer(gpusim::DeviceBuffer& dst,
     co_await transfer_with_recovery(dst, dst_offset, src, src_offset, bytes);
     co_return;
   }
+  // Collective chain interplay: the transport tap staged what this message
+  // is — a capture-iteration step (record its config afterwards) or a
+  // replayable step of a sealed chain (claim its template + batch ticket
+  // and skip configuration entirely).
+  const PlanClock::time_point plan_t0 = PlanClock::now();
+  ChainController::Pending pend;
+  if (chain_ != nullptr) pend = chain_->take_pending();
+  if (pend.replay) {
+    ChainController::Claim claim = chain_->claim_step(pend);
+    if (claim.graph != nullptr) {
+      const double t0 = engine_->runtime().engine().now();
+      ScheduleGuard guard;
+      guard.sched = scheduler_;
+      guard.ticket = claim.ticket;
+      last_config_ = claim.graph->config();
+      // The recalibrator needs the configuration after the replay resumes,
+      // by which point last_config_ may belong to another in-flight
+      // transfer — only then is a coroutine-local copy worth paying for.
+      std::optional<model::TransferConfig> cfg;
+      if (options_.recalibrator != nullptr) cfg = claim.graph->config();
+      graph_stats_.plan_ns += plan_ns_since(plan_t0);
+      (void)co_await engine_->replay(std::move(claim.graph), dst, dst_offset,
+                                     src, src_offset, {});
+      if (scheduler_ != nullptr &&
+          claim.ticket != TransferScheduler::kInvalidTicket) {
+        const PlanClock::time_point depart_t0 = PlanClock::now();
+        scheduler_->depart(claim.ticket);
+        graph_stats_.plan_ns += plan_ns_since(depart_t0);
+      }
+      guard.armed = false;
+      if (options_.recalibrator != nullptr) {
+        options_.recalibrator->observe(src.device(), dst.device(), *cfg,
+                                       engine_->runtime().engine().now() - t0);
+      }
+      co_return;
+    }
+    // Unclaimable (busy template, contended round, passthrough, or the
+    // chain just died): fall through to the normal path.
+  }
+  graph_stats_.plan_ns += plan_ns_since(plan_t0);
+  const UncapturedOutcome unc =
+      co_await transfer_uncaptured(dst, dst_offset, src, src_offset, bytes);
+  if (pend.capture) {
+    // Capture bookkeeping — the last leave seals the chain and compiles
+    // every step's template, so this section carries the one-off capture
+    // cost the steady-state claim path amortises away.
+    const PlanClock::time_point record_t0 = PlanClock::now();
+    chain_->record_step(pend, unc.reproducible && unc.config.has_value()
+                                  ? &*unc.config
+                                  : nullptr);
+    graph_stats_.plan_ns += plan_ns_since(record_t0);
+  }
+}
+
+sim::Task<ModelDrivenChannel::UncapturedOutcome>
+ModelDrivenChannel::transfer_uncaptured(gpusim::DeviceBuffer& dst,
+                                        std::size_t dst_offset,
+                                        const gpusim::DeviceBuffer& src,
+                                        std::size_t src_offset,
+                                        std::size_t bytes) {
   if (bytes < options_.min_multipath_bytes) {
     co_await engine_->execute(dst, dst_offset, src, src_offset,
                               direct_plan(bytes));
-    co_return;
+    co_return UncapturedOutcome{};  // no multipath config to reproduce
   }
+  const PlanClock::time_point u_t0 = PlanClock::now();
   const auto& paths = candidate_paths(src.device(), dst.device());
   const double t0 = engine_->runtime().engine().now();
+  // Everything below keeps a coroutine-local copy of the chosen
+  // configuration (`cfg`): concurrent transfers interleave at every
+  // co_await, so last_config_ only reports "most recent transfer" and must
+  // never be read back after a suspension.
   if (scheduler_ != nullptr) {
     // Compiled fast path: a cached template admitted as a replay skips the
     // joint solve and plan construction entirely.
@@ -185,18 +273,22 @@ sim::Task<void> ModelDrivenChannel::transfer(gpusim::DeviceBuffer& dst,
           ScheduleGuard guard;
           guard.sched = scheduler_;
           guard.ticket = adm.ticket;
-          last_config_ = std::move(adm.config);
+          model::TransferConfig cfg = std::move(adm.config);
+          last_config_ = cfg;
           ++graph_stats_.replays;
+          graph_stats_.plan_ns += plan_ns_since(u_t0);
           (void)co_await engine_->replay(std::move(g), dst, dst_offset, src,
                                          src_offset, {});
+          const PlanClock::time_point d_t0 = PlanClock::now();
           scheduler_->depart(adm.ticket);
+          graph_stats_.plan_ns += plan_ns_since(d_t0);
           guard.armed = false;
           if (options_.recalibrator != nullptr) {
             options_.recalibrator->observe(
-                src.device(), dst.device(), *last_config_,
+                src.device(), dst.device(), cfg,
                 engine_->runtime().engine().now() - t0);
           }
-          co_return;
+          co_return UncapturedOutcome{true, std::move(cfg)};
         }
         ++graph_stats_.contended_rejects;
       }
@@ -210,78 +302,94 @@ sim::Task<void> ModelDrivenChannel::transfer(gpusim::DeviceBuffer& dst,
     // a later admit_replay can register the identical ledger entry.
     if (options_.graphs != nullptr && adm.uncontended) {
       if (auto g = compile_template(src.device(), dst.device(), adm.config)) {
-        last_config_ = std::move(adm.config);
+        model::TransferConfig cfg = std::move(adm.config);
+        last_config_ = cfg;
         ++graph_stats_.replays_fresh;
+        graph_stats_.plan_ns += plan_ns_since(u_t0);
         (void)co_await engine_->replay(std::move(g), dst, dst_offset, src,
                                        src_offset, {});
+        const PlanClock::time_point d_t0 = PlanClock::now();
         scheduler_->depart(adm.ticket);
+        graph_stats_.plan_ns += plan_ns_since(d_t0);
         guard.armed = false;
         if (options_.recalibrator != nullptr) {
           options_.recalibrator->observe(
-              src.device(), dst.device(), *last_config_,
+              src.device(), dst.device(), cfg,
               engine_->runtime().engine().now() - t0);
         }
-        co_return;
+        co_return UncapturedOutcome{true, std::move(cfg)};
       }
     }
+    const bool uncontended = adm.uncontended;
+    model::TransferConfig cfg = std::move(adm.config);
     ExecPlan plan;
-    plan.reserve(adm.config.paths.size());
-    for (const auto& share : adm.config.paths) {
+    plan.reserve(cfg.paths.size());
+    for (const auto& share : cfg.paths) {
       plan.push_back(ExecPath{share.plan, share.bytes, share.chunks});
     }
-    last_config_ = std::move(adm.config);
+    last_config_ = cfg;
+    graph_stats_.plan_ns += plan_ns_since(u_t0);
     co_await engine_->execute(dst, dst_offset, src, src_offset,
                               std::move(plan));
+    const PlanClock::time_point d_t0 = PlanClock::now();
     scheduler_->depart(adm.ticket);
+    graph_stats_.plan_ns += plan_ns_since(d_t0);
     guard.armed = false;
     if (options_.recalibrator != nullptr) {
-      options_.recalibrator->observe(src.device(), dst.device(),
-                                     *last_config_,
+      options_.recalibrator->observe(src.device(), dst.device(), cfg,
                                      engine_->runtime().engine().now() - t0);
     }
-    co_return;
+    // An uncontended joint solve is the solo configuration — reproducible;
+    // a contended one depends on the live flows at this exact instant.
+    co_return UncapturedOutcome{uncontended, std::move(cfg)};
   }
   if (options_.graphs != nullptr) {
     if (auto g = find_replayable(src.device(), dst.device(), bytes, paths)) {
-      last_config_ = g->config();
+      model::TransferConfig cfg = g->config();
+      last_config_ = cfg;
       ++graph_stats_.replays;
+      graph_stats_.plan_ns += plan_ns_since(u_t0);
       (void)co_await engine_->replay(std::move(g), dst, dst_offset, src,
                                      src_offset, {});
       if (options_.recalibrator != nullptr) {
-        options_.recalibrator->observe(src.device(), dst.device(),
-                                       *last_config_,
+        options_.recalibrator->observe(src.device(), dst.device(), cfg,
                                        engine_->runtime().engine().now() - t0);
       }
-      co_return;
+      co_return UncapturedOutcome{true, std::move(cfg)};
     }
   }
-  const auto& config =
+  // Copy out of the configurator's cache: an LRU eviction during the
+  // transfer below must not invalidate what we executed (or report).
+  model::TransferConfig cfg =
       configurator_->configure(src.device(), dst.device(), bytes, paths);
-  last_config_ = config;
+  last_config_ = cfg;
   if (options_.graphs != nullptr) {
-    if (auto g = compile_template(src.device(), dst.device(), config)) {
+    if (auto g = compile_template(src.device(), dst.device(), cfg)) {
       ++graph_stats_.replays_fresh;
+      graph_stats_.plan_ns += plan_ns_since(u_t0);
       (void)co_await engine_->replay(std::move(g), dst, dst_offset, src,
                                      src_offset, {});
       if (options_.recalibrator != nullptr) {
-        options_.recalibrator->observe(src.device(), dst.device(),
-                                       *last_config_,
+        options_.recalibrator->observe(src.device(), dst.device(), cfg,
                                        engine_->runtime().engine().now() - t0);
       }
-      co_return;
+      co_return UncapturedOutcome{true, std::move(cfg)};
     }
   }
   ExecPlan plan;
-  plan.reserve(config.paths.size());
-  for (const auto& share : last_config_->paths) {
+  plan.reserve(cfg.paths.size());
+  for (const auto& share : cfg.paths) {
     plan.push_back(ExecPath{share.plan, share.bytes, share.chunks});
   }
+  graph_stats_.plan_ns += plan_ns_since(u_t0);
   co_await engine_->execute(dst, dst_offset, src, src_offset,
                             std::move(plan));
   if (options_.recalibrator != nullptr) {
-    options_.recalibrator->observe(src.device(), dst.device(), *last_config_,
+    options_.recalibrator->observe(src.device(), dst.device(), cfg,
                                    engine_->runtime().engine().now() - t0);
   }
+  // Solo configuration: deterministic given calibration.
+  co_return UncapturedOutcome{true, std::move(cfg)};
 }
 
 sim::Task<void> ModelDrivenChannel::transfer_with_recovery(

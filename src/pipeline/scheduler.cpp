@@ -478,6 +478,141 @@ TransferScheduler::Admission TransferScheduler::admit_replay(
   return out;
 }
 
+std::vector<TransferScheduler::TicketId> TransferScheduler::admit_chain(
+    std::span<const ChainStepRequest> steps) {
+  if (steps.empty()) return {};
+  const double now = engine_->runtime().engine().now();
+  integrate_to(now);
+
+  // Step integrity first: every compiled config must still describe its
+  // request, or replaying the round would execute stale splits.
+  for (const ChainStepRequest& s : steps) {
+    if (s.paths.empty() || s.bytes == 0 || s.compiled == nullptr) {
+      throw std::invalid_argument("TransferScheduler: malformed chain step");
+    }
+    bool matches = s.compiled->total_bytes == s.bytes &&
+                   s.compiled->paths.size() == s.paths.size();
+    for (std::size_t i = 0; matches && i < s.paths.size(); ++i) {
+      matches = s.compiled->paths[i].plan == s.paths[i];
+    }
+    if (!matches) {
+      ++stats_.chain_plan_mismatches;
+      ++stats_.chain_round_rejects;
+      return {};
+    }
+  }
+
+  // Resolve the carrying-path links once; they are the round's water-fill
+  // flows and, on acceptance, the per-step ticket registrations.
+  std::vector<util::SmallVec<util::SmallVec<std::uint32_t, 4>, 4>> step_links(
+      steps.size());
+  std::vector<model::FixedFlow> flows;
+  util::SmallVec<std::uint32_t, 8> round_links;
+  for (std::size_t k = 0; k < steps.size(); ++k) {
+    const ChainStepRequest& s = steps[k];
+    for (std::size_t i = 0; i < s.compiled->paths.size(); ++i) {
+      const model::PathShare& share = s.compiled->paths[i];
+      if (share.bytes == 0) {
+        step_links[k].push_back({});
+        continue;
+      }
+      step_links[k].push_back(plan_links(s.src, s.dst, s.paths[i]));
+      model::FixedFlow f;
+      f.links = step_links[k].back();
+      // Compiled templates carry solo terms (uncontended at compile time),
+      // so the cap is the solo path bandwidth — same as admit_replay.
+      f.cap_bps = 1.0 / share.terms.omega;
+      flows.push_back(std::move(f));
+      for (std::uint32_t l : step_links[k].back()) round_links.push_back(l);
+    }
+  }
+
+  if (options_.joint) {
+    const auto links = snapshot_links();
+    if (options_.network_snapshot) {
+      for (std::uint32_t l : round_links) {
+        if (links[l].background_flows > 0.0) {
+          // Unscheduled traffic shares a round link: its max-min share is
+          // not ours to bound, so the compiled splits are not guaranteed.
+          ++stats_.chain_round_rejects;
+          return {};
+        }
+      }
+    }
+    // ONE water-fill answers the whole round: the round's carrying paths
+    // join every live flow, and acceptance requires *all* of them at their
+    // solo caps. Then nothing is squeezed anywhere — inductively every live
+    // scheduled flow keeps running at cap — and a fresh joint solve of any
+    // step at any instant inside the round would apply no omega override,
+    // i.e. would reproduce exactly the compiled split being replayed.
+    for (model::FixedFlow& f : live_flows(nullptr)) {
+      flows.push_back(std::move(f));
+    }
+    const model::JointThetaSolver::RoundValidation v =
+        model::JointThetaSolver::validate_round(flows, links);
+    if (!v.at_cap) {
+      ++stats_.chain_round_rejects;
+      return {};
+    }
+  }
+
+  std::vector<TicketId> out;
+  out.reserve(steps.size());
+  for (std::size_t k = 0; k < steps.size(); ++k) {
+    const ChainStepRequest& s = steps[k];
+    Ticket t;
+    t.id = next_id_++;
+    t.record = records_.size();
+    t.t_admit = now;
+    t.src = s.src;
+    t.dst = s.dst;
+    for (std::size_t i = 0; i < s.compiled->paths.size(); ++i) {
+      const model::PathShare& share = s.compiled->paths[i];
+      if (share.bytes == 0) continue;
+      LivePath p;
+      p.links = step_links[k][i];
+      p.cap_bps = 1.0 / share.terms.omega;
+      p.remaining_delta = share.terms.delta;
+      p.remaining_bytes = static_cast<double>(share.bytes);
+      t.paths.push_back(std::move(p));
+    }
+    t.charged = footprint_of(t);
+    out.push_back(t.id);
+    Record rec;
+    rec.t_admit = now;
+    rec.predicted_s = s.compiled->predicted_time;
+    rec.bytes = s.bytes;
+    records_.push_back(rec);
+    live_.push_back(std::move(t));
+    ++stats_.admitted;
+    ++stats_.chain_step_admits;
+  }
+  ++stats_.chain_round_admits;
+  return out;
+}
+
+void TransferScheduler::depart_chain(std::span<const TicketId> tickets) {
+  const double now = engine_->runtime().engine().now();
+  integrate_to(now);
+  for (const TicketId id : tickets) {
+    if (id == kInvalidTicket) continue;
+    std::size_t idx = live_.size();
+    for (std::size_t i = 0; i < live_.size(); ++i) {
+      if (live_[i].id == id) {
+        idx = i;
+        break;
+      }
+    }
+    if (idx == live_.size()) continue;  // already claimed and departed
+    verify_footprint(idx);
+    Record& rec = records_[live_[idx].record];
+    rec.t_depart = now;
+    rec.failed = true;  // never carried a transfer; keep history honest
+    ++stats_.chain_unwound;
+    release(idx);
+  }
+}
+
 std::size_t TransferScheduler::find(TicketId ticket) {
   for (std::size_t i = 0; i < live_.size(); ++i) {
     if (live_[i].id == ticket) return i;

@@ -319,6 +319,13 @@ sim::Task<void> Worker::do_transfer(const SendEntry& send,
     co_await fabric_->wake_at(rt.engine().now() + rt.costs().rendezvous_s);
     co_await rt.ipc_open(send.src_device, *recv.buf);
   }
+  if (fabric_->tap_) {
+    // Synchronous prefix of the channel transfer (no suspension between the
+    // tap and the transfer call): a chained-collective controller can stage
+    // a pending replay step here and the channel consumes it first thing.
+    fabric_->tap_(TransferSite{send.src_rank, rank_, send.tag, send.bytes,
+                               send.src_device, recv.buf->device()});
+  }
   co_await fabric_->channel_->transfer(*recv.buf, recv.offset, *send.buf,
                                        send.offset, send.bytes);
 }
